@@ -1,0 +1,148 @@
+// Command dice-detect replays a slice of a dataset through the real-time
+// phase of DICE against a trained context and reports violations and
+// alerts.
+//
+// Usage:
+//
+//	dice-detect -data ./data/D_houseA -context context.json [-from 300] [-hours 6]
+//	            [-fault fail-stop:light-kitchen:60]
+//
+// -from/-hours select the replayed slice (hours from the recording start).
+// -fault injects a fault into the replay: CLASS:DEVICE:ONSETMIN with class
+// one of fail-stop, outlier, stuck-at, high-noise, spike.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/faults"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dice-detect:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dataDir := flag.String("data", "", "dataset directory (required)")
+	ctxFile := flag.String("context", "context.json", "trained context file")
+	from := flag.Int("from", 300, "replay start, hours from recording start")
+	hours := flag.Int("hours", 6, "replay length in hours")
+	faultSpec := flag.String("fault", "", "inject CLASS:DEVICE:ONSETMIN into the replay")
+	flag.Parse()
+
+	if *dataDir == "" {
+		return fmt.Errorf("-data is required")
+	}
+	ds, err := dataset.Load(*dataDir)
+	if err != nil {
+		return err
+	}
+	cf, err := os.Open(*ctxFile)
+	if err != nil {
+		return err
+	}
+	ctx, err := core.LoadContext(cf, ds.Layout)
+	cf.Close()
+	if err != nil {
+		return err
+	}
+	det, err := core.NewDetector(ctx, core.Config{})
+	if err != nil {
+		return err
+	}
+
+	var inj *faults.Injector
+	if *faultSpec != "" {
+		inj, err = parseFault(ds, *faultSpec)
+		if err != nil {
+			return err
+		}
+	}
+
+	obs, err := ds.Windows()
+	if err != nil {
+		return err
+	}
+	start := *from * 60
+	end := start + *hours*60
+	if start >= len(obs) {
+		return fmt.Errorf("replay start %dh beyond recording (%dh)", *from, len(obs)/60)
+	}
+	if end > len(obs) {
+		end = len(obs)
+	}
+
+	violations, alerts := 0, 0
+	for w := start; w < end; w++ {
+		o := obs[w]
+		if inj != nil {
+			o = inj.Apply(o, w-start)
+		}
+		res, err := det.Process(o)
+		if err != nil {
+			return err
+		}
+		if res.Detected {
+			violations++
+			fmt.Printf("%s  VIOLATION (%s check) suspects=%s\n",
+				minuteStamp(w), res.Violation, deviceNames(ds, res.Probable))
+		}
+		if res.Alert != nil {
+			alerts++
+			fmt.Printf("%s  ALERT faulty=%s cause=%s detected@%s\n",
+				minuteStamp(w), deviceNames(ds, res.Alert.Devices),
+				res.Alert.Cause, minuteStamp(res.Alert.DetectedWindow))
+		}
+	}
+	fmt.Printf("replayed %d windows: %d violations, %d alerts\n", end-start, violations, alerts)
+	return nil
+}
+
+func minuteStamp(w int) string {
+	d := time.Duration(w) * time.Minute
+	return fmt.Sprintf("day%d %02d:%02d", w/(24*60), int(d.Hours())%24, w%60)
+}
+
+func deviceNames(ds *dataset.Dataset, ids []device.ID) string {
+	names := make([]string, 0, len(ids))
+	for _, id := range ids {
+		names = append(names, ds.Registry.MustGet(id).Name)
+	}
+	return strings.Join(names, ",")
+}
+
+func parseFault(ds *dataset.Dataset, spec string) (*faults.Injector, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad -fault %q, want CLASS:DEVICE:ONSETMIN", spec)
+	}
+	var class faults.Type
+	for _, t := range append(faults.SensorTypes(), faults.ActuatorTypes()...) {
+		if t.String() == parts[0] {
+			class = t
+		}
+	}
+	if class == 0 {
+		return nil, fmt.Errorf("unknown fault class %q", parts[0])
+	}
+	id, ok := ds.Registry.Lookup(parts[1])
+	if !ok {
+		return nil, fmt.Errorf("unknown device %q", parts[1])
+	}
+	onset, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("bad onset %q: %w", parts[2], err)
+	}
+	return faults.NewInjector(ds.Layout, 1, faults.Fault{Device: id, Type: class, Onset: onset})
+}

@@ -1,0 +1,85 @@
+// Command dice-gateway runs the home gateway: it loads a trained context,
+// listens for device reports over CoAP/UDP, runs DICE online, and prints
+// alerts as they are raised.
+//
+// Usage:
+//
+//	dice-gateway -data ./data/D_houseA -context context.json -listen 127.0.0.1:5683
+//
+// Pair it with dice-device, which replays a dataset slice as live CoAP
+// traffic (optionally with an injected fault).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gateway"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dice-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dataDir := flag.String("data", "", "dataset directory holding the device manifest (required)")
+	ctxFile := flag.String("context", "context.json", "trained context file")
+	listen := flag.String("listen", "127.0.0.1:5683", "UDP address to serve CoAP on")
+	flag.Parse()
+
+	if *dataDir == "" {
+		return fmt.Errorf("-data is required")
+	}
+	ds, err := dataset.Load(*dataDir)
+	if err != nil {
+		return err
+	}
+	cf, err := os.Open(*ctxFile)
+	if err != nil {
+		return err
+	}
+	ctx, err := core.LoadContext(cf, ds.Layout)
+	cf.Close()
+	if err != nil {
+		return err
+	}
+	gw, err := gateway.New(ctx, core.Config{})
+	if err != nil {
+		return err
+	}
+	front, err := gateway.ServeCoAP(gw, *listen)
+	if err != nil {
+		return err
+	}
+	defer front.Close()
+	fmt.Printf("gateway listening on coap://%s (%d devices, %d groups)\n",
+		front.Addr(), ds.Registry.Len(), ctx.NumGroups())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case a := <-gw.Alerts():
+			names := make([]string, 0, len(a.Devices))
+			for _, d := range a.Devices {
+				names = append(names, d.Name)
+			}
+			fmt.Printf("ALERT faulty=%s cause=%s detected@%s reported@%s\n",
+				strings.Join(names, ","), a.Cause, a.DetectedAt, a.ReportedAt)
+		case <-sig:
+			st := gw.Stats()
+			fmt.Printf("shutting down: %d events, %d windows, %d violations, %d alerts\n",
+				st.Events, st.Windows, st.Violations, st.Alerts)
+			return nil
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package dice is the public face of this repository: a from-scratch Go
+// implementation of DICE ("Detecting and Identifying Faulty IoT Devices in
+// Smart Home with Context Extraction", DSN 2018).
+//
+// DICE watches a smart home's sensor and actuator stream and raises an
+// alert naming the probable faulty device. It works in two phases:
+//
+//   - Precomputation: a fault-free recording is windowed into one-minute
+//     sensor state sets; every unique state set becomes a *group*, and
+//     three Markov transition matrices (group→group, group→actuator,
+//     actuator→group) capture the home's temporal context.
+//   - Real time: each live window passes a correlation check (does the
+//     state set match a known group?) and a transition check (is this
+//     transition possible?); on a violation, an identification loop
+//     intersects per-window suspect sets until at most numThre devices
+//     remain.
+//
+// Quick start:
+//
+//	reg := dice.NewRegistry()
+//	motion := reg.MustAdd("motion-kitchen", dice.Binary, dice.Motion, "kitchen")
+//	...
+//	layout := dice.NewLayout(reg)
+//
+//	trainer := dice.NewTrainer(layout, time.Minute)
+//	// pass 1 over fault-free history:
+//	for _, w := range history { trainer.Calibrate(w) }
+//	trainer.FinishCalibration()
+//	// pass 2:
+//	for _, w := range history { trainer.Learn(w) }
+//	ctx, _ := trainer.Context()
+//
+//	det, _ := dice.NewDetector(ctx, dice.Config{})
+//	for _, w := range live {
+//	    res, _ := det.Process(w)
+//	    if res.Alert != nil { fmt.Println("faulty:", res.Alert.Devices) }
+//	}
+//
+// The subpackages under internal/ hold the substrates: the smart-home
+// simulator used for evaluation (internal/simhome), fault injection
+// (internal/faults), the evaluation protocol for every table and figure of
+// the paper (internal/eval), prior-art baselines (internal/baseline), and
+// a CoAP gateway runtime (internal/coap, internal/gateway).
+package dice
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// Re-exported device model.
+type (
+	// Registry holds the home's devices with stable IDs.
+	Registry = device.Registry
+	// Device describes one registered device.
+	Device = device.Device
+	// DeviceID identifies a device within a registry.
+	DeviceID = device.ID
+	// Kind classifies a device (Binary, Numeric, Actuator).
+	Kind = device.Kind
+	// DeviceType is the physical modality (Motion, Light, ...).
+	DeviceType = device.Type
+	// Layout maps devices to state-set slots.
+	Layout = window.Layout
+	// Observation is one fixed-duration window of readings.
+	Observation = window.Observation
+	// Builder folds an event stream into observations.
+	Builder = window.Builder
+)
+
+// Device kinds.
+const (
+	Binary   = device.Binary
+	Numeric  = device.Numeric
+	Actuator = device.Actuator
+)
+
+// Common device types (the full set lives in internal/device).
+const (
+	Motion      = device.Motion
+	DoorContact = device.DoorContact
+	PressureMat = device.PressureMat
+	Light       = device.Light
+	Temperature = device.Temperature
+	Humidity    = device.Humidity
+	Sound       = device.Sound
+	SmartBulb   = device.SmartBulb
+	SmartSwitch = device.SmartSwitch
+)
+
+// Re-exported algorithm types.
+type (
+	// Config tunes the detector; the zero value uses the paper's settings.
+	Config = core.Config
+	// Context is the precomputed correlation + transition context.
+	Context = core.Context
+	// Trainer runs the precomputation phase.
+	Trainer = core.Trainer
+	// Detector runs the real-time phase.
+	Detector = core.Detector
+	// Result is the per-window detector output.
+	Result = core.Result
+	// Alert names the probable faulty devices.
+	Alert = core.Alert
+	// CheckKind names which check flagged a window.
+	CheckKind = core.CheckKind
+)
+
+// Violation causes.
+const (
+	CheckNone        = core.CheckNone
+	CheckCorrelation = core.CheckCorrelation
+	CheckG2G         = core.CheckG2G
+	CheckG2A         = core.CheckG2A
+	CheckA2G         = core.CheckA2G
+)
+
+// DefaultDuration is the paper's empirically optimal window length.
+const DefaultDuration = core.DefaultDuration
+
+// NewRegistry returns an empty device registry.
+func NewRegistry() *Registry { return device.NewRegistry() }
+
+// NewLayout derives the state-set layout from a registry.
+func NewLayout(reg *Registry) *Layout { return window.NewLayout(reg) }
+
+// NewBuilder returns a window builder with the given duration.
+func NewBuilder(layout *Layout, duration time.Duration) *Builder {
+	return window.NewBuilder(layout, duration)
+}
+
+// NewTrainer starts a precomputation phase.
+func NewTrainer(layout *Layout, duration time.Duration) *Trainer {
+	return core.NewTrainer(layout, duration)
+}
+
+// TrainWindows runs both precomputation passes over a window slice.
+func TrainWindows(layout *Layout, duration time.Duration, obs []*Observation) (*Context, error) {
+	return core.TrainWindows(layout, duration, obs)
+}
+
+// NewDetector builds a real-time detector over a trained context.
+func NewDetector(ctx *Context, cfg Config) (*Detector, error) {
+	return core.NewDetector(ctx, cfg)
+}
+
+// LoadContext reads a context saved with Context.Save and binds it to the
+// layout.
+func LoadContext(r io.Reader, layout *Layout) (*Context, error) {
+	return core.LoadContext(r, layout)
+}

@@ -1,0 +1,61 @@
+// Faultsweep: inject every fault class into every eligible sensor of a
+// simulated home and tabulate which check catches what — a miniature of
+// the paper's Fig 5.4 you can play with interactively.
+//
+//	go run ./examples/faultsweep [-dataset houseB] [-trials 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/eval"
+	"repro/internal/faults"
+	"repro/internal/report"
+	"repro/internal/simhome"
+)
+
+func main() {
+	name := flag.String("dataset", "houseB", "dataset spec to sweep")
+	trials := flag.Int("trials", 40, "faulty segments per fault class")
+	flag.Parse()
+
+	spec, err := simhome.SpecByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweeping %s: one fault class at a time, %d trials each\n\n", *name, *trials)
+
+	t := &report.Table{
+		Title:   "Per-class detection on " + *name,
+		Headers: []string{"fault-class", "recall", "by-correlation", "by-transition", "mean-detect-min"},
+	}
+	for _, class := range faults.SensorTypes() {
+		proto := eval.DefaultProtocol()
+		proto.Trials = *trials
+		proto.FaultClasses = []faults.Type{class}
+		r, err := eval.EvaluateDataset(spec, 42, proto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cnt := r.DetectByType[class.String()]
+		total := cnt[0] + cnt[1]
+		corr, trans := "-", "-"
+		if total > 0 {
+			corr = fmt.Sprintf("%.0f%%", 100*float64(cnt[0])/float64(total))
+			trans = fmt.Sprintf("%.0f%%", 100*float64(cnt[1])/float64(total))
+		}
+		t.AddRow(class.String(),
+			fmt.Sprintf("%.0f%%", 100*r.Detection.Recall()),
+			corr, trans,
+			fmt.Sprintf("%.1f", r.MeanDetectMinutes))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fail-stop faults surface through the correlation check (the state set loses bits\n" +
+		"instantly); stuck-at faults that mimic a trained state survive it and fall to the\n" +
+		"transition check later — the paper's Fig 5.4 in miniature.")
+}

@@ -1,0 +1,57 @@
+// Multifault: the §VI discussion experiment — up to three devices fail
+// simultaneously and DICE runs with numThre = 3. Identification has to
+// narrow a larger suspect set, so precision and recall drop relative to
+// the single-fault case; this example shows both side by side.
+//
+//	go run ./examples/multifault
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/eval"
+	"repro/internal/report"
+	"repro/internal/simhome"
+)
+
+func main() {
+	spec := simhome.SpecDTwoR() // the busiest testbed: two residents
+	fmt.Printf("dataset %s: single-fault vs multi-fault identification\n\n", spec.Name)
+
+	t := &report.Table{
+		Title:   "§VI — Multi-Fault Impact",
+		Headers: []string{"setting", "det-P", "det-R", "id-P", "id-R"},
+	}
+	pct := func(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+	single := eval.DefaultProtocol()
+	single.Trials = 30
+	r1, err := eval.EvaluateDataset(spec, 42, single)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.AddRow("1 fault, numThre=1",
+		pct(r1.Detection.Precision()), pct(r1.Detection.Recall()),
+		pct(r1.Identification.Precision()), pct(r1.Identification.Recall()))
+
+	for n := 2; n <= 3; n++ {
+		p := eval.MultiFaultProtocol(eval.DefaultProtocol(), 3)
+		p.FaultsPerSegment = n
+		p.Trials = 30
+		r, err := eval.EvaluateDataset(spec, 42, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(fmt.Sprintf("%d faults, numThre=3", n),
+			pct(r.Detection.Precision()), pct(r.Detection.Recall()),
+			pct(r.Identification.Precision()), pct(r.Identification.Recall()))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("simultaneous faults blur each other's evidence: the suspect intersections stop\n" +
+		"shrinking to a single device, exactly the degradation the paper reports (79.5%\n" +
+		"precision / 63.3% recall for its multi-fault runs).")
+}

@@ -1,0 +1,130 @@
+// Security: the paper's §VI extension — the same context that catches
+// faults also catches *attacks*, because a spoofed sensor violates the
+// learned correlations just like a broken one. This example replays the
+// paper's two attack cases against the simulated testbed:
+//
+//  1. the kitchen temperature sensor is driven high to trick the fan
+//     switch into running (an economic attack);
+//
+//  2. the bedroom light sensor is driven high while the resident sleeps
+//     (a privacy attack: a light-low rule would raise the blinds).
+//
+//     go run ./examples/security
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/simhome"
+	"repro/internal/window"
+)
+
+func main() {
+	spec := simhome.SpecDHouseA()
+	spec.Hours = 5 * 24
+	home, err := simhome.New(spec, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const trainWindows = 3 * 24 * 60
+	trainer := core.NewTrainer(home.Layout(), time.Minute)
+	for w := 0; w < trainWindows; w++ {
+		if err := trainer.Calibrate(home.Window(w)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := trainer.FinishCalibration(); err != nil {
+		log.Fatal(err)
+	}
+	for w := 0; w < trainWindows; w++ {
+		if err := trainer.Learn(home.Window(w)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctx, err := trainer.Context()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	attack1 := attack{
+		name:    "spoof temp-kitchen high (force the fan on)",
+		device:  mustLookup(home, "temp-kitchen"),
+		value:   29.5,                 // far above anything cooking produces
+		start:   trainWindows + 14*60, // afternoon
+		minutes: 90,
+	}
+	attack2 := attack{
+		name:    "spoof light-bedroom high while the resident sleeps",
+		device:  mustLookup(home, "light-bedroom"),
+		value:   240,                  // "bright room" at 02:00
+		start:   trainWindows + 26*60, // 02:00 next night
+		minutes: 90,
+	}
+	for _, a := range []attack{attack1, attack2} {
+		runAttack(home, ctx, a)
+	}
+}
+
+type attack struct {
+	name    string
+	device  device.ID
+	value   float64
+	start   int
+	minutes int
+}
+
+func mustLookup(h *simhome.Home, name string) device.ID {
+	id, ok := h.Registry().Lookup(name)
+	if !ok {
+		log.Fatalf("no device %q", name)
+	}
+	return id
+}
+
+func runAttack(home *simhome.Home, ctx *core.Context, a attack) {
+	det, err := core.NewDetector(ctx, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	slot, _ := home.Layout().NumericSlot(a.device)
+	warmup := 60
+	fmt.Printf("\n== attack: %s ==\n", a.name)
+	for w := a.start - warmup; w < a.start+a.minutes; w++ {
+		o := home.Window(w)
+		if w >= a.start {
+			o = spoof(o, slot, a.value)
+		}
+		res, err := det.Process(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Detected {
+			fmt.Printf("  +%dm: violation (%s check)\n", w-a.start, res.Violation)
+		}
+		if res.Alert != nil {
+			names := make([]string, 0, len(res.Alert.Devices))
+			for _, id := range res.Alert.Devices {
+				names = append(names, home.Registry().MustGet(id).Name)
+			}
+			fmt.Printf("  +%dm: ALERT -> compromised device(s): %v\n", w-a.start, names)
+			return
+		}
+	}
+	fmt.Println("  attack not detected within the window")
+}
+
+// spoof overwrites a numeric sensor's samples with the attacker's value.
+func spoof(o *window.Observation, slot int, v float64) *window.Observation {
+	out := o.Clone()
+	for i := range out.Numeric[slot] {
+		out.Numeric[slot][i] = v
+	}
+	if len(out.Numeric[slot]) == 0 {
+		out.Numeric[slot] = []float64{v, v, v, v}
+	}
+	return out
+}

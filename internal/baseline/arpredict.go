@@ -1,0 +1,132 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+// ARPredict is the time-series-forecasting baseline (Sharma et al., Fang &
+// Dobson): an AR(p) model per numeric sensor predicts the next window mean
+// from the recent history; a sensor is flagged after `persistence`
+// consecutive windows whose residual exceeds k standard deviations of the
+// training residual.
+type ARPredict struct {
+	// Order is the AR order (default 2).
+	Order int
+	// K is the residual multiplier (default 8).
+	K float64
+	// Persistence is the consecutive-violation requirement (default 3).
+	Persistence int
+
+	layout  *window.Layout
+	coeffs  [][]float64
+	mean    []float64
+	resSD   []float64
+	history [][]float64
+	streak  []int
+}
+
+// Name implements Detector.
+func (a *ARPredict) Name() string { return "ar-predict" }
+
+// Train implements Detector.
+func (a *ARPredict) Train(layout *window.Layout, windows []*window.Observation) error {
+	if a.Order <= 0 {
+		a.Order = 2
+	}
+	if a.K <= 0 {
+		a.K = 8
+	}
+	if a.Persistence <= 0 {
+		a.Persistence = 3
+	}
+	a.layout = layout
+	n := layout.NumNumeric()
+	series := make([][]float64, n)
+	for _, o := range windows {
+		if len(o.Numeric) != n {
+			return fmt.Errorf("baseline: window shape mismatch")
+		}
+		for slot := 0; slot < n; slot++ {
+			if v, ok := windowMean(o.Numeric[slot]); ok {
+				series[slot] = append(series[slot], v)
+			}
+		}
+	}
+	a.coeffs = make([][]float64, n)
+	a.mean = make([]float64, n)
+	a.resSD = make([]float64, n)
+	for slot := 0; slot < n; slot++ {
+		xs := series[slot]
+		a.mean[slot] = stats.Mean(xs)
+		coeffs, _, err := stats.FitAR(xs, a.Order)
+		if err != nil {
+			// Too little data: fall back to a mean model.
+			coeffs = make([]float64, a.Order)
+		}
+		a.coeffs[slot] = coeffs
+		// Training residual scale.
+		var resid []float64
+		for i := a.Order; i < len(xs); i++ {
+			pred, err := stats.PredictAR(coeffs, a.mean[slot], xs[i-a.Order:i])
+			if err != nil {
+				continue
+			}
+			resid = append(resid, xs[i]-pred)
+		}
+		sd := stats.StdDev(resid)
+		if sd < 0.5 {
+			sd = 0.5 // quantized signals can be near-perfectly predictable
+		}
+		a.resSD[slot] = sd
+	}
+	a.Reset()
+	return nil
+}
+
+// Reset implements Detector.
+func (a *ARPredict) Reset() {
+	n := a.layout.NumNumeric()
+	a.history = make([][]float64, n)
+	a.streak = make([]int, n)
+}
+
+// Process implements Detector.
+func (a *ARPredict) Process(o *window.Observation) (bool, error) {
+	if a.layout == nil {
+		return false, fmt.Errorf("baseline: ar-predict not trained")
+	}
+	flagged := false
+	for slot := 0; slot < a.layout.NumNumeric(); slot++ {
+		v, ok := windowMean(o.Numeric[slot])
+		if !ok {
+			// No data: a fail-stopped sensor stops being predictable.
+			a.streak[slot]++
+			if a.streak[slot] >= a.Persistence {
+				flagged = true
+			}
+			continue
+		}
+		h := a.history[slot]
+		if len(h) >= a.Order {
+			pred, err := stats.PredictAR(a.coeffs[slot], a.mean[slot], h)
+			if err == nil && math.Abs(v-pred) > a.K*a.resSD[slot] {
+				a.streak[slot]++
+			} else {
+				a.streak[slot] = 0
+			}
+			if a.streak[slot] >= a.Persistence {
+				flagged = true
+			}
+		}
+		h = append(h, v)
+		if len(h) > a.Order {
+			h = h[len(h)-a.Order:]
+		}
+		a.history[slot] = h
+	}
+	return flagged, nil
+}

@@ -1,0 +1,72 @@
+// Package baseline implements simplified but faithful versions of the
+// prior-art detector families DICE is compared against in Table 2.1:
+//
+//   - MajorityVote — the homogeneous approach (§2.2): a numeric sensor is
+//     flagged when it deviates persistently from the median of its
+//     same-type peers.
+//   - ARPredict — the time-series approach of Sharma et al. (§2.2): an
+//     AR(2) model per numeric sensor flags persistent prediction residuals.
+//   - LCSCluster — CLEAN-style (§2.3): binary sensors are clustered by the
+//     longest-common-subsequence similarity of their hourly activation
+//     strings; a sensor is flagged when its similarity to its own cluster
+//     collapses.
+//   - MarkovOnly — 6thSense-style (§2.3): a Markov chain over the global
+//     quantized state, detection on zero-probability transitions only,
+//     with no identification step.
+//
+// All baselines consume exactly the same windowed observations as DICE so
+// the comparison is apples-to-apples.
+package baseline
+
+import (
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// Detector is the common contract: batch training, then per-segment
+// streaming detection.
+type Detector interface {
+	// Name identifies the detector in reports.
+	Name() string
+	// Train fits the detector on fault-free windows.
+	Train(layout *window.Layout, windows []*window.Observation) error
+	// Reset clears per-segment state.
+	Reset()
+	// Process consumes one window and reports whether a fault is being
+	// flagged at this window.
+	Process(o *window.Observation) (bool, error)
+}
+
+// windowMean returns the mean of a numeric sensor's samples in a window,
+// and whether it reported at all.
+func windowMean(samples []float64) (float64, bool) {
+	if len(samples) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / float64(len(samples)), true
+}
+
+// typePeers maps each numeric slot to the slots of same-type sensors
+// (excluding itself).
+func typePeers(layout *window.Layout) [][]int {
+	reg := layout.Registry()
+	byType := make(map[device.Type][]int)
+	for slot := 0; slot < layout.NumNumeric(); slot++ {
+		t := reg.MustGet(layout.NumericID(slot)).Type
+		byType[t] = append(byType[t], slot)
+	}
+	peers := make([][]int, layout.NumNumeric())
+	for slot := 0; slot < layout.NumNumeric(); slot++ {
+		t := reg.MustGet(layout.NumericID(slot)).Type
+		for _, p := range byType[t] {
+			if p != slot {
+				peers[slot] = append(peers[slot], p)
+			}
+		}
+	}
+	return peers
+}

@@ -1,0 +1,234 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/simhome"
+	"repro/internal/window"
+)
+
+// DICEDetector adapts the full DICE pipeline to the baseline Detector
+// interface so Compare can run every detector over identical data.
+type DICEDetector struct {
+	cfg core.Config
+	ctx *core.Context
+	det *core.Detector
+}
+
+// Name implements Detector.
+func (d *DICEDetector) Name() string { return "DICE" }
+
+// Train implements Detector.
+func (d *DICEDetector) Train(layout *window.Layout, windows []*window.Observation) error {
+	ctx, err := core.TrainWindows(layout, time.Minute, windows)
+	if err != nil {
+		return err
+	}
+	det, err := core.NewDetector(ctx, d.cfg)
+	if err != nil {
+		return err
+	}
+	d.ctx = ctx
+	d.det = det
+	return nil
+}
+
+// Reset implements Detector.
+func (d *DICEDetector) Reset() {
+	if d.det != nil {
+		d.det.Reset()
+	}
+}
+
+// Process implements Detector.
+func (d *DICEDetector) Process(o *window.Observation) (bool, error) {
+	if d.det == nil {
+		return false, fmt.Errorf("baseline: DICE not trained")
+	}
+	res, err := d.det.Process(o)
+	if err != nil {
+		return false, err
+	}
+	return res.Detected, nil
+}
+
+// CompareConfig parametrizes a comparison run.
+type CompareConfig struct {
+	PrecomputeHours int
+	SegmentHours    int
+	Trials          int
+	Seed            int64
+}
+
+func (c CompareConfig) normalize() CompareConfig {
+	if c.PrecomputeHours <= 0 {
+		c.PrecomputeHours = 300
+	}
+	if c.SegmentHours <= 0 {
+		c.SegmentHours = 6
+	}
+	if c.Trials <= 0 {
+		c.Trials = 40
+	}
+	return c
+}
+
+// CompareRow is one detector's aggregate over a dataset.
+type CompareRow struct {
+	Detector          string
+	Precision         float64
+	Recall            float64
+	MeanDetectMinutes float64
+}
+
+// DefaultDetectors returns DICE plus the four baseline families.
+func DefaultDetectors() []Detector {
+	return []Detector{
+		&DICEDetector{},
+		&MajorityVote{},
+		&ARPredict{},
+		&LCSCluster{},
+		&MarkovOnly{},
+	}
+}
+
+// Compare trains every detector on the same fault-free prefix of the
+// simulated dataset and evaluates all of them on identical fault-free and
+// faulty segments, returning one row per detector.
+func Compare(spec simhome.Spec, seed int64, cfg CompareConfig) ([]CompareRow, error) {
+	return CompareDetectors(spec, seed, cfg, DefaultDetectors())
+}
+
+// CompareDetectors is Compare with an explicit detector list.
+func CompareDetectors(spec simhome.Spec, seed int64, cfg CompareConfig, dets []Detector) ([]CompareRow, error) {
+	cfg = cfg.normalize()
+	h, err := simhome.New(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	trainW := cfg.PrecomputeHours * 60
+	if trainW >= h.Windows() {
+		return nil, fmt.Errorf("baseline: dataset %s too short for %dh precompute", spec.Name, cfg.PrecomputeHours)
+	}
+	segLen := cfg.SegmentHours * 60
+	numSegs := (h.Windows() - trainW) / segLen
+	if numSegs == 0 {
+		return nil, fmt.Errorf("baseline: dataset %s leaves no segments", spec.Name)
+	}
+
+	trainWindows := h.WindowRange(0, trainW)
+	for _, d := range dets {
+		if err := d.Train(h.Layout(), trainWindows); err != nil {
+			return nil, fmt.Errorf("baseline: train %s: %w", d.Name(), err)
+		}
+	}
+
+	type tally struct {
+		tp, fn  int
+		fpSegs  int
+		latency float64
+		latN    int
+	}
+	tallies := make([]tally, len(dets))
+
+	runSegment := func(seg int, inj *faults.Injector, onset int) error {
+		base := trainW + seg*segLen
+		for _, d := range dets {
+			d.Reset()
+		}
+		detectedAt := make([]int, len(dets))
+		for i := range detectedAt {
+			detectedAt[i] = -1
+		}
+		for w := 0; w < segLen; w++ {
+			o := h.Window(base + w)
+			if inj != nil {
+				o = inj.Apply(o, w)
+			}
+			for i, d := range dets {
+				if detectedAt[i] >= 0 {
+					continue
+				}
+				hit, err := d.Process(o)
+				if err != nil {
+					return fmt.Errorf("baseline: %s: %w", d.Name(), err)
+				}
+				if hit {
+					detectedAt[i] = w
+				}
+			}
+		}
+		for i := range dets {
+			if inj == nil {
+				if detectedAt[i] >= 0 {
+					tallies[i].fpSegs++
+				}
+				continue
+			}
+			if detectedAt[i] >= 0 {
+				tallies[i].tp++
+				lat := float64(detectedAt[i] - onset)
+				if lat < 0 {
+					lat = 0
+				}
+				tallies[i].latency += lat
+				tallies[i].latN++
+			} else {
+				tallies[i].fn++
+			}
+		}
+		return nil
+	}
+
+	// Fault-free pass.
+	for seg := 0; seg < numSegs; seg++ {
+		if err := runSegment(seg, nil, 0); err != nil {
+			return nil, err
+		}
+	}
+	// Faulty pass.
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(trial)))
+		fs, err := faults.Plan(h.Layout(), rng, 1, faults.SensorTypes(), 60, segLen/2)
+		if err != nil {
+			return nil, err
+		}
+		inj, err := faults.NewInjector(h.Layout(), cfg.Seed*31+int64(trial), fs...)
+		if err != nil {
+			return nil, err
+		}
+		if err := runSegment(trial%numSegs, inj, fs[0].Onset); err != nil {
+			return nil, err
+		}
+	}
+
+	rows := make([]CompareRow, len(dets))
+	for i, d := range dets {
+		t := tallies[i]
+		fpRate := float64(t.fpSegs) / float64(numSegs)
+		fp := fpRate * float64(cfg.Trials)
+		precision := 1.0
+		if float64(t.tp)+fp > 0 {
+			precision = float64(t.tp) / (float64(t.tp) + fp)
+		}
+		recall := 1.0
+		if t.tp+t.fn > 0 {
+			recall = float64(t.tp) / float64(t.tp+t.fn)
+		}
+		lat := 0.0
+		if t.latN > 0 {
+			lat = t.latency / float64(t.latN)
+		}
+		rows[i] = CompareRow{
+			Detector:          d.Name(),
+			Precision:         precision,
+			Recall:            recall,
+			MeanDetectMinutes: lat,
+		}
+	}
+	return rows, nil
+}

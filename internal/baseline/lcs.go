@@ -1,0 +1,232 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/window"
+)
+
+// LCSCluster is the CLEAN-style baseline (Ye et al., §2.3): binary sensors
+// are profiled by their hourly activation strings; training clusters each
+// sensor with the peers whose strings are most LCS-similar; at run time a
+// sensor is flagged when its hourly similarity to its cluster drops far
+// below the trained level for `persistence` consecutive hours. Detection
+// granularity is an hour by construction, which is why this family is slow
+// (Table 2.1 marks its promptness "-").
+type LCSCluster struct {
+	// ClusterSize is the number of nearest peers kept per sensor
+	// (default 3).
+	ClusterSize int
+	// DropRatio is how far below the trained similarity a sensor must
+	// fall to be flagged (default 0.5, i.e. half the trained similarity).
+	DropRatio float64
+	// Persistence is the consecutive-hour requirement (default 2).
+	Persistence int
+
+	layout   *window.Layout
+	clusters [][]int
+	expected []float64 // trained mean similarity to the cluster
+
+	// Per-segment state: the current hour's activation bits.
+	hourBits [][]bool
+	hourLen  int
+	streak   []int
+}
+
+// Name implements Detector.
+func (l *LCSCluster) Name() string { return "lcs-cluster" }
+
+// lcsLen computes the longest-common-subsequence length of two boolean
+// strings.
+func lcsLen(a, b []bool) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// similarity is the normalized LCS similarity of two hourly strings.
+func similarity(a, b []bool) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 1
+	}
+	return float64(lcsLen(a, b)) / float64(n)
+}
+
+// hourStrings slices training windows into per-sensor hourly activation
+// strings.
+func hourStrings(layout *window.Layout, windows []*window.Observation) [][][]bool {
+	nb := layout.NumBinary()
+	hours := len(windows) / 60
+	out := make([][][]bool, nb)
+	for s := 0; s < nb; s++ {
+		out[s] = make([][]bool, hours)
+		for h := 0; h < hours; h++ {
+			str := make([]bool, 60)
+			for m := 0; m < 60; m++ {
+				str[m] = windows[h*60+m].Binary[s]
+			}
+			out[s][h] = str
+		}
+	}
+	return out
+}
+
+// Train implements Detector.
+func (l *LCSCluster) Train(layout *window.Layout, windows []*window.Observation) error {
+	if l.ClusterSize <= 0 {
+		l.ClusterSize = 3
+	}
+	if l.DropRatio <= 0 {
+		l.DropRatio = 0.5
+	}
+	if l.Persistence <= 0 {
+		l.Persistence = 2
+	}
+	l.layout = layout
+	nb := layout.NumBinary()
+	if nb == 0 {
+		l.clusters = nil
+		l.expected = nil
+		l.Reset()
+		return nil
+	}
+	strs := hourStrings(layout, windows)
+	hours := len(strs[0])
+	if hours == 0 {
+		return fmt.Errorf("baseline: lcs-cluster needs at least one training hour")
+	}
+	// Mean pairwise similarity across training hours.
+	sim := make([][]float64, nb)
+	for i := range sim {
+		sim[i] = make([]float64, nb)
+	}
+	// Sampling hours keeps training O(nb^2 * hours/stride * 60^2) sane.
+	stride := hours/24 + 1
+	for i := 0; i < nb; i++ {
+		for j := i + 1; j < nb; j++ {
+			var sum float64
+			var n int
+			for h := 0; h < hours; h += stride {
+				sum += similarity(strs[i][h], strs[j][h])
+				n++
+			}
+			if n > 0 {
+				sim[i][j] = sum / float64(n)
+				sim[j][i] = sim[i][j]
+			}
+		}
+	}
+	// Cluster: top-k most similar peers per sensor.
+	l.clusters = make([][]int, nb)
+	l.expected = make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		peers := topK(sim[i], i, l.ClusterSize)
+		l.clusters[i] = peers
+		var sum float64
+		for _, p := range peers {
+			sum += sim[i][p]
+		}
+		if len(peers) > 0 {
+			l.expected[i] = sum / float64(len(peers))
+		}
+	}
+	l.Reset()
+	return nil
+}
+
+func topK(row []float64, self, k int) []int {
+	type cand struct {
+		idx int
+		sim float64
+	}
+	var cs []cand
+	for j, s := range row {
+		if j != self {
+			cs = append(cs, cand{j, s})
+		}
+	}
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].sim > cs[j-1].sim; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+	if len(cs) > k {
+		cs = cs[:k]
+	}
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// Reset implements Detector.
+func (l *LCSCluster) Reset() {
+	nb := l.layout.NumBinary()
+	l.hourBits = make([][]bool, nb)
+	for i := range l.hourBits {
+		l.hourBits[i] = make([]bool, 0, 60)
+	}
+	l.hourLen = 0
+	l.streak = make([]int, nb)
+}
+
+// Process implements Detector.
+func (l *LCSCluster) Process(o *window.Observation) (bool, error) {
+	if l.layout == nil {
+		return false, fmt.Errorf("baseline: lcs-cluster not trained")
+	}
+	nb := l.layout.NumBinary()
+	for s := 0; s < nb; s++ {
+		l.hourBits[s] = append(l.hourBits[s], o.Binary[s])
+	}
+	l.hourLen++
+	if l.hourLen < 60 {
+		return false, nil
+	}
+	// Hour boundary: evaluate cluster similarity.
+	flagged := false
+	for s := 0; s < nb; s++ {
+		peers := l.clusters[s]
+		if len(peers) == 0 || l.expected[s] <= 0 {
+			continue
+		}
+		var sum float64
+		for _, p := range peers {
+			sum += similarity(l.hourBits[s], l.hourBits[p])
+		}
+		got := sum / float64(len(peers))
+		if got < l.expected[s]*l.DropRatio {
+			l.streak[s]++
+		} else {
+			l.streak[s] = 0
+		}
+		if l.streak[s] >= l.Persistence {
+			flagged = true
+		}
+	}
+	for s := 0; s < nb; s++ {
+		l.hourBits[s] = l.hourBits[s][:0]
+	}
+	l.hourLen = 0
+	return flagged, nil
+}

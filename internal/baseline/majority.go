@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+// MajorityVote is the homogeneous-redundancy baseline: each numeric sensor
+// is compared against the median of its same-type peers each window, and
+// flagged after `persistence` consecutive windows of deviation beyond
+// k * (robust scale). Sensors without same-type peers are uncheckable —
+// the approach's fundamental limitation (§2.2: redundant deployment is the
+// prerequisite).
+type MajorityVote struct {
+	// K is the deviation multiplier (default 6).
+	K float64
+	// Persistence is how many consecutive deviating windows trigger a
+	// flag (default 3).
+	Persistence int
+
+	layout *window.Layout
+	peers  [][]int
+	scale  []float64 // robust per-slot deviation scale from training
+	streak []int
+}
+
+// Name implements Detector.
+func (m *MajorityVote) Name() string { return "majority-vote" }
+
+// Train implements Detector: it calibrates each sensor's typical deviation
+// from its peer median.
+func (m *MajorityVote) Train(layout *window.Layout, windows []*window.Observation) error {
+	if m.K <= 0 {
+		m.K = 6
+	}
+	if m.Persistence <= 0 {
+		m.Persistence = 3
+	}
+	m.layout = layout
+	m.peers = typePeers(layout)
+	n := layout.NumNumeric()
+	devs := make([][]float64, n)
+	for _, o := range windows {
+		if len(o.Numeric) != n {
+			return fmt.Errorf("baseline: window shape mismatch")
+		}
+		for slot := 0; slot < n; slot++ {
+			d, ok := m.deviation(o, slot)
+			if ok {
+				devs[slot] = append(devs[slot], d)
+			}
+		}
+	}
+	m.scale = make([]float64, n)
+	for slot := range devs {
+		s := stats.MAD(devs[slot])
+		if s < 0.5 {
+			s = 0.5 // floor: quantized sensors can have zero MAD
+		}
+		m.scale[slot] = s
+	}
+	m.Reset()
+	return nil
+}
+
+// deviation returns |sensor - median(peers)| for a window.
+func (m *MajorityVote) deviation(o *window.Observation, slot int) (float64, bool) {
+	mine, ok := windowMean(o.Numeric[slot])
+	if !ok || len(m.peers[slot]) == 0 {
+		return 0, false
+	}
+	vals := make([]float64, 0, len(m.peers[slot]))
+	for _, p := range m.peers[slot] {
+		if v, ok := windowMean(o.Numeric[p]); ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	return math.Abs(mine - stats.Median(vals)), true
+}
+
+// Reset implements Detector.
+func (m *MajorityVote) Reset() {
+	m.streak = make([]int, m.layout.NumNumeric())
+}
+
+// Process implements Detector.
+func (m *MajorityVote) Process(o *window.Observation) (bool, error) {
+	if m.layout == nil {
+		return false, fmt.Errorf("baseline: majority-vote not trained")
+	}
+	flagged := false
+	for slot := 0; slot < m.layout.NumNumeric(); slot++ {
+		d, ok := m.deviation(o, slot)
+		if !ok {
+			// A silent sensor among reporting peers is itself suspicious.
+			if _, reported := windowMean(o.Numeric[slot]); !reported && len(m.peers[slot]) > 0 {
+				m.streak[slot]++
+			} else {
+				m.streak[slot] = 0
+			}
+		} else if d > m.K*m.scale[slot] {
+			m.streak[slot]++
+		} else {
+			m.streak[slot] = 0
+		}
+		if m.streak[slot] >= m.Persistence {
+			flagged = true
+		}
+	}
+	return flagged, nil
+}

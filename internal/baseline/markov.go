@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/window"
+)
+
+// MarkovOnly is the 6thSense-style baseline (§2.3): it quantizes the global
+// sensor state exactly like DICE's binarizer, but detection is purely a
+// Markov-chain check over the state sequence — an unseen state or a
+// zero-probability transition flags a fault. There is no correlation-check
+// candidate machinery and no identification step (6thSense "detects the
+// presence of a faulty sensor but does not identify the sensor").
+type MarkovOnly struct {
+	bin    *core.Binarizer
+	states map[string]int
+	chain  *markov.Chain
+	prev   int
+}
+
+// Name implements Detector.
+func (m *MarkovOnly) Name() string { return "markov-only" }
+
+// Train implements Detector.
+func (m *MarkovOnly) Train(layout *window.Layout, windows []*window.Observation) error {
+	tr := core.NewTrainer(layout, time.Minute)
+	for _, o := range windows {
+		if err := tr.Calibrate(o); err != nil {
+			return err
+		}
+	}
+	if err := tr.FinishCalibration(); err != nil {
+		return err
+	}
+	thre, err := tr.ValueThre()
+	if err != nil {
+		return err
+	}
+	bin, err := core.NewBinarizer(layout, thre)
+	if err != nil {
+		return err
+	}
+	m.bin = bin
+	m.states = make(map[string]int)
+	m.chain = markov.NewChain()
+	prev := -1
+	for _, o := range windows {
+		v, err := bin.StateSet(o)
+		if err != nil {
+			return err
+		}
+		id, ok := m.states[v.Key()]
+		if !ok {
+			id = len(m.states)
+			m.states[v.Key()] = id
+		}
+		if prev >= 0 {
+			m.chain.Observe(prev, id)
+		}
+		prev = id
+	}
+	m.Reset()
+	return nil
+}
+
+// Reset implements Detector.
+func (m *MarkovOnly) Reset() { m.prev = -1 }
+
+// Process implements Detector.
+func (m *MarkovOnly) Process(o *window.Observation) (bool, error) {
+	if m.bin == nil {
+		return false, fmt.Errorf("baseline: markov-only not trained")
+	}
+	v, err := m.bin.StateSet(o)
+	if err != nil {
+		return false, err
+	}
+	id, known := m.states[v.Key()]
+	if !known {
+		m.prev = -1
+		return true, nil
+	}
+	violated := false
+	if m.prev >= 0 && !m.chain.Possible(m.prev, id) {
+		violated = true
+	}
+	m.prev = id
+	return violated, nil
+}

@@ -1,0 +1,299 @@
+// Package bitvec implements the packed bit vectors DICE uses to represent
+// sensor state sets. A state set has one bit per binary sensor and three
+// bits per numeric sensor; the correlation check compares the live state set
+// against every known group by Hamming distance, so distance computation is
+// the hot operation and is implemented word-at-a-time with popcount.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vec is a fixed-length bit vector. The zero value is an empty vector of
+// length 0; use New to create one of a given length.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed vector of n bits. It panics if n is negative.
+func New(n int) *Vec {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vec{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromBools returns a vector whose bit i is set iff bs[i] is true.
+func FromBools(bs []bool) *Vec {
+	v := New(len(bs))
+	for i, b := range bs {
+		if b {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vec) Len() int { return v.n }
+
+// Set sets bit i to 1. It panics if i is out of range.
+func (v *Vec) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to 0. It panics if i is out of range.
+func (v *Vec) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// SetTo sets bit i to the given value.
+func (v *Vec) SetTo(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// Get reports whether bit i is set. It panics if i is out of range.
+func (v *Vec) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Flip toggles bit i.
+func (v *Vec) Flip(i int) {
+	v.check(i)
+	v.words[i/wordBits] ^= 1 << (uint(i) % wordBits)
+}
+
+func (v *Vec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0, %d)", i, v.n))
+	}
+}
+
+// Reset zeroes every bit, keeping the length.
+func (v *Vec) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v *Vec) Clone() *Vec {
+	c := &Vec{n: v.n, words: make([]uint64, len(v.words))}
+	copy(c.words, v.words)
+	return c
+}
+
+// CopyFrom overwrites v with the contents of o. It panics if the lengths
+// differ.
+func (v *Vec) CopyFrom(o *Vec) {
+	v.mustMatch(o)
+	copy(v.words, o.words)
+}
+
+// Equal reports whether v and o have identical length and bits.
+func (v *Vec) Equal(o *Vec) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits.
+func (v *Vec) PopCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// HammingDistance returns the number of differing bits between v and o.
+// It panics if the lengths differ. This is the correlation-check distance
+// from Figure 3.5 of the paper.
+func (v *Vec) HammingDistance(o *Vec) int {
+	v.mustMatch(o)
+	d := 0
+	for i, w := range v.words {
+		d += bits.OnesCount64(w ^ o.words[i])
+	}
+	return d
+}
+
+// HammingDistanceAtMost returns (distance, true) when the Hamming distance
+// between v and o is <= limit, and (_, false) as soon as the running count
+// exceeds the limit. It lets the correlation check bail out early when
+// scanning many groups.
+func (v *Vec) HammingDistanceAtMost(o *Vec, limit int) (int, bool) {
+	v.mustMatch(o)
+	d := 0
+	for i, w := range v.words {
+		d += bits.OnesCount64(w ^ o.words[i])
+		if d > limit {
+			return d, false
+		}
+	}
+	return d, true
+}
+
+// Diff returns the indices of bits where v and o differ, in ascending order.
+// The identification step walks these to map differing bits back to probable
+// faulty sensors (Figure 3.7).
+func (v *Vec) Diff(o *Vec) []int {
+	v.mustMatch(o)
+	var idx []int
+	for i, w := range v.words {
+		x := w ^ o.words[i]
+		for x != 0 {
+			b := bits.TrailingZeros64(x)
+			idx = append(idx, i*wordBits+b)
+			x &= x - 1
+		}
+	}
+	return idx
+}
+
+// Or sets v to v | o in place. It panics if the lengths differ.
+func (v *Vec) Or(o *Vec) {
+	v.mustMatch(o)
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// And sets v to v & o in place. It panics if the lengths differ.
+func (v *Vec) And(o *Vec) {
+	v.mustMatch(o)
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// Xor sets v to v ^ o in place. It panics if the lengths differ.
+func (v *Vec) Xor(o *Vec) {
+	v.mustMatch(o)
+	for i := range v.words {
+		v.words[i] ^= o.words[i]
+	}
+}
+
+// Ones returns the indices of all set bits in ascending order.
+func (v *Vec) Ones() []int {
+	var idx []int
+	for i, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			idx = append(idx, i*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return idx
+}
+
+// Key returns a string usable as a map key identifying the exact bit
+// pattern. Two vectors have equal keys iff Equal reports true.
+func (v *Vec) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(v.words)*8 + 4)
+	// Length disambiguates vectors whose trailing words are identical.
+	sb.WriteByte(byte(v.n))
+	sb.WriteByte(byte(v.n >> 8))
+	sb.WriteByte(byte(v.n >> 16))
+	sb.WriteByte(byte(v.n >> 24))
+	for _, w := range v.words {
+		for s := 0; s < wordBits; s += 8 {
+			sb.WriteByte(byte(w >> uint(s)))
+		}
+	}
+	return sb.String()
+}
+
+// String renders the vector as a bit string, bit 0 first, e.g. "10110".
+func (v *Vec) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Parse builds a vector from a bit string produced by String. It returns an
+// error on any character other than '0' or '1'.
+func Parse(s string) (*Vec, error) {
+	v := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			v.Set(i)
+		case '0':
+		default:
+			return nil, fmt.Errorf("bitvec: invalid character %q at position %d", s[i], i)
+		}
+	}
+	return v, nil
+}
+
+// MarshalBinary encodes the vector for persistence.
+func (v *Vec) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 4+len(v.words)*8)
+	buf[0] = byte(v.n)
+	buf[1] = byte(v.n >> 8)
+	buf[2] = byte(v.n >> 16)
+	buf[3] = byte(v.n >> 24)
+	for i, w := range v.words {
+		for s := 0; s < 8; s++ {
+			buf[4+i*8+s] = byte(w >> uint(8*s))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a vector produced by MarshalBinary.
+func (v *Vec) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("bitvec: truncated header (%d bytes)", len(data))
+	}
+	n := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
+	nw := (n + wordBits - 1) / wordBits
+	if len(data) != 4+nw*8 {
+		return fmt.Errorf("bitvec: length %d wants %d payload bytes, have %d", n, nw*8, len(data)-4)
+	}
+	words := make([]uint64, nw)
+	for i := range words {
+		var w uint64
+		for s := 0; s < 8; s++ {
+			w |= uint64(data[4+i*8+s]) << uint(8*s)
+		}
+		words[i] = w
+	}
+	v.n = n
+	v.words = words
+	return nil
+}
+
+func (v *Vec) mustMatch(o *Vec) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, o.n))
+	}
+}

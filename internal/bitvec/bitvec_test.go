@@ -1,0 +1,378 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Errorf("bit %d set in fresh vector", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+		v.Clear(i)
+		if v.Get(i) {
+			t.Errorf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestSetTo(t *testing.T) {
+	v := New(8)
+	v.SetTo(3, true)
+	if !v.Get(3) {
+		t.Error("SetTo(true) did not set")
+	}
+	v.SetTo(3, false)
+	if v.Get(3) {
+		t.Error("SetTo(false) did not clear")
+	}
+}
+
+func TestFlip(t *testing.T) {
+	v := New(70)
+	v.Flip(69)
+	if !v.Get(69) {
+		t.Error("Flip did not set")
+	}
+	v.Flip(69)
+	if v.Get(69) {
+		t.Error("Flip did not clear")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range Set")
+		}
+	}()
+	New(4).Set(4)
+}
+
+func TestNegativeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative length")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromBools(t *testing.T) {
+	v := FromBools([]bool{true, false, true, true})
+	if v.String() != "1011" {
+		t.Errorf("FromBools = %q, want 1011", v.String())
+	}
+	if v.PopCount() != 3 {
+		t.Errorf("PopCount = %d, want 3", v.PopCount())
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	// Example from the paper: G1={0,0,0,0,1}, G2={0,0,0,1,1} differ by one.
+	g1, err := Parse("00001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Parse("00011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g1.HammingDistance(g2); d != 1 {
+		t.Errorf("distance = %d, want 1", d)
+	}
+	if d := g1.HammingDistance(g1); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+}
+
+func TestHammingDistanceAtMost(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	for i := 0; i < 10; i++ {
+		a.Set(i * 20)
+	}
+	if d, ok := a.HammingDistanceAtMost(b, 10); !ok || d != 10 {
+		t.Errorf("AtMost(10) = (%d, %v), want (10, true)", d, ok)
+	}
+	if _, ok := a.HammingDistanceAtMost(b, 9); ok {
+		t.Error("AtMost(9) should report false")
+	}
+	if d, ok := a.HammingDistanceAtMost(a, 0); !ok || d != 0 {
+		t.Errorf("self AtMost(0) = (%d, %v), want (0, true)", d, ok)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, _ := Parse("10110")
+	b, _ := Parse("00111")
+	got := a.Diff(b)
+	want := []int{0, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Diff = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Diff = %v, want %v", got, want)
+		}
+	}
+	if d := a.Diff(a); len(d) != 0 {
+		t.Errorf("self Diff = %v, want empty", d)
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	a, _ := Parse("1100")
+	b, _ := Parse("1010")
+	or := a.Clone()
+	or.Or(b)
+	if or.String() != "1110" {
+		t.Errorf("Or = %q, want 1110", or.String())
+	}
+	and := a.Clone()
+	and.And(b)
+	if and.String() != "1000" {
+		t.Errorf("And = %q, want 1000", and.String())
+	}
+	xor := a.Clone()
+	xor.Xor(b)
+	if xor.String() != "0110" {
+		t.Errorf("Xor = %q, want 0110", xor.String())
+	}
+}
+
+func TestOnes(t *testing.T) {
+	v := New(100)
+	v.Set(0)
+	v.Set(64)
+	v.Set(99)
+	got := v.Ones()
+	want := []int{0, 64, 99}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("Ones = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(10)
+	a.Set(5)
+	b := a.Clone()
+	b.Set(6)
+	if a.Get(6) {
+		t.Error("mutation of clone leaked into original")
+	}
+	if !b.Get(5) {
+		t.Error("clone lost original bits")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(10)
+	a.Set(1)
+	b := New(10)
+	b.CopyFrom(a)
+	if !b.Get(1) {
+		t.Error("CopyFrom did not copy bits")
+	}
+	a.Set(2)
+	if b.Get(2) {
+		t.Error("CopyFrom did not deep copy")
+	}
+}
+
+func TestEqualAndKey(t *testing.T) {
+	a := New(70)
+	b := New(70)
+	a.Set(69)
+	if a.Equal(b) {
+		t.Error("different vectors compare equal")
+	}
+	if a.Key() == b.Key() {
+		t.Error("different vectors share a key")
+	}
+	b.Set(69)
+	if !a.Equal(b) {
+		t.Error("equal vectors compare unequal")
+	}
+	if a.Key() != b.Key() {
+		t.Error("equal vectors have different keys")
+	}
+	c := New(71) // same words, different length
+	c.Set(69)
+	if a.Key() == c.Key() {
+		t.Error("vectors of different lengths share a key")
+	}
+	if a.Equal(c) {
+		t.Error("vectors of different lengths compare equal")
+	}
+}
+
+func TestReset(t *testing.T) {
+	v := New(70)
+	v.Set(3)
+	v.Set(68)
+	v.Reset()
+	if v.PopCount() != 0 {
+		t.Errorf("PopCount after Reset = %d, want 0", v.PopCount())
+	}
+	if v.Len() != 70 {
+		t.Errorf("Len after Reset = %d, want 70", v.Len())
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "1", "0", "10101", "0000000000000000000000000000000000000000000000000000000000000000111"} {
+		v, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if v.String() != s {
+			t.Errorf("round trip of %q gave %q", s, v.String())
+		}
+	}
+	if _, err := Parse("01x"); err == nil {
+		t.Error("Parse should reject invalid characters")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 300} {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				v.Set(i)
+			}
+		}
+		data, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal n=%d: %v", n, err)
+		}
+		var u Vec
+		if err := u.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal n=%d: %v", n, err)
+		}
+		if !v.Equal(&u) {
+			t.Errorf("round trip lost bits at n=%d", n)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var v Vec
+	if err := v.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Error("truncated header should error")
+	}
+	if err := v.UnmarshalBinary([]byte{70, 0, 0, 0, 1, 2}); err == nil {
+		t.Error("bad payload length should error")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	New(3).HammingDistance(New(4))
+}
+
+// Property: Hamming distance is a metric (symmetry + triangle inequality) and
+// equals PopCount of the XOR.
+func TestHammingDistanceProperties(t *testing.T) {
+	f := func(aBits, bBits, cBits [9]bool) bool {
+		a := FromBools(aBits[:])
+		b := FromBools(bBits[:])
+		c := FromBools(cBits[:])
+		dab := a.HammingDistance(b)
+		if dab != b.HammingDistance(a) {
+			return false
+		}
+		x := a.Clone()
+		x.Xor(b)
+		if dab != x.PopCount() {
+			return false
+		}
+		return dab <= a.HammingDistance(c)+c.HammingDistance(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Diff length equals Hamming distance, and flipping the listed
+// bits transforms one vector into the other.
+func TestDiffProperty(t *testing.T) {
+	f := func(aBits, bBits [12]bool) bool {
+		a := FromBools(aBits[:])
+		b := FromBools(bBits[:])
+		d := a.Diff(b)
+		if len(d) != a.HammingDistance(b) {
+			return false
+		}
+		c := a.Clone()
+		for _, i := range d {
+			c.Flip(i)
+		}
+		return c.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: marshal/unmarshal round trip preserves equality and key.
+func TestMarshalProperty(t *testing.T) {
+	f := func(bs []bool) bool {
+		v := FromBools(bs)
+		data, err := v.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var u Vec
+		if err := u.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return v.Equal(&u) && v.Key() == u.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHammingDistance128(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	x := New(128)
+	y := New(128)
+	for i := 0; i < 128; i++ {
+		if rng.Intn(2) == 1 {
+			x.Set(i)
+		}
+		if rng.Intn(2) == 1 {
+			y.Set(i)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.HammingDistance(y)
+	}
+}
+
+func BenchmarkKey128(b *testing.B) {
+	x := New(128)
+	x.Set(3)
+	x.Set(77)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Key()
+	}
+}

@@ -1,0 +1,326 @@
+package coap
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:      Confirmable,
+		Code:      CodePOST,
+		MessageID: 0xBEEF,
+		Token:     []byte{1, 2, 3, 4},
+		Payload:   []byte(`{"v":21.5}`),
+	}
+	m.SetPath("sensors/temp-kitchen")
+	m.AddOption(OptionContentFormat, []byte{50}) // application/json
+
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != Confirmable || got.Code != CodePOST || got.MessageID != 0xBEEF {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Token, m.Token) {
+		t.Errorf("token mismatch: %v", got.Token)
+	}
+	if got.Path() != "sensors/temp-kitchen" {
+		t.Errorf("path = %q", got.Path())
+	}
+	if !bytes.Equal(got.Payload, m.Payload) {
+		t.Errorf("payload mismatch: %q", got.Payload)
+	}
+}
+
+func TestMarshalNoPayloadNoOptions(t *testing.T) {
+	m := &Message{Type: Acknowledgement, Code: CodeEmpty, MessageID: 7}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 4 {
+		t.Errorf("empty ACK should be 4 bytes, got %d", len(data))
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MessageID != 7 || len(got.Options) != 0 || len(got.Payload) != 0 {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestLargeOptionNumbersAndValues(t *testing.T) {
+	m := &Message{Type: NonConfirmable, Code: CodeGET, MessageID: 1}
+	big := bytes.Repeat([]byte{'x'}, 300) // needs 2-byte length extension
+	m.AddOption(2000, big)                // needs 2-byte delta extension
+	m.AddOption(OptionURIPath, []byte("a"))
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Options) != 2 {
+		t.Fatalf("options = %d, want 2", len(got.Options))
+	}
+	// Options come back sorted by number.
+	if got.Options[0].Number != OptionURIPath || got.Options[1].Number != 2000 {
+		t.Errorf("option numbers: %d, %d", got.Options[0].Number, got.Options[1].Number)
+	}
+	if !bytes.Equal(got.Options[1].Value, big) {
+		t.Error("large option value corrupted")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"short", []byte{0x40}},
+		{"bad version", []byte{0x00, 0x01, 0x00, 0x01}},
+		{"bad token length", []byte{0x49, 0x01, 0x00, 0x01}},
+		{"truncated token", []byte{0x44, 0x01, 0x00, 0x01, 0xAA}},
+		{"empty payload after marker", []byte{0x40, 0x01, 0x00, 0x01, 0xFF}},
+		{"reserved nibble", []byte{0x40, 0x01, 0x00, 0x01, 0xF0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Unmarshal(tt.data); err == nil {
+				t.Errorf("Unmarshal(%x) succeeded", tt.data)
+			}
+		})
+	}
+}
+
+func TestMarshalRejectsLongToken(t *testing.T) {
+	m := &Message{Token: bytes.Repeat([]byte{1}, 9)}
+	if _, err := m.Marshal(); err == nil {
+		t.Error("9-byte token accepted")
+	}
+}
+
+func TestSetPathEdgeCases(t *testing.T) {
+	var m Message
+	m.SetPath("a/b/c")
+	if m.Path() != "a/b/c" {
+		t.Errorf("Path = %q", m.Path())
+	}
+	var m2 Message
+	m2.SetPath("/leading//double/")
+	if m2.Path() != "leading/double" {
+		t.Errorf("Path = %q", m2.Path())
+	}
+}
+
+func TestCodeStrings(t *testing.T) {
+	if CodeGET.String() != "0.01" {
+		t.Errorf("GET = %q", CodeGET.String())
+	}
+	if CodeContent.String() != "2.05" {
+		t.Errorf("Content = %q", CodeContent.String())
+	}
+	if CodeNotFound.String() != "4.04" {
+		t.Errorf("NotFound = %q", CodeNotFound.String())
+	}
+	if Confirmable.String() != "CON" || Reset.String() != "RST" {
+		t.Error("type strings")
+	}
+}
+
+// Property: round trip preserves arbitrary token/payload.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(tok []byte, payload []byte, id uint16) bool {
+		if len(tok) > 8 {
+			tok = tok[:8]
+		}
+		m := &Message{Type: Confirmable, Code: CodePUT, MessageID: id, Token: tok, Payload: payload}
+		data, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		if got.MessageID != id || !bytes.Equal(got.Token, tok) {
+			return false
+		}
+		if len(payload) == 0 {
+			return len(got.Payload) == 0
+		}
+		return bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientServerExchange(t *testing.T) {
+	srv, err := ListenAndServe("127.0.0.1:0", func(req *Message) *Message {
+		if req.Path() != "report" {
+			return &Message{Code: CodeNotFound}
+		}
+		return &Message{Code: CodeChanged, Payload: append([]byte("ok:"), req.Payload...)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.AckTimeout = 200 * time.Millisecond
+
+	req := &Message{Code: CodePOST, Payload: []byte("hello")}
+	req.SetPath("report")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := cli.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeChanged {
+		t.Errorf("code = %v", resp.Code)
+	}
+	if string(resp.Payload) != "ok:hello" {
+		t.Errorf("payload = %q", resp.Payload)
+	}
+	if resp.Type != Acknowledgement {
+		t.Errorf("type = %v, want piggybacked ACK", resp.Type)
+	}
+
+	// Unknown path -> 4.04.
+	req2 := &Message{Code: CodeGET}
+	req2.SetPath("missing")
+	resp2, err := cli.Do(ctx, req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Code != CodeNotFound {
+		t.Errorf("code = %v, want 4.04", resp2.Code)
+	}
+}
+
+func TestClientTimesOutWithoutServer(t *testing.T) {
+	cli, err := Dial("127.0.0.1:1") // nothing listens here
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.AckTimeout = 20 * time.Millisecond
+	cli.MaxRetransmit = 1
+
+	req := &Message{Code: CodePOST}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := cli.Do(ctx, req); err == nil {
+		t.Error("expected timeout error")
+	}
+}
+
+func TestClientHonorsContextCancellation(t *testing.T) {
+	cli, err := Dial("127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.AckTimeout = 10 * time.Second // would block forever without ctx
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cli.Do(ctx, &Message{Code: CodeGET})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("context deadline not honored")
+	}
+}
+
+func TestServerSurvivesMalformedDatagram(t *testing.T) {
+	srv, err := ListenAndServe("127.0.0.1:0", func(req *Message) *Message {
+		return &Message{Code: CodeContent}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.AckTimeout = 200 * time.Millisecond
+
+	// Throw garbage at the server first.
+	garbage, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer garbage.Close()
+	if _, err := garbageConnWrite(garbage, []byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := cli.Do(ctx, &Message{Code: CodeGET})
+	if err != nil {
+		t.Fatalf("server died after malformed datagram: %v", err)
+	}
+	if resp.Code != CodeContent {
+		t.Errorf("code = %v", resp.Code)
+	}
+}
+
+func garbageConnWrite(c *Client, data []byte) (int, error) {
+	return c.conn.Write(data)
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	m := &Message{Type: Confirmable, Code: CodePOST, MessageID: 1, Token: []byte{1, 2}}
+	m.SetPath("sensors/temp")
+	m.Payload = []byte(`{"at":123456,"v":21.5}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	m := &Message{Type: Confirmable, Code: CodePOST, MessageID: 1, Token: []byte{1, 2}}
+	m.SetPath("sensors/temp")
+	m.Payload = []byte(`{"at":123456,"v":21.5}`)
+	data, err := m.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

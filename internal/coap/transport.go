@@ -1,0 +1,206 @@
+package coap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler processes an incoming request and returns the response message
+// (its Type/MessageID/Token are filled in by the server).
+type Handler func(req *Message) *Message
+
+// Server is a minimal CoAP-over-UDP server: it answers confirmable and
+// non-confirmable requests through a single handler.
+type Server struct {
+	conn    *net.UDPConn
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenAndServe starts a server on addr (e.g. "127.0.0.1:5683"); pass
+// port 0 to pick a free port. The returned server is already serving.
+func ListenAndServe(addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("coap: nil handler")
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coap: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("coap: listen: %w", err)
+	}
+	s := &Server{conn: conn, handler: handler}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() *net.UDPAddr {
+	return s.conn.LocalAddr().(*net.UDPAddr)
+}
+
+// Close stops the server and waits for the read loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		req, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // drop malformed datagrams
+		}
+		if req.Type != Confirmable && req.Type != NonConfirmable {
+			continue // we never originate requests, so ACK/RST are stray
+		}
+		resp := s.handler(req)
+		if resp == nil {
+			resp = &Message{Code: CodeNotFound}
+		}
+		if req.Type == Confirmable {
+			// Piggybacked response (RFC 7252 §5.2.1).
+			resp.Type = Acknowledgement
+			resp.MessageID = req.MessageID
+		} else {
+			resp.Type = NonConfirmable
+			resp.MessageID = req.MessageID
+		}
+		resp.Token = req.Token
+		data, err := resp.Marshal()
+		if err != nil {
+			continue
+		}
+		if _, err := s.conn.WriteToUDP(data, peer); err != nil {
+			return
+		}
+	}
+}
+
+// Client sends CoAP requests to one server.
+type Client struct {
+	conn *net.UDPConn
+	rng  *rand.Rand
+	mu   sync.Mutex
+
+	// AckTimeout is the initial retransmission timeout (RFC 7252 §4.8:
+	// ACK_TIMEOUT, default 2s; the tests shrink it).
+	AckTimeout time.Duration
+	// MaxRetransmit bounds retransmissions (default 4).
+	MaxRetransmit int
+}
+
+// Dial connects a client to a server address.
+func Dial(addr string) (*Client, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coap: resolve %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("coap: dial: %w", err)
+	}
+	return &Client{
+		conn:          conn,
+		rng:           rand.New(rand.NewSource(time.Now().UnixNano())),
+		AckTimeout:    2 * time.Second,
+		MaxRetransmit: 4,
+	}, nil
+}
+
+// Close releases the client socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends a confirmable request and waits for the matching response,
+// retransmitting with exponential backoff per RFC 7252 §4.2. The context
+// bounds the whole exchange.
+func (c *Client) Do(ctx context.Context, req *Message) (*Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	req.Type = Confirmable
+	req.MessageID = uint16(c.rng.Intn(1 << 16))
+	if len(req.Token) == 0 {
+		tok := make([]byte, 4)
+		c.rng.Read(tok)
+		req.Token = tok
+	}
+	data, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+
+	timeout := c.AckTimeout
+	buf := make([]byte, 64*1024)
+	for attempt := 0; attempt <= c.MaxRetransmit; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := c.conn.Write(data); err != nil {
+			return nil, fmt.Errorf("coap: send: %w", err)
+		}
+		deadline := time.Now().Add(timeout)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return nil, err
+		}
+		for {
+			n, err := c.conn.Read(buf)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					break // retransmit
+				}
+				return nil, fmt.Errorf("coap: recv: %w", err)
+			}
+			resp, err := Unmarshal(buf[:n])
+			if err != nil {
+				continue // drop malformed
+			}
+			if !tokensEqual(resp.Token, req.Token) {
+				continue // stale response from an earlier exchange
+			}
+			return resp, nil
+		}
+		timeout *= 2
+	}
+	return nil, fmt.Errorf("coap: no response after %d attempts", c.MaxRetransmit+1)
+}
+
+func tokensEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

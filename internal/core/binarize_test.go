@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// coreLayout builds a registry with 2 binary sensors, 2 numeric sensors, and
+// 1 actuator. State set layout: bits 0-1 binary, 2-4 numeric slot 0,
+// 5-7 numeric slot 1.
+func coreLayout(t testing.TB) *window.Layout {
+	t.Helper()
+	reg := device.NewRegistry()
+	reg.MustAdd("motion-a", device.Binary, device.Motion, "kitchen")   // ID 0
+	reg.MustAdd("motion-b", device.Binary, device.Motion, "bedroom")   // ID 1
+	reg.MustAdd("temp", device.Numeric, device.Temperature, "kitchen") // ID 2
+	reg.MustAdd("light", device.Numeric, device.Light, "bedroom")      // ID 3
+	reg.MustAdd("bulb", device.Actuator, device.SmartBulb, "bedroom")  // ID 4
+	return window.NewLayout(reg)
+}
+
+func mustBinarizer(t testing.TB, l *window.Layout, thre []float64) *Binarizer {
+	t.Helper()
+	b, err := NewBinarizer(l, thre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBinarizerNumBits(t *testing.T) {
+	l := coreLayout(t)
+	b := mustBinarizer(t, l, []float64{20, 100})
+	if got := b.NumBits(); got != 2+3*2 {
+		t.Errorf("NumBits = %d, want 8", got)
+	}
+}
+
+func TestNewBinarizerValidation(t *testing.T) {
+	l := coreLayout(t)
+	if _, err := NewBinarizer(nil, nil); err == nil {
+		t.Error("nil layout accepted")
+	}
+	if _, err := NewBinarizer(l, []float64{1}); err == nil {
+		t.Error("wrong threshold count accepted")
+	}
+}
+
+func TestStateSetBinaryBits(t *testing.T) {
+	l := coreLayout(t)
+	b := mustBinarizer(t, l, []float64{20, 100})
+	o := l.NewObservation(0)
+	o.Binary[1] = true
+	v, err := b.StateSet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Get(0) || !v.Get(1) {
+		t.Errorf("binary bits = %s", v)
+	}
+}
+
+func TestStateSetNumericBits(t *testing.T) {
+	l := coreLayout(t)
+	b := mustBinarizer(t, l, []float64{20, 100})
+	o := l.NewObservation(0)
+	// Numeric slot 0 (temp, thre 20): right-skewed, rising, mean above 20.
+	o.Numeric[0] = []float64{21, 21, 21, 21, 30}
+	// Numeric slot 1 (light, thre 100): left-skewed, falling, mean below.
+	o.Numeric[1] = []float64{50, 50, 50, 50, 10}
+	v, err := b.StateSet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Get(2) { // skew > 0
+		t.Error("skew bit for slot 0 should be set")
+	}
+	if !v.Get(3) { // trend up
+		t.Error("trend bit for slot 0 should be set")
+	}
+	if !v.Get(4) { // mean > 20
+		t.Error("mean bit for slot 0 should be set")
+	}
+	if v.Get(5) || v.Get(6) || v.Get(7) {
+		t.Errorf("slot 1 bits should be clear: %s", v)
+	}
+}
+
+func TestStateSetEmptyNumericWindowIsAllZero(t *testing.T) {
+	l := coreLayout(t)
+	b := mustBinarizer(t, l, []float64{-1000, -1000}) // thresholds any data would exceed
+	o := l.NewObservation(0)
+	v, err := b.StateSet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.PopCount() != 0 {
+		t.Errorf("empty window state set = %s, want all zeros", v)
+	}
+}
+
+func TestStateSetSingleSampleWindow(t *testing.T) {
+	l := coreLayout(t)
+	b := mustBinarizer(t, l, []float64{20, 100})
+	o := l.NewObservation(0)
+	o.Numeric[0] = []float64{25} // one sample: no skew, no trend, mean above
+	v, err := b.StateSet(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Get(2) || v.Get(3) {
+		t.Error("single sample should not set skew/trend bits")
+	}
+	if !v.Get(4) {
+		t.Error("single sample above threshold should set mean bit")
+	}
+}
+
+func TestStateSetShapeMismatch(t *testing.T) {
+	l := coreLayout(t)
+	b := mustBinarizer(t, l, []float64{20, 100})
+	bad := &window.Observation{Binary: make([]bool, 5), Numeric: make([][]float64, 2)}
+	if _, err := b.StateSet(bad); err == nil {
+		t.Error("mismatched observation accepted")
+	}
+}
+
+func TestDeviceForBit(t *testing.T) {
+	l := coreLayout(t)
+	b := mustBinarizer(t, l, []float64{20, 100})
+	tests := []struct {
+		bit  int
+		want device.ID
+	}{
+		{0, 0}, {1, 1}, // binary sensors
+		{2, 2}, {3, 2}, {4, 2}, // numeric slot 0 -> temp (ID 2)
+		{5, 3}, {6, 3}, {7, 3}, // numeric slot 1 -> light (ID 3)
+	}
+	for _, tt := range tests {
+		got, err := b.DeviceForBit(tt.bit)
+		if err != nil {
+			t.Fatalf("bit %d: %v", tt.bit, err)
+		}
+		if got != tt.want {
+			t.Errorf("DeviceForBit(%d) = %d, want %d", tt.bit, got, tt.want)
+		}
+	}
+	if _, err := b.DeviceForBit(8); err == nil {
+		t.Error("out-of-range bit accepted")
+	}
+	if _, err := b.DeviceForBit(-1); err == nil {
+		t.Error("negative bit accepted")
+	}
+}
+
+func TestDevicesForBitsDedupsAndSorts(t *testing.T) {
+	l := coreLayout(t)
+	b := mustBinarizer(t, l, []float64{20, 100})
+	// Bits 5,6,7 all map to device 3; bit 0 maps to device 0.
+	got, err := b.DevicesForBits([]int{6, 5, 0, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("DevicesForBits = %v, want [0 3]", got)
+	}
+}
+
+func TestValueThreIsCopy(t *testing.T) {
+	l := coreLayout(t)
+	orig := []float64{20, 100}
+	b := mustBinarizer(t, l, orig)
+	orig[0] = 999
+	if b.ValueThre()[0] == 999 {
+		t.Error("binarizer aliased caller's threshold slice")
+	}
+	got := b.ValueThre()
+	got[1] = -1
+	if b.ValueThre()[1] == -1 {
+		t.Error("ValueThre returned internal slice")
+	}
+}

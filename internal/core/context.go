@@ -1,0 +1,330 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/device"
+	"repro/internal/markov"
+	"repro/internal/window"
+)
+
+// NoGroup marks "no group" wherever a group ID is expected (an unmatched
+// state set, or an unknown previous group).
+const NoGroup = -1
+
+// Context is the output of the precomputation phase: the group catalogue
+// (unique sensor state sets) and the three transition matrices.
+type Context struct {
+	layout    *window.Layout
+	duration  time.Duration
+	valueThre []float64
+
+	groups   []*bitvec.Vec
+	groupIDs map[string]int
+
+	g2g *markov.Chain // group -> group
+	g2a *markov.Chain // group -> actuator slot
+	a2g *markov.Chain // actuator slot -> group
+
+	// Actuator effect statistics: for each actuator slot, how often each
+	// sensor's bits rose in the same window as the actuator's activation.
+	// Identification uses them to attribute a missing-effect anomaly to a
+	// silent actuator instead of the sensor that reported it (§5.1.3:
+	// actuator faults must be identified as the actuator).
+	effectCounts map[int]map[device.ID]int64
+	actCounts    map[int]int64
+}
+
+// NewContext returns an empty context for the layout.
+func NewContext(layout *window.Layout, duration time.Duration, valueThre []float64) (*Context, error) {
+	if layout == nil {
+		return nil, fmt.Errorf("core: nil layout")
+	}
+	if len(valueThre) != layout.NumNumeric() {
+		return nil, fmt.Errorf("core: %d thresholds for %d numeric sensors",
+			len(valueThre), layout.NumNumeric())
+	}
+	if duration <= 0 {
+		duration = DefaultDuration
+	}
+	return &Context{
+		layout:       layout,
+		duration:     duration,
+		valueThre:    append([]float64(nil), valueThre...),
+		groupIDs:     make(map[string]int),
+		g2g:          markov.NewChain(),
+		g2a:          markov.NewChain(),
+		a2g:          markov.NewChain(),
+		effectCounts: make(map[int]map[device.ID]int64),
+		actCounts:    make(map[int]int64),
+	}, nil
+}
+
+// Layout returns the device layout.
+func (c *Context) Layout() *window.Layout { return c.layout }
+
+// Duration returns the window duration the context was trained at.
+func (c *Context) Duration() time.Duration { return c.duration }
+
+// ValueThre returns a copy of the numeric binarization thresholds.
+func (c *Context) ValueThre() []float64 { return append([]float64(nil), c.valueThre...) }
+
+// NumGroups returns the number of distinct groups.
+func (c *Context) NumGroups() int { return len(c.groups) }
+
+// Group returns the state set of group id. The caller must not mutate it.
+func (c *Context) Group(id int) (*bitvec.Vec, error) {
+	if id < 0 || id >= len(c.groups) {
+		return nil, fmt.Errorf("core: unknown group %d", id)
+	}
+	return c.groups[id], nil
+}
+
+// GroupID returns the ID of the group exactly matching v, or (NoGroup,
+// false).
+func (c *Context) GroupID(v *bitvec.Vec) (int, bool) {
+	id, ok := c.groupIDs[v.Key()]
+	if !ok {
+		return NoGroup, false
+	}
+	return id, true
+}
+
+// AddGroup interns v as a group, returning its (possibly pre-existing) ID.
+// The context keeps its own copy.
+func (c *Context) AddGroup(v *bitvec.Vec) int {
+	if id, ok := c.groupIDs[v.Key()]; ok {
+		return id
+	}
+	id := len(c.groups)
+	c.groups = append(c.groups, v.Clone())
+	c.groupIDs[v.Key()] = id
+	return id
+}
+
+// G2G returns the group-to-group transition chain.
+func (c *Context) G2G() *markov.Chain { return c.g2g }
+
+// G2A returns the group-to-actuator transition chain (actuators are
+// identified by their layout slot).
+func (c *Context) G2A() *markov.Chain { return c.g2a }
+
+// A2G returns the actuator-to-group transition chain.
+func (c *Context) A2G() *markov.Chain { return c.a2g }
+
+// ObserveEffect records that `devices` had state-set bits rise in the same
+// window actuator slot `slot` activated. The trainer calls it per
+// activation.
+func (c *Context) ObserveEffect(slot int, devices []device.ID) {
+	c.actCounts[slot]++
+	row := c.effectCounts[slot]
+	if row == nil {
+		row = make(map[device.ID]int64)
+		c.effectCounts[slot] = row
+	}
+	for _, id := range devices {
+		row[id]++
+	}
+}
+
+// ActivationCount returns how many activations of the slot were observed
+// during precomputation.
+func (c *Context) ActivationCount(slot int) int64 { return c.actCounts[slot] }
+
+// EffectDevices returns the sensors that co-rose with at least the given
+// fraction of the slot's activations, ascending by ID.
+func (c *Context) EffectDevices(slot int, minFraction float64) []device.ID {
+	total := c.actCounts[slot]
+	if total == 0 {
+		return nil
+	}
+	var out []device.ID
+	for id, n := range c.effectCounts[slot] {
+		if float64(n) >= minFraction*float64(total) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Candidates holds the result of scanning the group catalogue for a live
+// state set (Figure 3.5).
+type Candidates struct {
+	// Main is the exactly matching group, or NoGroup.
+	Main int
+	// Probable lists groups within the candidate distance, excluding Main,
+	// ascending by (distance, id).
+	Probable []int
+	// MinDistance is the smallest nonzero distance encountered across the
+	// whole catalogue (used for the nearest-group fallback).
+	MinDistance int
+}
+
+// Scan compares v against every group. maxDist is the candidate distance.
+// When no group falls within maxDist, Probable falls back to the nearest
+// groups overall (a documented extension; identification needs something to
+// diff against).
+func (c *Context) Scan(v *bitvec.Vec, maxDist int) Candidates {
+	res := Candidates{Main: NoGroup, MinDistance: int(^uint(0) >> 1)}
+	type cand struct{ id, dist int }
+	var within []cand
+	var nearest []int
+	for id, g := range c.groups {
+		d := v.HammingDistance(g)
+		if d == 0 {
+			res.Main = id
+			continue
+		}
+		if d < res.MinDistance {
+			res.MinDistance = d
+			nearest = nearest[:0]
+			nearest = append(nearest, id)
+		} else if d == res.MinDistance {
+			nearest = append(nearest, id)
+		}
+		if d <= maxDist {
+			within = append(within, cand{id, d})
+		}
+	}
+	if len(within) > 0 {
+		// Stable by (distance, id): the scan above visits ids in order, so
+		// an insertion sort by distance preserves id order within a bucket.
+		for i := 1; i < len(within); i++ {
+			for j := i; j > 0 && within[j].dist < within[j-1].dist; j-- {
+				within[j], within[j-1] = within[j-1], within[j]
+			}
+		}
+		res.Probable = make([]int, len(within))
+		for i, w := range within {
+			res.Probable[i] = w.id
+		}
+	} else {
+		res.Probable = append([]int(nil), nearest...)
+	}
+	return res
+}
+
+// CorrelationDegree is the dataset health metric of Table 5.2: the average
+// number of *active sensors* per group, where a numeric sensor counts as
+// active when any of its three bits is set.
+func (c *Context) CorrelationDegree() float64 {
+	if len(c.groups) == 0 {
+		return 0
+	}
+	nb := c.layout.NumBinary()
+	total := 0
+	for _, g := range c.groups {
+		for i := 0; i < nb; i++ {
+			if g.Get(i) {
+				total++
+			}
+		}
+		for j := 0; j < c.layout.NumNumeric(); j++ {
+			base := nb + BitsPerNumeric*j
+			if g.Get(base) || g.Get(base+1) || g.Get(base+2) {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(len(c.groups))
+}
+
+// contextJSON is the persisted form of a context. Groups are bit strings;
+// device names pin the layout so a context cannot be loaded against a
+// different deployment.
+type contextJSON struct {
+	DurationMS int64                       `json:"duration_ms"`
+	Devices    []string                    `json:"devices"`
+	ValueThre  []float64                   `json:"value_thre"`
+	Groups     []string                    `json:"groups"`
+	G2G        *markov.Chain               `json:"g2g"`
+	G2A        *markov.Chain               `json:"g2a"`
+	A2G        *markov.Chain               `json:"a2g"`
+	Effects    map[int]map[device.ID]int64 `json:"effects,omitempty"`
+	ActCounts  map[int]int64               `json:"act_counts,omitempty"`
+}
+
+// Save writes the context as JSON.
+func (c *Context) Save(w io.Writer) error {
+	devs := c.layout.Registry().All()
+	names := make([]string, len(devs))
+	for i, d := range devs {
+		names[i] = d.Name
+	}
+	groups := make([]string, len(c.groups))
+	for i, g := range c.groups {
+		groups[i] = g.String()
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(contextJSON{
+		DurationMS: c.duration.Milliseconds(),
+		Devices:    names,
+		ValueThre:  c.valueThre,
+		Groups:     groups,
+		G2G:        c.g2g,
+		G2A:        c.g2a,
+		A2G:        c.a2g,
+		Effects:    c.effectCounts,
+		ActCounts:  c.actCounts,
+	}); err != nil {
+		return fmt.Errorf("core: save context: %w", err)
+	}
+	return nil
+}
+
+// LoadContext reads a context saved by Save and binds it to the layout,
+// verifying that the device names match position for position.
+func LoadContext(r io.Reader, layout *window.Layout) (*Context, error) {
+	var cj contextJSON
+	if err := json.NewDecoder(r).Decode(&cj); err != nil {
+		return nil, fmt.Errorf("core: load context: %w", err)
+	}
+	devs := layout.Registry().All()
+	if len(cj.Devices) != len(devs) {
+		return nil, fmt.Errorf("core: context has %d devices, layout has %d", len(cj.Devices), len(devs))
+	}
+	for i, name := range cj.Devices {
+		if devs[i].Name != name {
+			return nil, fmt.Errorf("core: device %d is %q in context but %q in layout", i, name, devs[i].Name)
+		}
+	}
+	ctx, err := NewContext(layout, time.Duration(cj.DurationMS)*time.Millisecond, cj.ValueThre)
+	if err != nil {
+		return nil, err
+	}
+	wantBits := layout.NumBinary() + BitsPerNumeric*layout.NumNumeric()
+	for i, gs := range cj.Groups {
+		v, err := bitvec.Parse(gs)
+		if err != nil {
+			return nil, fmt.Errorf("core: group %d: %w", i, err)
+		}
+		if v.Len() != wantBits {
+			return nil, fmt.Errorf("core: group %d has %d bits, layout wants %d", i, v.Len(), wantBits)
+		}
+		if got := ctx.AddGroup(v); got != i {
+			return nil, fmt.Errorf("core: duplicate group %d in saved context", i)
+		}
+	}
+	if cj.G2G != nil {
+		ctx.g2g = cj.G2G
+	}
+	if cj.G2A != nil {
+		ctx.g2a = cj.G2A
+	}
+	if cj.A2G != nil {
+		ctx.a2g = cj.A2G
+	}
+	if cj.Effects != nil {
+		ctx.effectCounts = cj.Effects
+	}
+	if cj.ActCounts != nil {
+		ctx.actCounts = cj.ActCounts
+	}
+	return ctx, nil
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+)
+
+func mustContext(t testing.TB) *Context {
+	t.Helper()
+	l := coreLayout(t)
+	ctx, err := NewContext(l, time.Minute, []float64{20, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func vec(t testing.TB, s string) *bitvec.Vec {
+	t.Helper()
+	v, err := bitvec.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewContextValidation(t *testing.T) {
+	l := coreLayout(t)
+	if _, err := NewContext(nil, time.Minute, nil); err == nil {
+		t.Error("nil layout accepted")
+	}
+	if _, err := NewContext(l, time.Minute, []float64{1}); err == nil {
+		t.Error("wrong threshold count accepted")
+	}
+	ctx, err := NewContext(l, 0, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Duration() != DefaultDuration {
+		t.Errorf("zero duration should default, got %v", ctx.Duration())
+	}
+}
+
+func TestAddGroupInterns(t *testing.T) {
+	ctx := mustContext(t)
+	a := vec(t, "10000000")
+	b := vec(t, "01000000")
+	id0 := ctx.AddGroup(a)
+	id1 := ctx.AddGroup(b)
+	id0again := ctx.AddGroup(a.Clone())
+	if id0 != 0 || id1 != 1 || id0again != 0 {
+		t.Errorf("ids = %d, %d, %d", id0, id1, id0again)
+	}
+	if ctx.NumGroups() != 2 {
+		t.Errorf("NumGroups = %d, want 2", ctx.NumGroups())
+	}
+	if id, ok := ctx.GroupID(b); !ok || id != 1 {
+		t.Errorf("GroupID = (%d, %v)", id, ok)
+	}
+	if _, ok := ctx.GroupID(vec(t, "11111111")); ok {
+		t.Error("unknown group found")
+	}
+}
+
+func TestAddGroupCopies(t *testing.T) {
+	ctx := mustContext(t)
+	a := vec(t, "10000000")
+	ctx.AddGroup(a)
+	a.Set(7) // mutate the caller's vector
+	g, err := ctx.Group(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Get(7) {
+		t.Error("context aliased the caller's vector")
+	}
+}
+
+func TestGroupErrors(t *testing.T) {
+	ctx := mustContext(t)
+	if _, err := ctx.Group(0); err == nil {
+		t.Error("empty context returned a group")
+	}
+	ctx.AddGroup(vec(t, "10000000"))
+	if _, err := ctx.Group(-1); err == nil {
+		t.Error("negative id accepted")
+	}
+}
+
+func TestScanFindsMainAndProbable(t *testing.T) {
+	ctx := mustContext(t)
+	g0 := ctx.AddGroup(vec(t, "10000000"))
+	g1 := ctx.AddGroup(vec(t, "11000000")) // distance 1 from g0
+	g2 := ctx.AddGroup(vec(t, "11100000")) // distance 2 from g0
+	ctx.AddGroup(vec(t, "11111111"))       // far away
+
+	c := ctx.Scan(vec(t, "10000000"), 2)
+	if c.Main != g0 {
+		t.Errorf("Main = %d, want %d", c.Main, g0)
+	}
+	if len(c.Probable) != 2 || c.Probable[0] != g1 || c.Probable[1] != g2 {
+		t.Errorf("Probable = %v, want [%d %d]", c.Probable, g1, g2)
+	}
+}
+
+func TestScanNoMainGroup(t *testing.T) {
+	ctx := mustContext(t)
+	g0 := ctx.AddGroup(vec(t, "11000000"))
+	ctx.AddGroup(vec(t, "00111111"))
+	c := ctx.Scan(vec(t, "10000000"), 1)
+	if c.Main != NoGroup {
+		t.Errorf("Main = %d, want NoGroup", c.Main)
+	}
+	if len(c.Probable) != 1 || c.Probable[0] != g0 {
+		t.Errorf("Probable = %v, want [%d]", c.Probable, g0)
+	}
+	if c.MinDistance != 1 {
+		t.Errorf("MinDistance = %d, want 1", c.MinDistance)
+	}
+}
+
+func TestScanFallbackToNearest(t *testing.T) {
+	ctx := mustContext(t)
+	// Both groups far from the query; candidate distance 1 finds none, so
+	// Scan falls back to the nearest set.
+	gNear := ctx.AddGroup(vec(t, "11110000")) // distance 3 from query
+	ctx.AddGroup(vec(t, "11111111"))          // distance 7
+	c := ctx.Scan(vec(t, "10000000"), 1)
+	if c.Main != NoGroup {
+		t.Fatalf("Main = %d, want NoGroup", c.Main)
+	}
+	if len(c.Probable) != 1 || c.Probable[0] != gNear {
+		t.Errorf("fallback Probable = %v, want [%d]", c.Probable, gNear)
+	}
+	if c.MinDistance != 3 {
+		t.Errorf("MinDistance = %d, want 3", c.MinDistance)
+	}
+}
+
+func TestScanProbableOrderedByDistance(t *testing.T) {
+	ctx := mustContext(t)
+	gFar := ctx.AddGroup(vec(t, "01100000"))  // distance 3 from query
+	gNear := ctx.AddGroup(vec(t, "10100000")) // distance 1
+	c := ctx.Scan(vec(t, "10000000"), 3)
+	if len(c.Probable) != 2 || c.Probable[0] != gNear || c.Probable[1] != gFar {
+		t.Errorf("Probable = %v, want [%d %d]", c.Probable, gNear, gFar)
+	}
+}
+
+func TestCorrelationDegree(t *testing.T) {
+	ctx := mustContext(t)
+	if ctx.CorrelationDegree() != 0 {
+		t.Error("empty context degree should be 0")
+	}
+	// Group 1: binary 0 active + numeric slot 0 active (2 sensors).
+	// Layout bits: [b0 b1 | n0:skew n0:trend n0:mean | n1...]
+	ctx.AddGroup(vec(t, "10110000"))
+	// Group 2: all four sensors active; three numeric-1 bits still one sensor.
+	ctx.AddGroup(vec(t, "11001111"))
+	want := (2.0 + 4.0) / 2.0
+	if got := ctx.CorrelationDegree(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CorrelationDegree = %v, want %v", got, want)
+	}
+}
+
+func TestContextSaveLoadRoundTrip(t *testing.T) {
+	l := coreLayout(t)
+	ctx, err := NewContext(l, 2*time.Minute, []float64{21.5, 98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := ctx.AddGroup(vec(t, "10110000"))
+	g1 := ctx.AddGroup(vec(t, "01001100"))
+	ctx.G2G().Observe(g0, g1)
+	ctx.G2G().Observe(g1, g1)
+	ctx.G2A().Observe(g0, 0)
+	ctx.A2G().Observe(0, g1)
+
+	var buf bytes.Buffer
+	if err := ctx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadContext(&buf, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration() != 2*time.Minute {
+		t.Errorf("duration = %v", got.Duration())
+	}
+	if got.NumGroups() != 2 {
+		t.Fatalf("NumGroups = %d", got.NumGroups())
+	}
+	if id, ok := got.GroupID(vec(t, "01001100")); !ok || id != g1 {
+		t.Errorf("group lookup after load: (%d, %v)", id, ok)
+	}
+	if !got.G2G().Possible(g0, g1) || !got.G2G().Possible(g1, g1) {
+		t.Error("G2G lost transitions")
+	}
+	if !got.G2A().Possible(g0, 0) || !got.A2G().Possible(0, g1) {
+		t.Error("G2A/A2G lost transitions")
+	}
+	thre := got.ValueThre()
+	if thre[0] != 21.5 || thre[1] != 98 {
+		t.Errorf("thresholds = %v", thre)
+	}
+}
+
+func TestLoadContextRejectsWrongLayout(t *testing.T) {
+	l := coreLayout(t)
+	ctx, err := NewContext(l, time.Minute, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.AddGroup(vec(t, "10000000"))
+	var buf bytes.Buffer
+	if err := ctx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rename a device inside the saved JSON to simulate a layout mismatch.
+	text := buf.String()
+	mutated := strings.Replace(text, "motion-a", "motion-X", 1)
+	if _, err := LoadContext(strings.NewReader(mutated), l); err == nil {
+		t.Error("renamed device accepted")
+	}
+	if _, err := LoadContext(strings.NewReader("{bad json"), l); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Wrong group width.
+	badWidth := strings.Replace(text, `"10000000"`, `"100"`, 1)
+	if _, err := LoadContext(strings.NewReader(badWidth), l); err == nil {
+		t.Error("wrong group width accepted")
+	}
+}

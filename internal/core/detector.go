@@ -1,0 +1,570 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// CheckKind names which check flagged a window.
+type CheckKind int
+
+// Violation causes. CheckG2G/CheckG2A/CheckA2G are the three transition
+// cases of §3.3.2.
+const (
+	CheckNone CheckKind = iota
+	CheckCorrelation
+	CheckG2G
+	CheckG2A
+	CheckA2G
+)
+
+// String returns the check name.
+func (k CheckKind) String() string {
+	switch k {
+	case CheckNone:
+		return "none"
+	case CheckCorrelation:
+		return "correlation"
+	case CheckG2G:
+		return "g2g"
+	case CheckG2A:
+		return "g2a"
+	case CheckA2G:
+		return "a2g"
+	default:
+		return fmt.Sprintf("CheckKind(%d)", int(k))
+	}
+}
+
+// IsTransition reports whether the check is one of the transition cases.
+func (k CheckKind) IsTransition() bool {
+	return k == CheckG2G || k == CheckG2A || k == CheckA2G
+}
+
+// Timing carries per-stage wall-clock costs for one window (Figure 5.3).
+type Timing struct {
+	Binarize    time.Duration
+	Correlation time.Duration
+	Transition  time.Duration
+	Identify    time.Duration
+}
+
+// Total returns the summed stage cost.
+func (t Timing) Total() time.Duration {
+	return t.Binarize + t.Correlation + t.Transition + t.Identify
+}
+
+// Alert is the final output of an identification episode: the devices DICE
+// believes are faulty.
+type Alert struct {
+	// Devices are the probable faulty devices, ascending by ID.
+	Devices []device.ID
+	// Cause is the check that detected the episode.
+	Cause CheckKind
+	// DetectedWindow is the window index at which the violation was first
+	// detected; ReportedWindow is when identification concluded. Their
+	// difference (times the duration) is the identification latency on top
+	// of detection.
+	DetectedWindow int
+	ReportedWindow int
+	// EarlyWeight is true when a device weight (§VI) forced an early
+	// report.
+	EarlyWeight bool
+}
+
+// Result describes what the detector concluded about one window.
+type Result struct {
+	// WindowIndex echoes the observation index.
+	WindowIndex int
+	// MainGroup is the exactly matching group, or NoGroup.
+	MainGroup int
+	// Violation is the check that flagged this window (CheckNone if clean).
+	// During an identification episode only the episode-opening window
+	// carries the original cause; probe windows report their own findings.
+	Violation CheckKind
+	// Detected is true exactly on the window that opens an episode.
+	Detected bool
+	// Identifying is true while an episode is in progress (including the
+	// opening and reporting windows).
+	Identifying bool
+	// Probable is the current intersection of probable faulty devices,
+	// ascending; nil outside episodes.
+	Probable []device.ID
+	// Alert is non-nil on the window that concludes an episode.
+	Alert *Alert
+	// Timing carries the per-stage costs for this window.
+	Timing Timing
+}
+
+// episode tracks one in-progress identification.
+type episode struct {
+	cause          CheckKind
+	detectedWindow int
+	intersection   map[device.ID]bool
+	stalls         int
+	normalStreak   int
+	length         int
+	// missingEffect is true when the opening diff showed only bits that
+	// were expected to be set but were not — the signature of a missing
+	// actuator effect; surplusEffect is the inverse signature (only
+	// unexpected extra bits), raised by a spuriously acting actuator.
+	missingEffect bool
+	surplusEffect bool
+	// openingActs are the actuators that fired in the opening window.
+	openingActs map[device.ID]bool
+	// openingPrev is the previous-window group at the opening window.
+	openingPrev int
+	// firedActs collects every actuator that activated during the episode
+	// (including the opening window); a silent-but-expected actuator whose
+	// effect sensors make up the suspect set gets the blame.
+	firedActs map[device.ID]bool
+}
+
+// Detector runs the real-time phase against a trained context. It is not
+// safe for concurrent use; the gateway serializes windows into it.
+type Detector struct {
+	cfg Config
+	ctx *Context
+	bin *Binarizer
+
+	prevGroup int
+	prevActs  []device.ID
+	ep        *episode
+
+	// recentActs remembers which window each actuator last fired in, so an
+	// episode can tell a dead actuator (no recent firing) from a faulty
+	// effect sensor (the actuator fired recently; its effect reached the
+	// home but was misreported).
+	recentActs map[device.ID]int
+
+	// lastDiffMissingOnly / lastDiffSurplusOnly report the direction of the
+	// most recent diffSuspects call: only expected-but-absent bits, or only
+	// present-but-unexpected bits.
+	lastDiffMissingOnly bool
+	lastDiffSurplusOnly bool
+}
+
+// recentActWindows is how far back an actuator firing still counts as "the
+// actuator acted recently" when attributing missing effects.
+const recentActWindows = 15
+
+// NewDetector builds a detector over a trained context.
+func NewDetector(ctx *Context, cfg Config) (*Detector, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("core: nil context")
+	}
+	if ctx.NumGroups() == 0 {
+		return nil, fmt.Errorf("core: context has no groups")
+	}
+	bin, err := NewBinarizer(ctx.Layout(), ctx.ValueThre())
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cfg:        cfg.Normalize(),
+		ctx:        ctx,
+		bin:        bin,
+		prevGroup:  NoGroup,
+		recentActs: make(map[device.ID]int),
+	}, nil
+}
+
+// Context returns the trained context the detector runs against.
+func (d *Detector) Context() *Context { return d.ctx }
+
+// Reset clears all runtime state (previous group, actuators, any in-flight
+// episode). Use it between independent segments.
+func (d *Detector) Reset() {
+	d.prevGroup = NoGroup
+	d.prevActs = d.prevActs[:0]
+	d.ep = nil
+	d.recentActs = make(map[device.ID]int)
+}
+
+// Identifying reports whether an identification episode is in progress.
+func (d *Detector) Identifying() bool { return d.ep != nil }
+
+// Process runs one window through DICE and returns what was concluded.
+// Windows must be fed in time order.
+func (d *Detector) Process(o *window.Observation) (Result, error) {
+	res := Result{WindowIndex: o.Index, MainGroup: NoGroup}
+
+	t0 := time.Now()
+	v, err := d.bin.StateSet(o)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Timing.Binarize = time.Since(t0)
+
+	t1 := time.Now()
+	cands := d.ctx.Scan(v, d.cfg.CandidateDistance)
+	res.Timing.Correlation = time.Since(t1)
+	res.MainGroup = cands.Main
+
+	if d.ep != nil {
+		// §3.4: during the repetition, skip the checks and go straight to
+		// identification.
+		d.identifyStep(v, cands, o, &res)
+		d.advance(cands.Main, o)
+		return res, nil
+	}
+
+	var suspects []device.ID
+	cause := CheckNone
+
+	if cands.Main == NoGroup {
+		// Correlation violation: an unseen sensor state set.
+		cause = CheckCorrelation
+		t2 := time.Now()
+		suspects = d.correlationSuspects(v, cands)
+		res.Timing.Identify = time.Since(t2)
+	} else {
+		t2 := time.Now()
+		cause, suspects = d.transitionCheck(v, cands.Main, o)
+		res.Timing.Transition = time.Since(t2)
+	}
+
+	if cause != CheckNone {
+		res.Violation = cause
+		res.Detected = true
+		res.Identifying = true
+		fired := toSet(o.Actuated)
+		for act, at := range d.recentActs {
+			if o.Index-at <= recentActWindows {
+				fired[act] = true
+			}
+		}
+		d.ep = &episode{
+			cause:          cause,
+			detectedWindow: o.Index,
+			intersection:   toSet(suspects),
+			missingEffect:  d.lastDiffMissingOnly,
+			surplusEffect:  d.lastDiffSurplusOnly,
+			openingActs:    toSet(o.Actuated),
+			openingPrev:    d.prevGroup,
+			firedActs:      fired,
+		}
+		res.Probable = setToSlice(d.ep.intersection)
+		d.maybeConclude(&res)
+	}
+
+	d.advance(cands.Main, o)
+	return res, nil
+}
+
+// advance rolls the previous-window state forward.
+func (d *Detector) advance(mainGroup int, o *window.Observation) {
+	d.prevGroup = mainGroup
+	d.prevActs = append(d.prevActs[:0], o.Actuated...)
+	for _, act := range o.Actuated {
+		d.recentActs[act] = o.Index
+	}
+}
+
+// correlationSuspects implements identification for a missing main group:
+// diff the live state set against every probable group, prune probable
+// groups unreachable from the previous group, and union the sensors owning
+// the differing bits.
+func (d *Detector) correlationSuspects(v *bitvec.Vec, cands Candidates) []device.ID {
+	probable := cands.Probable
+	if d.prevGroup != NoGroup && len(probable) > 1 {
+		var reachable []int
+		for _, g := range probable {
+			if d.ctx.G2G().Possible(d.prevGroup, g) {
+				reachable = append(reachable, g)
+			}
+		}
+		// Keep the unfiltered list when the filter would leave nothing to
+		// diff against.
+		if len(reachable) > 0 {
+			probable = reachable
+		}
+	}
+	return d.diffSuspects(v, probable)
+}
+
+// diffSuspects unions the owning sensors of bits where v differs from the
+// given groups, considering only the groups at minimal Hamming distance
+// from v: the nearest groups are the best explanations of what the state
+// set should have been, and diffing against farther candidates only pads
+// the suspect set with unrelated devices.
+func (d *Detector) diffSuspects(v *bitvec.Vec, groups []int) []device.ID {
+	minDist := -1
+	var nearest []int
+	for _, gid := range groups {
+		g, err := d.ctx.Group(gid)
+		if err != nil {
+			continue
+		}
+		dist := v.HammingDistance(g)
+		switch {
+		case minDist < 0 || dist < minDist:
+			minDist = dist
+			nearest = nearest[:0]
+			nearest = append(nearest, gid)
+		case dist == minDist:
+			nearest = append(nearest, gid)
+		}
+	}
+	seen := make(map[device.ID]bool)
+	missingOnly := len(nearest) > 0
+	surplusOnly := len(nearest) > 0
+	for _, gid := range nearest {
+		g, err := d.ctx.Group(gid)
+		if err != nil {
+			continue
+		}
+		for _, bit := range v.Diff(g) {
+			if v.Get(bit) {
+				// The live set has a bit the expected group lacks: surplus
+				// activity.
+				missingOnly = false
+			} else {
+				surplusOnly = false
+			}
+			if id, err := d.bin.DeviceForBit(bit); err == nil {
+				seen[id] = true
+			}
+		}
+	}
+	d.lastDiffMissingOnly = missingOnly
+	d.lastDiffSurplusOnly = surplusOnly
+	return setToSlice(seen)
+}
+
+// transitionCheck applies the three zero-probability cases of §3.3.2 in
+// order and returns the first violation with its suspects.
+func (d *Detector) transitionCheck(v *bitvec.Vec, cur int, o *window.Observation) (CheckKind, []device.ID) {
+	// Case 1: G2G.
+	if d.prevGroup != NoGroup && !d.ctx.G2G().Possible(d.prevGroup, cur) {
+		// Identification mirrors the correlation case, with the previous
+		// group's successors as the probable groups.
+		suspects := d.diffSuspects(v, d.ctx.G2G().Successors(d.prevGroup))
+		return CheckG2G, suspects
+	}
+	// Case 2: G2A — actuators fired now that the previous group never
+	// triggered.
+	if d.prevGroup != NoGroup {
+		var bad []device.ID
+		for _, act := range o.Actuated {
+			slot, ok := d.ctx.Layout().ActuatorSlot(act)
+			if !ok {
+				continue
+			}
+			if !d.ctx.G2A().Possible(d.prevGroup, slot) {
+				bad = append(bad, act)
+			}
+		}
+		if len(bad) > 0 {
+			return CheckG2A, bad
+		}
+	}
+	// Case 3: A2G — the current group never follows an actuator that fired
+	// in the previous window. Suspects are that actuator plus the sensors
+	// separating us from the groups the actuator does lead to.
+	for _, act := range d.prevActs {
+		slot, ok := d.ctx.Layout().ActuatorSlot(act)
+		if !ok {
+			continue
+		}
+		if !d.ctx.A2G().Known(slot) || d.ctx.A2G().Possible(slot, cur) {
+			continue
+		}
+		suspects := d.diffSuspects(v, d.ctx.A2G().Successors(slot))
+		suspects = append(suspects, act)
+		sortIDs(suspects)
+		return CheckA2G, suspects
+	}
+	return CheckNone, nil
+}
+
+// identifyStep runs one repetition of the identification loop (§3.4): probe
+// the window for its own probable-fault set, intersect, and conclude when
+// the intersection is small enough or patience runs out.
+func (d *Detector) identifyStep(v *bitvec.Vec, cands Candidates, o *window.Observation, res *Result) {
+	t0 := time.Now()
+	defer func() { res.Timing.Identify = time.Since(t0) }()
+
+	d.ep.length++
+	res.Identifying = true
+	for _, act := range o.Actuated {
+		d.ep.firedActs[act] = true
+	}
+
+	suspects, informative, probeCause := d.probe(v, cands, o)
+	res.Violation = probeCause
+
+	if informative {
+		d.ep.normalStreak = 0
+		next := intersect(d.ep.intersection, toSet(suspects))
+		if len(next) == 0 {
+			// Disjoint evidence: hold the current intersection, note the
+			// stall.
+			d.ep.stalls++
+		} else {
+			d.ep.intersection = next
+		}
+	} else {
+		d.ep.normalStreak++
+	}
+	res.Probable = setToSlice(d.ep.intersection)
+	d.maybeConclude(res)
+}
+
+// probe evaluates a window during identification: same machinery as the
+// checks, but it never opens a new episode — it only yields this window's
+// probable-fault set. A clean window is uninformative.
+func (d *Detector) probe(v *bitvec.Vec, cands Candidates, o *window.Observation) (suspects []device.ID, informative bool, cause CheckKind) {
+	if cands.Main == NoGroup {
+		return d.correlationSuspects(v, cands), true, CheckCorrelation
+	}
+	kind, s := d.transitionCheck(v, cands.Main, o)
+	if kind != CheckNone {
+		return s, true, kind
+	}
+	return nil, false, CheckNone
+}
+
+// maybeConclude closes the episode when the intersection is small enough,
+// a weighted device demands attention, or patience limits are hit.
+func (d *Detector) maybeConclude(res *Result) {
+	ep := d.ep
+	size := len(ep.intersection)
+	early := false
+	if d.cfg.WeightAlarm > 0 {
+		for id := range ep.intersection {
+			if d.cfg.Weights[id] >= d.cfg.WeightAlarm {
+				early = true
+				break
+			}
+		}
+	}
+	done := size <= d.cfg.MaxFaults && size > 0
+	if !done && early {
+		done = true
+	}
+	if !done && (ep.stalls >= d.cfg.MaxStalls ||
+		ep.normalStreak >= d.cfg.IdentifyGiveUp ||
+		ep.length >= d.cfg.MaxIdentifyWindows) {
+		done = true
+	}
+	if !done {
+		return
+	}
+	devices := setToSlice(ep.intersection)
+	devices = d.attributeToActuator(ep, devices)
+	if d.cfg.Attest != nil {
+		devices = d.cfg.Attest(devices)
+		sortIDs(devices)
+		if len(devices) == 0 {
+			// Every probable device attested healthy: dismiss the episode
+			// without an alert.
+			d.ep = nil
+			return
+		}
+	}
+	res.Alert = &Alert{
+		Devices:        devices,
+		Cause:          ep.cause,
+		DetectedWindow: ep.detectedWindow,
+		ReportedWindow: res.WindowIndex,
+		EarlyWeight:    early && size > d.cfg.MaxFaults,
+	}
+	d.ep = nil
+}
+
+// attributeToActuator re-attributes a "missing effect" anomaly to a silent
+// actuator: when every suspect sensor belongs to the trained effect set of
+// an actuator that never activated during the episode, the actuator — not
+// the sensors dutifully reporting its absence — is the probable faulty
+// device. An actuator that did fire during the episode keeps the blame on
+// the sensors (its effect reached the home; the sensor misreported it).
+func (d *Detector) attributeToActuator(ep *episode, devices []device.ID) []device.ID {
+	if len(devices) == 0 {
+		return devices
+	}
+	if ep.cause != CheckCorrelation && ep.cause != CheckG2G {
+		return devices
+	}
+	layout := d.ctx.Layout()
+	bestSlot, bestSize := -1, 0
+	for slot := 0; slot < layout.NumActuators(); slot++ {
+		if d.ctx.ActivationCount(slot) < 5 {
+			continue
+		}
+		id := layout.ActuatorID(slot)
+		// Dead: the opening context is one the actuator is known to fire
+		// from (G2A expectation), its effect is missing, and it stayed
+		// silent — a faulty sensor fails this guard because its actuator
+		// fired normally. Spurious: the actuator fired in the very window
+		// surplus effect bits appeared without the occupancy bits that
+		// accompany a legitimate activation (a legitimate firing lands in
+		// a trained group and raises no violation at all).
+		dead := ep.missingEffect && !ep.openingActs[id] &&
+			ep.openingPrev != NoGroup && d.ctx.G2A().Possible(ep.openingPrev, slot)
+		spurious := ep.surplusEffect && ep.openingActs[id]
+		if !dead && !spurious {
+			continue
+		}
+		effect := d.ctx.EffectDevices(slot, 0.6)
+		if !subsetOf(devices, effect) {
+			continue
+		}
+		if bestSlot < 0 || len(effect) < bestSize {
+			bestSlot = slot
+			bestSize = len(effect)
+		}
+	}
+	if bestSlot < 0 {
+		return devices
+	}
+	return []device.ID{layout.ActuatorID(bestSlot)}
+}
+
+// subsetOf reports whether every element of sub is in sorted super.
+func subsetOf(sub, super []device.ID) bool {
+	j := 0
+	for _, s := range sub {
+		for j < len(super) && super[j] < s {
+			j++
+		}
+		if j >= len(super) || super[j] != s {
+			return false
+		}
+	}
+	return true
+}
+
+func toSet(ids []device.ID) map[device.ID]bool {
+	m := make(map[device.ID]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func intersect(a, b map[device.ID]bool) map[device.ID]bool {
+	out := make(map[device.ID]bool)
+	for id := range a {
+		if b[id] {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func setToSlice(m map[device.ID]bool) []device.ID {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]device.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}

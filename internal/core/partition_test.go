@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// partLayout builds a two-room home for partition tests: each room has a
+// motion sensor, sound and temperature sensors, and a bulb.
+func partLayout(t testing.TB) *window.Layout {
+	t.Helper()
+	reg := device.NewRegistry()
+	reg.MustAdd("motion-a", device.Binary, device.Motion, "roomA")    // 0
+	reg.MustAdd("sound-a", device.Numeric, device.Sound, "roomA")     // 1
+	reg.MustAdd("weight-a", device.Numeric, device.Weight, "roomA")   // 2
+	reg.MustAdd("bulb-a", device.Actuator, device.SmartBulb, "roomA") // 3
+	reg.MustAdd("motion-b", device.Binary, device.Motion, "roomB")    // 4
+	reg.MustAdd("sound-b", device.Numeric, device.Sound, "roomB")     // 5
+	reg.MustAdd("weight-b", device.Numeric, device.Weight, "roomB")   // 6
+	reg.MustAdd("bulb-b", device.Actuator, device.SmartBulb, "roomB") // 7
+	return window.NewLayout(reg)
+}
+
+// roomPhase returns the room's state for window w: 0 idle, 1 active
+// (motion + noise), 2 restful (someone on the couch: weight only). Three
+// states per room, cycling with different periods per room so every joint
+// combination occurs: the joint space (3x3=9 groups) is visibly bigger
+// than the partitioned sum (3+3=6 groups) — the §VI point.
+func roomPhase(w, period int) int {
+	if w < 0 {
+		return 0
+	}
+	return (w / period) % 3
+}
+
+// partWindow: two independent residents, one per room, cycling through
+// three states at different phases.
+func partWindow(l *window.Layout, w int, deadMotionA bool) *window.Observation {
+	o := l.NewObservation(w)
+	phaseA := roomPhase(w, 20)
+	phaseB := roomPhase(w, 9)
+	soundA, weightA := 31.0, 2.0
+	switch phaseA {
+	case 1: // active
+		if !deadMotionA {
+			o.Binary[0] = true
+		}
+		soundA = 55
+		if roomPhase(w-1, 20) != 1 {
+			o.Actuated = append(o.Actuated, device.ID(3))
+		}
+	case 2: // restful
+		weightA = 70
+	}
+	soundB, weightB := 31.0, 2.0
+	switch phaseB {
+	case 1:
+		o.Binary[1] = true
+		soundB = 55
+		if roomPhase(w-1, 9) != 1 {
+			o.Actuated = append(o.Actuated, device.ID(7))
+		}
+	case 2:
+		weightB = 70
+	}
+	o.Numeric[0] = []float64{soundA, soundA, soundA}
+	o.Numeric[1] = []float64{weightA, weightA, weightA}
+	o.Numeric[2] = []float64{soundB, soundB, soundB}
+	o.Numeric[3] = []float64{weightB, weightB, weightB}
+	return o
+}
+
+func TestPartitionByRoom(t *testing.T) {
+	l := partLayout(t)
+	parts := PartitionByRoom(l.Registry())
+	if len(parts) != 2 {
+		t.Fatalf("partitions = %d, want 2", len(parts))
+	}
+	if parts[0].Name != "roomA" || parts[1].Name != "roomB" {
+		t.Errorf("names = %q, %q", parts[0].Name, parts[1].Name)
+	}
+	if len(parts[0].Devices) != 4 || len(parts[1].Devices) != 4 {
+		t.Errorf("device split: %v / %v", parts[0].Devices, parts[1].Devices)
+	}
+}
+
+func trainPartitioned(t testing.TB, l *window.Layout) *PartitionedTrainer {
+	t.Helper()
+	pt, err := NewPartitionedTrainer(l, PartitionByRoom(l.Registry()), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12 * 60
+	for w := 0; w < n; w++ {
+		if err := pt.Calibrate(partWindow(l, w, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pt.FinishCalibration(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < n; w++ {
+		if err := pt.Learn(partWindow(l, w, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pt
+}
+
+func TestPartitionedStateSpaceIsLinear(t *testing.T) {
+	l := partLayout(t)
+	pt := trainPartitioned(t, l)
+
+	// A joint detector over the same data sees the PRODUCT of the two
+	// rooms' states; the partitioned one sees their SUM.
+	var obs []*window.Observation
+	for w := 0; w < 12*60; w++ {
+		obs = append(obs, partWindow(l, w, false))
+	}
+	joint, err := TrainWindows(l, time.Minute, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.TotalGroups() >= joint.NumGroups() {
+		t.Errorf("partitioned groups (%d) should undercut joint groups (%d): the §VI point",
+			pt.TotalGroups(), joint.NumGroups())
+	}
+}
+
+func TestPartitionedDetectionAndMapping(t *testing.T) {
+	l := partLayout(t)
+	pt := trainPartitioned(t, l)
+	pd, err := pt.Detector(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alert *Alert
+	alertPart := ""
+	for w := 0; w < 3*60 && alert == nil; w++ {
+		results, err := pd.Process(partWindow(l, w, w >= 30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Result.Alert != nil {
+				alert = r.Result.Alert
+				alertPart = r.Partition
+			}
+		}
+	}
+	if alert == nil {
+		t.Fatal("partitioned detector missed the dead motion sensor")
+	}
+	if alertPart != "roomA" {
+		t.Errorf("alert came from partition %q, want roomA", alertPart)
+	}
+	// Device IDs must be FULL-registry IDs (motion-a is 0 there).
+	if len(alert.Devices) != 1 || alert.Devices[0] != 0 {
+		t.Errorf("alert devices = %v, want [0] in full-registry IDs", alert.Devices)
+	}
+}
+
+func TestPartitionedRoomBQuietDuringRoomAFault(t *testing.T) {
+	l := partLayout(t)
+	pt := trainPartitioned(t, l)
+	pd, err := pt.Detector(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 2*60; w++ {
+		results, err := pd.Process(partWindow(l, w, w >= 30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Partition == "roomB" && r.Result.Detected {
+				t.Fatalf("room B flagged a room-A fault at window %d", w)
+			}
+		}
+	}
+}
+
+func TestPartitionedReset(t *testing.T) {
+	l := partLayout(t)
+	pt := trainPartitioned(t, l)
+	pd, err := pt.Detector(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trigger a violation, then reset; a fresh clean window must not carry
+	// episode state over.
+	if _, err := pd.Process(partWindow(l, 0, true)); err != nil {
+		t.Fatal(err)
+	}
+	pd.Reset()
+	results, err := pd.Process(partWindow(l, 40, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Result.Identifying {
+			t.Error("episode survived Reset")
+		}
+	}
+}
+
+func TestNewPartitionedTrainerValidation(t *testing.T) {
+	l := partLayout(t)
+	if _, err := NewPartitionedTrainer(l, nil, time.Minute); err == nil {
+		t.Error("empty partition list accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// TestScanProperties checks the correlation-check scan invariants over
+// arbitrary group catalogues and queries:
+//   - a query equal to some group always yields that group as Main;
+//   - every Probable group is within the candidate distance, OR no group
+//     is and Probable equals the nearest set;
+//   - Main is never listed in Probable.
+func TestScanProperties(t *testing.T) {
+	l := coreLayout(t)
+	f := func(groupBits [][8]bool, queryBits [8]bool, maxDist uint8) bool {
+		ctx, err := NewContext(l, time.Minute, []float64{0, 0})
+		if err != nil {
+			return false
+		}
+		for _, gb := range groupBits {
+			ctx.AddGroup(bitvec.FromBools(gb[:]))
+		}
+		if ctx.NumGroups() == 0 {
+			return true
+		}
+		q := bitvec.FromBools(queryBits[:])
+		dist := int(maxDist%4) + 1
+		c := ctx.Scan(q, dist)
+
+		if id, ok := ctx.GroupID(q); ok && c.Main != id {
+			return false
+		}
+		for _, p := range c.Probable {
+			if p == c.Main {
+				return false
+			}
+			g, err := ctx.Group(p)
+			if err != nil {
+				return false
+			}
+			d := q.HammingDistance(g)
+			if d == 0 {
+				return false // an exact match must be Main, not Probable
+			}
+			if d > dist && d != c.MinDistance {
+				return false // outside threshold and not a nearest fallback
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBinarizerBitOwnership: every bit of every state set maps back to a
+// registered sensor, and DevicesForBits is consistent with DeviceForBit.
+func TestBinarizerBitOwnership(t *testing.T) {
+	l := coreLayout(t)
+	b := mustBinarizer(t, l, []float64{20, 100})
+	f := func(bins [2]bool, s1, s2 []float64) bool {
+		o := l.NewObservation(0)
+		copy(o.Binary, bins[:])
+		o.Numeric[0] = s1
+		o.Numeric[1] = s2
+		v, err := b.StateSet(o)
+		if err != nil {
+			return false
+		}
+		bits := v.Ones()
+		devs, err := b.DevicesForBits(bits)
+		if err != nil {
+			return false
+		}
+		seen := make(map[device.ID]bool)
+		for _, bit := range bits {
+			id, err := b.DeviceForBit(bit)
+			if err != nil {
+				return false
+			}
+			seen[id] = true
+		}
+		if len(devs) != len(seen) {
+			return false
+		}
+		for _, id := range devs {
+			if !seen[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrainerDetectorClosure: any window sequence the trainer has learned
+// is violation-free when replayed through the detector (detection is sound
+// w.r.t. its own training data), as long as the replay starts from the
+// stream head so the transition history matches.
+func TestTrainerDetectorClosure(t *testing.T) {
+	l := coreLayout(t)
+	f := func(seq []uint8) bool {
+		if len(seq) < 4 {
+			return true
+		}
+		if len(seq) > 64 {
+			seq = seq[:64]
+		}
+		obs := make([]*window.Observation, len(seq))
+		for i, s := range seq {
+			o := l.NewObservation(i)
+			o.Binary[0] = s&1 != 0
+			o.Binary[1] = s&2 != 0
+			temp, light := 10.0, 50.0
+			if s&4 != 0 {
+				temp = 30
+			}
+			if s&8 != 0 {
+				light = 200
+			}
+			o.Numeric[0] = []float64{temp, temp}
+			o.Numeric[1] = []float64{light, light}
+			obs[i] = o
+		}
+		ctx, err := TrainWindows(l, time.Minute, obs)
+		if err != nil {
+			return false
+		}
+		det, err := NewDetector(ctx, Config{})
+		if err != nil {
+			return false
+		}
+		for _, o := range obs {
+			res, err := det.Process(o)
+			if err != nil || res.Detected {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAlertDevicesSortedProperty: alerts always list devices in ascending
+// ID order (the documented contract).
+func TestAlertDevicesSorted(t *testing.T) {
+	l, ctx := trainAlternating(t)
+	d := newTestDetector(t, ctx, Config{MaxFaults: 3})
+	feedNormal(t, d, l, 0, 6)
+	// Force a chaotic window implicating several devices.
+	o := makeObs(l, 6, []bool{true, true}, [][]float64{{99, 1, 99}, {500, 1, 500}})
+	res, err := d.Process(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(ids []device.ID) {
+		for i := 1; i < len(ids); i++ {
+			if ids[i] < ids[i-1] {
+				t.Fatalf("devices not sorted: %v", ids)
+			}
+		}
+	}
+	check(res.Probable)
+	if res.Alert != nil {
+		check(res.Alert.Devices)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/device"
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+// Trainer runs the precomputation phase. It is a two-pass streaming design
+// so the caller never has to hold a 300-hour recording in memory:
+//
+//	t := NewTrainer(layout, duration)
+//	for each window o: t.Calibrate(o)   // pass 1: numeric sensor means
+//	t.FinishCalibration()
+//	for each window o: t.Learn(o)       // pass 2: groups + transitions
+//	ctx := t.Context()
+//
+// Pass 1 computes each numeric sensor's mean, which becomes its valueThre
+// (Eq. 3.4: "we set valueThre as the corresponding sensor's mean value of
+// the data collected during the precomputation phase"). Pass 2 interns
+// groups and counts G2G/G2A/A2G transitions. The paper assumes the
+// precomputation data is fault-free; the trainer trusts its input likewise.
+type Trainer struct {
+	layout   *window.Layout
+	duration time.Duration
+	welford  []stats.Welford
+	bin      *Binarizer
+	ctx      *Context
+
+	prevGroup int
+	prevVec   *bitvec.Vec
+	prevActs  []device.ID
+	windows   int
+}
+
+// NewTrainer returns a trainer for the layout at the given window duration.
+func NewTrainer(layout *window.Layout, duration time.Duration) *Trainer {
+	if duration <= 0 {
+		duration = DefaultDuration
+	}
+	return &Trainer{
+		layout:    layout,
+		duration:  duration,
+		welford:   make([]stats.Welford, layout.NumNumeric()),
+		prevGroup: NoGroup,
+	}
+}
+
+// Calibrate folds one window into the numeric-mean accumulators (pass 1).
+func (t *Trainer) Calibrate(o *window.Observation) error {
+	if t.bin != nil {
+		return fmt.Errorf("core: Calibrate called after FinishCalibration")
+	}
+	if len(o.Numeric) != len(t.welford) {
+		return fmt.Errorf("core: observation has %d numeric slots, layout wants %d",
+			len(o.Numeric), len(t.welford))
+	}
+	for j, samples := range o.Numeric {
+		for _, s := range samples {
+			t.welford[j].Add(s)
+		}
+	}
+	return nil
+}
+
+// FinishCalibration freezes the thresholds and prepares pass 2.
+func (t *Trainer) FinishCalibration() error {
+	if t.bin != nil {
+		return fmt.Errorf("core: FinishCalibration called twice")
+	}
+	thre := make([]float64, len(t.welford))
+	for j := range t.welford {
+		thre[j] = t.welford[j].Mean()
+	}
+	bin, err := NewBinarizer(t.layout, thre)
+	if err != nil {
+		return err
+	}
+	ctx, err := NewContext(t.layout, t.duration, thre)
+	if err != nil {
+		return err
+	}
+	t.bin = bin
+	t.ctx = ctx
+	return nil
+}
+
+// Learn folds one window into the group catalogue and transition matrices
+// (pass 2). Windows must arrive in time order.
+func (t *Trainer) Learn(o *window.Observation) error {
+	if t.bin == nil {
+		return fmt.Errorf("core: Learn called before FinishCalibration")
+	}
+	v, err := t.bin.StateSet(o)
+	if err != nil {
+		return err
+	}
+	g := t.ctx.AddGroup(v)
+	if t.prevGroup != NoGroup {
+		t.ctx.G2G().Observe(t.prevGroup, g)
+		// Case-2 statistics: group at t-1 -> actuators fired at t.
+		for _, act := range o.Actuated {
+			if slot, ok := t.layout.ActuatorSlot(act); ok {
+				t.ctx.G2A().Observe(t.prevGroup, slot)
+			}
+		}
+	}
+	// Case-3 statistics: actuators fired at t-1 -> group at t.
+	for _, act := range t.prevActs {
+		if slot, ok := t.layout.ActuatorSlot(act); ok {
+			t.ctx.A2G().Observe(slot, g)
+		}
+	}
+	// Effect statistics: sensors whose bits rose in the same window an
+	// actuator activated (used to attribute missing effects to silent
+	// actuators during identification).
+	if len(o.Actuated) > 0 && t.prevVec != nil {
+		var rising []int
+		for _, bit := range v.Diff(t.prevVec) {
+			if v.Get(bit) {
+				rising = append(rising, bit)
+			}
+		}
+		if len(rising) > 0 {
+			devs, err := t.bin.DevicesForBits(rising)
+			if err != nil {
+				return err
+			}
+			for _, act := range o.Actuated {
+				if slot, ok := t.layout.ActuatorSlot(act); ok {
+					t.ctx.ObserveEffect(slot, devs)
+				}
+			}
+		}
+	}
+	t.prevGroup = g
+	t.prevVec = v
+	t.prevActs = append(t.prevActs[:0], o.Actuated...)
+	t.windows++
+	return nil
+}
+
+// Windows returns the number of windows learned in pass 2.
+func (t *Trainer) Windows() int { return t.windows }
+
+// ValueThre returns the calibrated numeric thresholds. It errors before
+// FinishCalibration.
+func (t *Trainer) ValueThre() ([]float64, error) {
+	if t.bin == nil {
+		return nil, fmt.Errorf("core: ValueThre requested before FinishCalibration")
+	}
+	return t.bin.ValueThre(), nil
+}
+
+// Context returns the trained context. It returns an error when no windows
+// have been learned — an empty context cannot detect anything.
+func (t *Trainer) Context() (*Context, error) {
+	if t.ctx == nil {
+		return nil, fmt.Errorf("core: Context requested before FinishCalibration")
+	}
+	if t.ctx.NumGroups() == 0 {
+		return nil, fmt.Errorf("core: no windows learned; context is empty")
+	}
+	return t.ctx, nil
+}
+
+// TrainWindows is the batch convenience: it runs both passes over a slice
+// of windows and returns the context.
+func TrainWindows(layout *window.Layout, duration time.Duration, obs []*window.Observation) (*Context, error) {
+	t := NewTrainer(layout, duration)
+	for _, o := range obs {
+		if err := t.Calibrate(o); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.FinishCalibration(); err != nil {
+		return nil, err
+	}
+	for _, o := range obs {
+		if err := t.Learn(o); err != nil {
+			return nil, err
+		}
+	}
+	return t.Context()
+}

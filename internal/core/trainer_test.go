@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// makeObs builds an observation for coreLayout with the given binary bits,
+// numeric sample sets, and fired actuators.
+func makeObs(l *window.Layout, idx int, bins []bool, nums [][]float64, acts ...device.ID) *window.Observation {
+	o := l.NewObservation(idx)
+	copy(o.Binary, bins)
+	for j, s := range nums {
+		o.Numeric[j] = s
+	}
+	o.Actuated = acts
+	return o
+}
+
+// trainScenario produces a small alternating two-state world:
+// even windows: motion-a fires, temp high; odd windows: motion-b fires,
+// temp low. The bulb (ID 4) fires on every odd window.
+func trainScenario(t testing.TB, l *window.Layout, n int) []*window.Observation {
+	t.Helper()
+	obs := make([]*window.Observation, 0, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			obs = append(obs, makeObs(l, i,
+				[]bool{true, false},
+				[][]float64{{30, 30, 30}, {50, 50, 50}}))
+		} else {
+			obs = append(obs, makeObs(l, i,
+				[]bool{false, true},
+				[][]float64{{10, 10, 10}, {50, 50, 50}},
+				device.ID(4)))
+		}
+	}
+	return obs
+}
+
+func TestTrainerPhaseOrderEnforced(t *testing.T) {
+	l := coreLayout(t)
+	tr := NewTrainer(l, time.Minute)
+	o := l.NewObservation(0)
+	if err := tr.Learn(o); err == nil {
+		t.Error("Learn before FinishCalibration accepted")
+	}
+	if _, err := tr.Context(); err == nil {
+		t.Error("Context before FinishCalibration accepted")
+	}
+	if err := tr.FinishCalibration(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.FinishCalibration(); err == nil {
+		t.Error("double FinishCalibration accepted")
+	}
+	if err := tr.Calibrate(o); err == nil {
+		t.Error("Calibrate after FinishCalibration accepted")
+	}
+	if _, err := tr.Context(); err == nil {
+		t.Error("empty context accepted")
+	}
+}
+
+func TestTrainerThresholdIsMean(t *testing.T) {
+	l := coreLayout(t)
+	tr := NewTrainer(l, time.Minute)
+	// Temp samples across calibration: 10 and 30 -> mean 20.
+	obsA := makeObs(l, 0, []bool{false, false}, [][]float64{{10}, {100}})
+	obsB := makeObs(l, 1, []bool{false, false}, [][]float64{{30}, {100}})
+	if err := tr.Calibrate(obsA); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Calibrate(obsB); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.FinishCalibration(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []*window.Observation{obsA, obsB} {
+		if err := tr.Learn(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, err := tr.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+	thre := ctx.ValueThre()
+	if thre[0] != 20 || thre[1] != 100 {
+		t.Errorf("thresholds = %v, want [20 100]", thre)
+	}
+}
+
+func TestTrainWindowsBuildsGroupsAndTransitions(t *testing.T) {
+	l := coreLayout(t)
+	obs := trainScenario(t, l, 40)
+	ctx, err := TrainWindows(l, time.Minute, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scenario alternates between exactly two state sets.
+	if ctx.NumGroups() != 2 {
+		t.Fatalf("NumGroups = %d, want 2", ctx.NumGroups())
+	}
+	if !ctx.G2G().Possible(0, 1) || !ctx.G2G().Possible(1, 0) {
+		t.Error("alternating G2G transitions missing")
+	}
+	if ctx.G2G().Possible(0, 0) || ctx.G2G().Possible(1, 1) {
+		t.Error("self-loops should not exist in a strictly alternating scenario")
+	}
+	// The bulb is actuator slot 0 and fires on odd windows: G2A from the
+	// even-window group (group 0), A2G into the even-window group.
+	if !ctx.G2A().Possible(0, 0) {
+		t.Error("G2A group0->bulb missing")
+	}
+	if ctx.G2A().Possible(1, 0) {
+		t.Error("G2A group1->bulb should not exist")
+	}
+	if !ctx.A2G().Possible(0, 0) {
+		t.Error("A2G bulb->group0 missing")
+	}
+	if ctx.A2G().Possible(0, 1) {
+		t.Error("A2G bulb->group1 should not exist")
+	}
+}
+
+func TestTrainerSelfLoopRecorded(t *testing.T) {
+	l := coreLayout(t)
+	// Three identical windows: one group with a self-loop.
+	o := makeObs(l, 0, []bool{true, false}, [][]float64{{5}, {5}})
+	ctx, err := TrainWindows(l, time.Minute, []*window.Observation{o, o, o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.NumGroups() != 1 {
+		t.Fatalf("NumGroups = %d, want 1", ctx.NumGroups())
+	}
+	if !ctx.G2G().Possible(0, 0) {
+		t.Error("self-loop not recorded")
+	}
+	if ctx.G2G().Count(0, 0) != 2 {
+		t.Errorf("self-loop count = %d, want 2", ctx.G2G().Count(0, 0))
+	}
+}
+
+func TestTrainerWindowsCount(t *testing.T) {
+	l := coreLayout(t)
+	tr := NewTrainer(l, time.Minute)
+	if err := tr.FinishCalibration(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := tr.Learn(l.NewObservation(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Windows() != 5 {
+		t.Errorf("Windows = %d, want 5", tr.Windows())
+	}
+}
+
+func TestTrainerCalibrateShapeMismatch(t *testing.T) {
+	l := coreLayout(t)
+	tr := NewTrainer(l, time.Minute)
+	bad := &window.Observation{Numeric: make([][]float64, 5)}
+	if err := tr.Calibrate(bad); err == nil {
+		t.Error("mismatched observation accepted")
+	}
+}

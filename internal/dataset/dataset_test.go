@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/event"
+	"repro/internal/simhome"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := device.NewRegistry()
+	reg.MustAdd("m0", device.Binary, device.Motion, "kitchen")
+	reg.MustAdd("t0", device.Numeric, device.Temperature, "kitchen")
+	reg.MustAdd("b0", device.Actuator, device.SmartBulb, "kitchen")
+	evts := []event.Event{
+		{At: time.Second, Device: 0, Value: 1},
+		{At: 90 * time.Second, Device: 1, Value: 21.5},
+		{At: 2 * time.Minute, Device: 2, Value: 1},
+	}
+	m := ManifestFor("test-home", 2, 42, reg)
+	if err := Save(dir, m, evts); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Manifest.Name != "test-home" || ds.Manifest.Hours != 2 || ds.Manifest.Seed != 42 {
+		t.Errorf("manifest: %+v", ds.Manifest)
+	}
+	if ds.Registry.Len() != 3 {
+		t.Fatalf("registry size = %d", ds.Registry.Len())
+	}
+	d0 := ds.Registry.MustGet(0)
+	if d0.Name != "m0" || d0.Kind != device.Binary || d0.Type != device.Motion || d0.Room != "kitchen" {
+		t.Errorf("device 0: %+v", d0)
+	}
+	if len(ds.Events) != 3 || ds.Events[1].Value != 21.5 {
+		t.Errorf("events: %+v", ds.Events)
+	}
+	if ds.Hours() != 2 {
+		t.Errorf("Hours = %d", ds.Hours())
+	}
+}
+
+func TestWindowsFromDataset(t *testing.T) {
+	dir := t.TempDir()
+	reg := device.NewRegistry()
+	reg.MustAdd("m0", device.Binary, device.Motion, "a")
+	evts := []event.Event{{At: 61 * time.Second, Device: 0, Value: 1}}
+	if err := Save(dir, ManifestFor("w", 1, 1, reg), evts); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := ds.Windows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 60 {
+		t.Fatalf("windows = %d, want 60", len(obs))
+	}
+	if obs[0].Binary[0] || !obs[1].Binary[0] {
+		t.Error("activation landed in the wrong window")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("malformed manifest accepted")
+	}
+	// Valid manifest but unknown kind.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName),
+		[]byte(`{"name":"x","hours":1,"devices":[{"name":"a","kind":"quantum","type":"motion"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Unknown type.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName),
+		[]byte(`{"name":"x","hours":1,"devices":[{"name":"a","kind":"binary","type":"telepathy"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestSimhomeDatasetRoundTrip(t *testing.T) {
+	spec := simhome.SpecHouseA()
+	spec.Hours = 3
+	h, err := simhome.New(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	evts := h.Events(0, h.Windows())
+	m := ManifestFor(spec.Name, spec.Hours, 7, h.Registry())
+	if err := Save(dir, m, evts); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Registry.NumBinary() != h.Registry().NumBinary() {
+		t.Error("registry mismatch after round trip")
+	}
+	obs, err := ds.Windows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 180 {
+		t.Fatalf("windows = %d, want 180", len(obs))
+	}
+	// The windowed view of the persisted events must match the simulator's
+	// direct windows on binary firings.
+	for i := 0; i < 180; i++ {
+		direct := h.Window(i)
+		for s := range direct.Binary {
+			if direct.Binary[s] != obs[i].Binary[s] {
+				t.Fatalf("window %d slot %d: binary mismatch after persistence", i, s)
+			}
+		}
+	}
+}
+
+func TestSaveCompactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := device.NewRegistry()
+	reg.MustAdd("m0", device.Binary, device.Motion, "kitchen")
+	evts := []event.Event{
+		{At: time.Second, Device: 0, Value: 1},
+		{At: 2 * time.Minute, Device: 0, Value: 1},
+	}
+	if err := SaveCompact(dir, ManifestFor("compact", 1, 9, reg), evts); err != nil {
+		t.Fatal(err)
+	}
+	// No CSV file should exist; Load must pick up the binary one.
+	if _, err := os.Stat(filepath.Join(dir, EventsName)); err == nil {
+		t.Error("compact save also wrote a CSV")
+	}
+	ds, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Events) != 2 || ds.Events[1].At != 2*time.Minute {
+		t.Errorf("events after compact round trip: %+v", ds.Events)
+	}
+}

@@ -1,0 +1,267 @@
+// Package device models the IoT devices of a smart home: binary sensors,
+// numeric sensors, and actuators, together with a registry that fixes a
+// stable ordering. DICE's state-set bit layout (one bit per binary sensor,
+// three bits per numeric sensor) is derived from that ordering, so the
+// registry is the single source of truth shared by the binarizer, the
+// simulator, the fault injectors, and the evaluation harness.
+package device
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID identifies a device within a registry. IDs are dense, assigned in
+// registration order, and stable for the lifetime of the registry.
+type ID int
+
+// Kind classifies the device's data model.
+type Kind int
+
+// Device kinds.
+const (
+	// Binary is an event sensor that fires activations (motion, door,
+	// pressure mat, flame trip, ...). Represented by one state-set bit.
+	Binary Kind = iota + 1
+	// Numeric is a sampled sensor reporting real values (light level,
+	// temperature, ...). Represented by three state-set bits (Eqs. 3.2-3.4).
+	Numeric
+	// Actuator is a controllable device whose activations feed the G2A and
+	// A2G transition matrices rather than the state set.
+	Actuator
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Binary:
+		return "binary"
+	case Numeric:
+		return "numeric"
+	case Actuator:
+		return "actuator"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Type is the physical modality of a device, e.g. a motion sensor or a smart
+// bulb. It drives the simulator's value models and is reported in alerts;
+// the DICE algorithm itself never branches on it.
+type Type int
+
+// Sensor and actuator types deployed in the paper's testbeds.
+const (
+	TypeUnknown Type = iota
+	// Binary sensor types.
+	Motion
+	DoorContact
+	PressureMat
+	FlameDetector
+	FloatSwitch
+	// Numeric sensor types.
+	Light
+	Temperature
+	Humidity
+	Sound
+	Ultrasonic
+	Gas
+	Weight
+	RSSI
+	Battery
+	// Actuator types.
+	SmartBulb
+	SmartSwitch
+	SmartBlind
+	SmartSpeaker
+	FanController
+	HumidifierSwitch
+)
+
+var typeNames = map[Type]string{
+	TypeUnknown:      "unknown",
+	Motion:           "motion",
+	DoorContact:      "door",
+	PressureMat:      "pressure",
+	FlameDetector:    "flame",
+	FloatSwitch:      "float",
+	Light:            "light",
+	Temperature:      "temperature",
+	Humidity:         "humidity",
+	Sound:            "sound",
+	Ultrasonic:       "ultrasonic",
+	Gas:              "gas",
+	Weight:           "weight",
+	RSSI:             "rssi",
+	Battery:          "battery",
+	SmartBulb:        "bulb",
+	SmartSwitch:      "switch",
+	SmartBlind:       "blind",
+	SmartSpeaker:     "speaker",
+	FanController:    "fan",
+	HumidifierSwitch: "humidifier",
+}
+
+// String returns the lowercase type name.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Device describes one registered IoT device.
+type Device struct {
+	ID   ID
+	Name string
+	Kind Kind
+	Type Type
+	Room string
+}
+
+// String renders a short human-readable description.
+func (d Device) String() string {
+	return fmt.Sprintf("%s(%s/%s@%s)", d.Name, d.Kind, d.Type, d.Room)
+}
+
+// Registry holds a fixed set of devices with dense IDs. It is not safe for
+// concurrent mutation; register everything up front, then share read-only.
+type Registry struct {
+	devices  []Device
+	byName   map[string]ID
+	binaries []ID
+	numerics []ID
+	acts     []ID
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]ID)}
+}
+
+// Add registers a device and returns its ID. Names must be unique and
+// non-empty; the kind must be valid.
+func (r *Registry) Add(name string, kind Kind, typ Type, room string) (ID, error) {
+	if name == "" {
+		return 0, fmt.Errorf("device: empty name")
+	}
+	if _, dup := r.byName[name]; dup {
+		return 0, fmt.Errorf("device: duplicate name %q", name)
+	}
+	switch kind {
+	case Binary, Numeric, Actuator:
+	default:
+		return 0, fmt.Errorf("device: invalid kind %d for %q", int(kind), name)
+	}
+	id := ID(len(r.devices))
+	r.devices = append(r.devices, Device{ID: id, Name: name, Kind: kind, Type: typ, Room: room})
+	r.byName[name] = id
+	switch kind {
+	case Binary:
+		r.binaries = append(r.binaries, id)
+	case Numeric:
+		r.numerics = append(r.numerics, id)
+	case Actuator:
+		r.acts = append(r.acts, id)
+	}
+	return id, nil
+}
+
+// MustAdd is Add but panics on error; it is meant for static deployments
+// built in code, where a failure is a programming bug.
+func (r *Registry) MustAdd(name string, kind Kind, typ Type, room string) ID {
+	id, err := r.Add(name, kind, typ, room)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Len returns the number of registered devices.
+func (r *Registry) Len() int { return len(r.devices) }
+
+// Get returns the device with the given ID.
+func (r *Registry) Get(id ID) (Device, error) {
+	if int(id) < 0 || int(id) >= len(r.devices) {
+		return Device{}, fmt.Errorf("device: unknown id %d", int(id))
+	}
+	return r.devices[id], nil
+}
+
+// MustGet is Get but panics on unknown IDs.
+func (r *Registry) MustGet(id ID) Device {
+	d, err := r.Get(id)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Lookup returns the ID for a device name.
+func (r *Registry) Lookup(name string) (ID, bool) {
+	id, ok := r.byName[name]
+	return id, ok
+}
+
+// Binaries returns the IDs of all binary sensors in registration order.
+// The returned slice is a copy.
+func (r *Registry) Binaries() []ID { return append([]ID(nil), r.binaries...) }
+
+// Numerics returns the IDs of all numeric sensors in registration order.
+// The returned slice is a copy.
+func (r *Registry) Numerics() []ID { return append([]ID(nil), r.numerics...) }
+
+// Actuators returns the IDs of all actuators in registration order.
+// The returned slice is a copy.
+func (r *Registry) Actuators() []ID { return append([]ID(nil), r.acts...) }
+
+// NumBinary returns the number of binary sensors.
+func (r *Registry) NumBinary() int { return len(r.binaries) }
+
+// NumNumeric returns the number of numeric sensors.
+func (r *Registry) NumNumeric() int { return len(r.numerics) }
+
+// NumActuators returns the number of actuators.
+func (r *Registry) NumActuators() int { return len(r.acts) }
+
+// NumSensors returns the number of sensors (binary + numeric).
+func (r *Registry) NumSensors() int { return len(r.binaries) + len(r.numerics) }
+
+// All returns a copy of every registered device, ordered by ID.
+func (r *Registry) All() []Device { return append([]Device(nil), r.devices...) }
+
+// Rooms returns the sorted set of distinct room names.
+func (r *Registry) Rooms() []string {
+	seen := make(map[string]bool)
+	var rooms []string
+	for _, d := range r.devices {
+		if d.Room != "" && !seen[d.Room] {
+			seen[d.Room] = true
+			rooms = append(rooms, d.Room)
+		}
+	}
+	sort.Strings(rooms)
+	return rooms
+}
+
+// ByRoom returns the IDs of devices in the given room, ordered by ID.
+func (r *Registry) ByRoom(room string) []ID {
+	var ids []ID
+	for _, d := range r.devices {
+		if d.Room == room {
+			ids = append(ids, d.ID)
+		}
+	}
+	return ids
+}
+
+// ByType returns the IDs of devices of the given type, ordered by ID.
+func (r *Registry) ByType(typ Type) []ID {
+	var ids []ID
+	for _, d := range r.devices {
+		if d.Type == typ {
+			ids = append(ids, d.ID)
+		}
+	}
+	return ids
+}

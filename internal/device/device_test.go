@@ -1,0 +1,181 @@
+package device
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.MustAdd("motion-kitchen", Binary, Motion, "kitchen")
+	r.MustAdd("light-kitchen", Numeric, Light, "kitchen")
+	r.MustAdd("bulb-kitchen", Actuator, SmartBulb, "kitchen")
+	r.MustAdd("motion-bedroom", Binary, Motion, "bedroom")
+	r.MustAdd("temp-bedroom", Numeric, Temperature, "bedroom")
+	return r
+}
+
+func TestAddAssignsDenseIDs(t *testing.T) {
+	r := buildTestRegistry(t)
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		d := r.MustGet(ID(i))
+		if d.ID != ID(i) {
+			t.Errorf("device %d has ID %d", i, d.ID)
+		}
+	}
+}
+
+func TestAddRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Add("a", Binary, Motion, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("a", Numeric, Light, "x"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestAddRejectsEmptyNameAndBadKind(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Add("", Binary, Motion, "x"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := r.Add("b", Kind(99), Motion, "x"); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd should panic on error")
+		}
+	}()
+	NewRegistry().MustAdd("", Binary, Motion, "x")
+}
+
+func TestKindPartitions(t *testing.T) {
+	r := buildTestRegistry(t)
+	if got := r.NumBinary(); got != 2 {
+		t.Errorf("NumBinary = %d, want 2", got)
+	}
+	if got := r.NumNumeric(); got != 2 {
+		t.Errorf("NumNumeric = %d, want 2", got)
+	}
+	if got := r.NumActuators(); got != 1 {
+		t.Errorf("NumActuators = %d, want 1", got)
+	}
+	if got := r.NumSensors(); got != 4 {
+		t.Errorf("NumSensors = %d, want 4", got)
+	}
+	bins := r.Binaries()
+	if len(bins) != 2 || bins[0] != 0 || bins[1] != 3 {
+		t.Errorf("Binaries = %v, want [0 3]", bins)
+	}
+	nums := r.Numerics()
+	if len(nums) != 2 || nums[0] != 1 || nums[1] != 4 {
+		t.Errorf("Numerics = %v, want [1 4]", nums)
+	}
+	acts := r.Actuators()
+	if len(acts) != 1 || acts[0] != 2 {
+		t.Errorf("Actuators = %v, want [2]", acts)
+	}
+}
+
+func TestPartitionSlicesAreCopies(t *testing.T) {
+	r := buildTestRegistry(t)
+	bins := r.Binaries()
+	bins[0] = 999
+	if r.Binaries()[0] == 999 {
+		t.Error("Binaries returned internal slice")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	r := buildTestRegistry(t)
+	id, ok := r.Lookup("temp-bedroom")
+	if !ok || id != 4 {
+		t.Errorf("Lookup = (%d, %v), want (4, true)", id, ok)
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Error("Lookup found missing device")
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	r := buildTestRegistry(t)
+	if _, err := r.Get(ID(-1)); err == nil {
+		t.Error("negative ID accepted")
+	}
+	if _, err := r.Get(ID(5)); err == nil {
+		t.Error("out-of-range ID accepted")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet should panic on unknown ID")
+		}
+	}()
+	buildTestRegistry(t).MustGet(ID(42))
+}
+
+func TestRooms(t *testing.T) {
+	r := buildTestRegistry(t)
+	rooms := r.Rooms()
+	if len(rooms) != 2 || rooms[0] != "bedroom" || rooms[1] != "kitchen" {
+		t.Errorf("Rooms = %v, want [bedroom kitchen]", rooms)
+	}
+}
+
+func TestByRoom(t *testing.T) {
+	r := buildTestRegistry(t)
+	ids := r.ByRoom("kitchen")
+	if len(ids) != 3 {
+		t.Errorf("ByRoom(kitchen) = %v, want 3 devices", ids)
+	}
+	if got := r.ByRoom("garage"); len(got) != 0 {
+		t.Errorf("ByRoom(garage) = %v, want empty", got)
+	}
+}
+
+func TestByType(t *testing.T) {
+	r := buildTestRegistry(t)
+	ids := r.ByType(Motion)
+	if len(ids) != 2 {
+		t.Errorf("ByType(Motion) = %v, want 2 devices", ids)
+	}
+}
+
+func TestAllIsCopy(t *testing.T) {
+	r := buildTestRegistry(t)
+	all := r.All()
+	all[0].Name = "hacked"
+	if r.MustGet(0).Name == "hacked" {
+		t.Error("All returned internal slice")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Binary.String() != "binary" || Numeric.String() != "numeric" || Actuator.String() != "actuator" {
+		t.Error("Kind.String mismatch")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind should embed its value")
+	}
+	if Motion.String() != "motion" || SmartBulb.String() != "bulb" {
+		t.Error("Type.String mismatch")
+	}
+	if !strings.Contains(Type(999).String(), "999") {
+		t.Error("unknown type should embed its value")
+	}
+	d := Device{Name: "m1", Kind: Binary, Type: Motion, Room: "hall"}
+	if got := d.String(); !strings.Contains(got, "m1") || !strings.Contains(got, "hall") {
+		t.Errorf("Device.String = %q", got)
+	}
+}

@@ -1,0 +1,80 @@
+// Package eval implements the paper's evaluation protocol (§V) and the
+// experiment runners behind every table and figure: 300 hours of
+// precomputation, the remaining recording split into six-hour segments,
+// each segment evaluated once fault-free (precision) and once with an
+// injected fault (recall), detection/identification latency, per-stage
+// computation time, correlation degree, and the per-fault-type split
+// between the correlation and transition checks.
+package eval
+
+import "fmt"
+
+// Metrics is a precision/recall accumulator. The zero value is ready.
+type Metrics struct {
+	TP float64
+	FP float64
+	FN float64
+}
+
+// AddTP/AddFP/AddFN increment the respective counters.
+func (m *Metrics) AddTP(n float64) { m.TP += n }
+
+// AddFP increments false positives.
+func (m *Metrics) AddFP(n float64) { m.FP += n }
+
+// AddFN increments false negatives.
+func (m *Metrics) AddFN(n float64) { m.FN += n }
+
+// Precision returns TP/(TP+FP), or 1 when nothing was flagged (no
+// positives means no false alarms).
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 1
+	}
+	return m.TP / (m.TP + m.FP)
+}
+
+// Recall returns TP/(TP+FN), or 1 when there was nothing to find.
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 1
+	}
+	return m.TP / (m.TP + m.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the metrics as percentages.
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.1f%% R=%.1f%%", 100*m.Precision(), 100*m.Recall())
+}
+
+// MeanAccumulator tracks a running mean.
+type MeanAccumulator struct {
+	sum float64
+	n   int
+}
+
+// Add folds in one value.
+func (a *MeanAccumulator) Add(v float64) {
+	a.sum += v
+	a.n++
+}
+
+// Mean returns the running mean, or 0 with no samples.
+func (a *MeanAccumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// N returns the sample count.
+func (a *MeanAccumulator) N() int { return a.n }

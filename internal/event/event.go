@@ -1,0 +1,151 @@
+// Package event defines the timestamped device readings that flow through
+// the system: binary sensor activations, numeric sensor samples, and
+// actuator state changes. Events are ordered by a time offset from the start
+// of the recording rather than wall-clock time, which keeps datasets
+// replayable and experiments deterministic.
+package event
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/device"
+)
+
+// Event is one device reading.
+//
+// Interpretation of Value by device kind:
+//   - Binary sensor: an activation; Value is 1.
+//   - Numeric sensor: the sampled reading.
+//   - Actuator: the new state (1 = on/active, 0 = off).
+type Event struct {
+	// At is the offset from the start of the recording.
+	At time.Duration
+	// Device is the reporting device's ID within the dataset registry.
+	Device device.ID
+	// Value is the reading (see interpretation above).
+	Value float64
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%s dev=%d v=%g", e.At, int(e.Device), e.Value)
+}
+
+// Less orders events by time, breaking ties by device ID then value, giving
+// a total deterministic order.
+func Less(a, b Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Device != b.Device {
+		return a.Device < b.Device
+	}
+	return a.Value < b.Value
+}
+
+// Sort sorts events in place into the canonical order.
+func Sort(evts []Event) {
+	sort.Slice(evts, func(i, j int) bool { return Less(evts[i], evts[j]) })
+}
+
+// IsSorted reports whether evts is in canonical order.
+func IsSorted(evts []Event) bool {
+	return sort.SliceIsSorted(evts, func(i, j int) bool { return Less(evts[i], evts[j]) })
+}
+
+// Merge merges two already-sorted event slices into one sorted slice.
+func Merge(a, b []Event) []Event {
+	out := make([]Event, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if Less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// WriteCSV writes events as "millis,device,value" lines with a header.
+// Device IDs are written numerically; the dataset registry is persisted
+// separately.
+func WriteCSV(w io.Writer, evts []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("millis,device,value\n"); err != nil {
+		return fmt.Errorf("event: write header: %w", err)
+	}
+	for _, e := range evts {
+		line := strconv.FormatInt(e.At.Milliseconds(), 10) + "," +
+			strconv.Itoa(int(e.Device)) + "," +
+			strconv.FormatFloat(e.Value, 'g', -1, 64) + "\n"
+		if _, err := bw.WriteString(line); err != nil {
+			return fmt.Errorf("event: write row: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("event: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses events written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var evts []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if lineNo == 1 && strings.HasPrefix(line, "millis") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("event: line %d: want 3 fields, got %d", lineNo, len(parts))
+		}
+		ms, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("event: line %d: bad millis: %w", lineNo, err)
+		}
+		dev, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("event: line %d: bad device: %w", lineNo, err)
+		}
+		val, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("event: line %d: bad value: %w", lineNo, err)
+		}
+		evts = append(evts, Event{
+			At:     time.Duration(ms) * time.Millisecond,
+			Device: device.ID(dev),
+			Value:  val,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("event: scan: %w", err)
+	}
+	return evts, nil
+}
+
+// Slice returns the sub-slice of sorted events with At in [from, to).
+// It uses binary search and shares the backing array.
+func Slice(evts []Event, from, to time.Duration) []Event {
+	lo := sort.Search(len(evts), func(i int) bool { return evts[i].At >= from })
+	hi := sort.Search(len(evts), func(i int) bool { return evts[i].At >= to })
+	return evts[lo:hi]
+}

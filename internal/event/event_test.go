@@ -1,0 +1,295 @@
+package event
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/device"
+)
+
+func ms(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestLessTotalOrder(t *testing.T) {
+	a := Event{At: ms(1), Device: 0, Value: 0}
+	b := Event{At: ms(2), Device: 0, Value: 0}
+	c := Event{At: ms(1), Device: 1, Value: 0}
+	d := Event{At: ms(1), Device: 0, Value: 5}
+	if !Less(a, b) || Less(b, a) {
+		t.Error("time ordering broken")
+	}
+	if !Less(a, c) || Less(c, a) {
+		t.Error("device tiebreak broken")
+	}
+	if !Less(a, d) || Less(d, a) {
+		t.Error("value tiebreak broken")
+	}
+	if Less(a, a) {
+		t.Error("Less should be irreflexive")
+	}
+}
+
+func TestSortAndIsSorted(t *testing.T) {
+	evts := []Event{
+		{At: ms(5), Device: 1},
+		{At: ms(1), Device: 2},
+		{At: ms(3), Device: 0},
+	}
+	if IsSorted(evts) {
+		t.Error("unsorted slice reported sorted")
+	}
+	Sort(evts)
+	if !IsSorted(evts) {
+		t.Error("Sort did not sort")
+	}
+	if evts[0].At != ms(1) || evts[2].At != ms(5) {
+		t.Errorf("bad order: %v", evts)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []Event{{At: ms(1)}, {At: ms(4)}, {At: ms(9)}}
+	b := []Event{{At: ms(2)}, {At: ms(4), Device: 1}, {At: ms(10)}}
+	out := Merge(a, b)
+	if len(out) != 6 {
+		t.Fatalf("merged length = %d, want 6", len(out))
+	}
+	if !IsSorted(out) {
+		t.Errorf("merge output unsorted: %v", out)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a := []Event{{At: ms(1)}}
+	if got := Merge(a, nil); len(got) != 1 {
+		t.Errorf("Merge(a, nil) = %v", got)
+	}
+	if got := Merge(nil, a); len(got) != 1 {
+		t.Errorf("Merge(nil, a) = %v", got)
+	}
+	if got := Merge(nil, nil); len(got) != 0 {
+		t.Errorf("Merge(nil, nil) = %v", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	evts := []Event{
+		{At: ms(0), Device: 0, Value: 1},
+		{At: ms(1500), Device: 3, Value: -2.25},
+		{At: ms(60000), Device: 7, Value: 21.375},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, evts); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != len(evts) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(evts))
+	}
+	for i := range evts {
+		if got[i] != evts[i] {
+			t.Errorf("event %d: got %v, want %v", i, got[i], evts[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"wrong field count", "millis,device,value\n1,2\n"},
+		{"bad millis", "x,1,2\n"},
+		{"bad device", "1,x,2\n"},
+		{"bad value", "1,2,x\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("ReadCSV(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("millis,device,value\n\n1,2,3\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("got %d events, want 1", len(got))
+	}
+}
+
+func TestSlice(t *testing.T) {
+	evts := []Event{
+		{At: ms(0)}, {At: ms(10)}, {At: ms(20)}, {At: ms(30)},
+	}
+	got := Slice(evts, ms(10), ms(30))
+	if len(got) != 2 || got[0].At != ms(10) || got[1].At != ms(20) {
+		t.Errorf("Slice = %v", got)
+	}
+	if got := Slice(evts, ms(100), ms(200)); len(got) != 0 {
+		t.Errorf("out-of-range Slice = %v", got)
+	}
+	if got := Slice(evts, ms(0), ms(0)); len(got) != 0 {
+		t.Errorf("empty-range Slice = %v", got)
+	}
+}
+
+// Property: Merge of two sorted slices is sorted and preserves multiset size.
+func TestMergeProperty(t *testing.T) {
+	f := func(aRaw, bRaw []uint16) bool {
+		a := make([]Event, len(aRaw))
+		for i, v := range aRaw {
+			a[i] = Event{At: ms(int64(v)), Device: device.ID(v % 5)}
+		}
+		b := make([]Event, len(bRaw))
+		for i, v := range bRaw {
+			b[i] = Event{At: ms(int64(v)), Device: device.ID(v % 7)}
+		}
+		Sort(a)
+		Sort(b)
+		out := Merge(a, b)
+		return len(out) == len(a)+len(b) && IsSorted(out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CSV round trip is the identity on arbitrary events.
+func TestCSVProperty(t *testing.T) {
+	f := func(raw []struct {
+		T uint32
+		D uint8
+		V int32
+	}) bool {
+		evts := make([]Event, len(raw))
+		for i, r := range raw {
+			evts[i] = Event{At: ms(int64(r.T)), Device: device.ID(r.D), Value: float64(r.V) / 8}
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, evts); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(evts) {
+			return false
+		}
+		for i := range evts {
+			if got[i] != evts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSort10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	base := make([]Event, 10000)
+	for i := range base {
+		base[i] = Event{At: ms(rng.Int63n(1 << 30)), Device: device.ID(rng.Intn(100))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmp := append([]Event(nil), base...)
+		Sort(tmp)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	evts := []Event{
+		{At: 0, Device: 0, Value: 1},
+		{At: 90 * time.Second, Device: 111, Value: -3.25},
+		{At: time.Hour, Device: 7, Value: 1e-9},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, evts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evts) {
+		t.Fatalf("length %d, want %d", len(got), len(evts))
+	}
+	for i := range evts {
+		if got[i] != evts[i] {
+			t.Errorf("event %d: %v != %v", i, got[i], evts[i])
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a dice file")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated records.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, []Event{{At: time.Second}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-4])); err == nil {
+		t.Error("truncated record accepted")
+	}
+	// Implausible count header.
+	huge := append([]byte("DICEEVT1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	if _, err := ReadBinary(bytes.NewReader(huge)); err == nil {
+		t.Error("implausible count accepted")
+	}
+}
+
+// Property: binary round trip is the identity (bit-exact values included).
+func TestBinaryProperty(t *testing.T) {
+	f := func(raw []struct {
+		T uint32
+		D uint8
+		V float64
+	}) bool {
+		evts := make([]Event, len(raw))
+		for i, r := range raw {
+			evts[i] = Event{At: ms(int64(r.T)), Device: device.ID(r.D), Value: r.V}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, evts); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil || len(got) != len(evts) {
+			return false
+		}
+		for i := range evts {
+			same := got[i].At == evts[i].At && got[i].Device == evts[i].Device
+			if !same {
+				return false
+			}
+			// NaN != NaN, so compare bit patterns.
+			if math.Float64bits(got[i].Value) != math.Float64bits(evts[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

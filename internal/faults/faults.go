@@ -1,0 +1,418 @@
+// Package faults implements the paper's fault taxonomy (§4.2) and injects
+// faults into windowed observations. Sensor faults follow Ni et al.'s
+// classification — outlier, stuck-at, high noise/variance, spike — plus
+// fail-stop; actuator faults are spurious activations and dead actuators.
+//
+// Injectors operate on window.Observation streams rather than raw events so
+// the exact same faulty data reaches DICE and every baseline detector.
+// All randomness is drawn from a caller-provided seed, keeping every
+// experiment reproducible.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// Type enumerates the injectable fault classes.
+type Type int
+
+// Fault classes. FailStop is the only fail-stop class; the remaining sensor
+// classes are non-fail-stop. ActuatorSpurious/ActuatorDead apply only to
+// actuators.
+const (
+	FailStop Type = iota + 1
+	Outlier
+	StuckAt
+	HighNoise
+	Spike
+	ActuatorSpurious
+	ActuatorDead
+)
+
+// String returns the fault class name.
+func (t Type) String() string {
+	switch t {
+	case FailStop:
+		return "fail-stop"
+	case Outlier:
+		return "outlier"
+	case StuckAt:
+		return "stuck-at"
+	case HighNoise:
+		return "high-noise"
+	case Spike:
+		return "spike"
+	case ActuatorSpurious:
+		return "actuator-spurious"
+	case ActuatorDead:
+		return "actuator-dead"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// SensorTypes lists the four non-fail-stop sensor fault classes of §4.2
+// plus fail-stop, i.e. everything the accuracy experiments draw from.
+func SensorTypes() []Type {
+	return []Type{FailStop, Outlier, StuckAt, HighNoise, Spike}
+}
+
+// ActuatorTypes lists the actuator fault classes (§5.1.3).
+func ActuatorTypes() []Type {
+	return []Type{ActuatorSpurious, ActuatorDead}
+}
+
+// IsActuatorFault reports whether t applies to actuators.
+func (t Type) IsActuatorFault() bool {
+	return t == ActuatorSpurious || t == ActuatorDead
+}
+
+// Fault describes one injected fault: a device, a class, and an onset
+// window (relative to the segment being corrupted). The fault persists from
+// the onset to the end of the segment, which is how the paper's segments
+// are built (one fault per duplicated segment).
+type Fault struct {
+	Device device.ID
+	Type   Type
+	// Onset is the first affected window index, counted from the start of
+	// the segment (not the recording).
+	Onset int
+}
+
+// String renders the fault for logs.
+func (f Fault) String() string {
+	return fmt.Sprintf("%s@dev%d+w%d", f.Type, int(f.Device), f.Onset)
+}
+
+// Injector rewrites observations to carry one or more faults. Construct
+// with NewInjector; one injector corrupts one segment.
+type Injector struct {
+	layout *window.Layout
+	rng    *rand.Rand
+	faults []Fault
+
+	// Per-fault mutable state.
+	stuckBinary  map[device.ID]bool    // stuck-at for binary: frozen fired state
+	stuckNumeric map[device.ID]float64 // stuck-at for numeric: frozen value
+	haveStuck    map[device.ID]bool
+}
+
+// NewInjector builds an injector for the layout applying the given faults.
+// It validates that every fault's class is compatible with its device kind.
+func NewInjector(layout *window.Layout, seed int64, faults ...Fault) (*Injector, error) {
+	if layout == nil {
+		return nil, fmt.Errorf("faults: nil layout")
+	}
+	for _, f := range faults {
+		d, err := layout.Registry().Get(f.Device)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %w", err)
+		}
+		if f.Type.IsActuatorFault() != (d.Kind == device.Actuator) {
+			return nil, fmt.Errorf("faults: %s cannot apply to %s device %q", f.Type, d.Kind, d.Name)
+		}
+		if f.Onset < 0 {
+			return nil, fmt.Errorf("faults: negative onset %d", f.Onset)
+		}
+	}
+	return &Injector{
+		layout:       layout,
+		rng:          rand.New(rand.NewSource(seed)),
+		faults:       append([]Fault(nil), faults...),
+		stuckBinary:  make(map[device.ID]bool),
+		stuckNumeric: make(map[device.ID]float64),
+		haveStuck:    make(map[device.ID]bool),
+	}, nil
+}
+
+// Faults returns a copy of the configured faults.
+func (in *Injector) Faults() []Fault { return append([]Fault(nil), in.faults...) }
+
+// FaultyDevices returns the distinct faulty device IDs, ascending.
+func (in *Injector) FaultyDevices() []device.ID {
+	seen := make(map[device.ID]bool)
+	var out []device.ID
+	for _, f := range in.faults {
+		if !seen[f.Device] {
+			seen[f.Device] = true
+			out = append(out, f.Device)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Apply returns a corrupted copy of the observation; segIdx is the window's
+// index within the segment (0-based). The input is never mutated. Windows
+// before every fault's onset are still deep-copied so callers can treat the
+// output uniformly.
+func (in *Injector) Apply(o *window.Observation, segIdx int) *window.Observation {
+	out := o.Clone()
+	for _, f := range in.faults {
+		if segIdx < f.Onset {
+			continue
+		}
+		in.applyOne(out, f, segIdx)
+	}
+	return out
+}
+
+func (in *Injector) applyOne(o *window.Observation, f Fault, segIdx int) {
+	if f.Type.IsActuatorFault() {
+		in.applyActuator(o, f)
+		return
+	}
+	if slot, ok := in.layout.BinarySlot(f.Device); ok {
+		in.applyBinary(o, f, slot, segIdx)
+		return
+	}
+	if slot, ok := in.layout.NumericSlot(f.Device); ok {
+		in.applyNumeric(o, f, slot, segIdx)
+	}
+}
+
+func (in *Injector) applyBinary(o *window.Observation, f Fault, slot, segIdx int) {
+	switch f.Type {
+	case FailStop:
+		o.Binary[slot] = false
+	case StuckAt:
+		if !in.haveStuck[f.Device] {
+			in.haveStuck[f.Device] = true
+			// Half of stuck-at faults freeze the output at whatever it was
+			// when the fault hit; the other half latch the opposite state
+			// (a shorted or floating line), per Ni et al.'s taxonomy.
+			frozen := o.Binary[slot]
+			if in.rng.Float64() < 0.5 {
+				frozen = !frozen
+			}
+			in.stuckBinary[f.Device] = frozen
+		}
+		o.Binary[slot] = in.stuckBinary[f.Device]
+	case Outlier:
+		// Sporadic false firings / misses: flip the bit ~15% of windows.
+		if in.rng.Float64() < 0.15 {
+			o.Binary[slot] = !o.Binary[slot]
+		}
+	case HighNoise:
+		// Chattering sensor: random state roughly half the time.
+		if in.rng.Float64() < 0.5 {
+			o.Binary[slot] = in.rng.Intn(2) == 1
+		}
+	case Spike:
+		// Bursts of spurious firings: a few windows right after onset and
+		// periodically afterwards.
+		if (segIdx-f.Onset)%7 < 2 {
+			o.Binary[slot] = true
+		}
+	}
+}
+
+func (in *Injector) applyNumeric(o *window.Observation, f Fault, slot, segIdx int) {
+	samples := o.Numeric[slot]
+	switch f.Type {
+	case FailStop:
+		o.Numeric[slot] = nil
+	case StuckAt:
+		if !in.haveStuck[f.Device] {
+			in.haveStuck[f.Device] = true
+			v := 0.0
+			if len(samples) > 0 {
+				v = samples[0]
+			}
+			// Half of stuck-at faults latch an arbitrary wrong level (an
+			// ADC rail or floating input) rather than the in-range value
+			// at onset.
+			if in.rng.Float64() < 0.5 {
+				v += outlierMagnitude(samples) * sign(in.rng)
+			}
+			in.stuckNumeric[f.Device] = v
+		}
+		stuck := in.stuckNumeric[f.Device]
+		if len(samples) == 0 {
+			o.Numeric[slot] = []float64{stuck, stuck, stuck}
+		} else {
+			for i := range samples {
+				samples[i] = stuck
+			}
+		}
+	case Outlier:
+		// One anomalous sample in ~20% of windows.
+		if len(samples) > 0 && in.rng.Float64() < 0.2 {
+			i := in.rng.Intn(len(samples))
+			samples[i] += outlierMagnitude(samples) * sign(in.rng)
+		}
+	case HighNoise:
+		scale := outlierMagnitude(samples) / 2
+		for i := range samples {
+			samples[i] += in.rng.NormFloat64() * scale
+		}
+	case Spike:
+		// Several consecutive samples far above the expected value,
+		// recurring every few windows.
+		if len(samples) > 0 && (segIdx-f.Onset)%5 < 2 {
+			mag := outlierMagnitude(samples)
+			for i := range samples {
+				if i >= len(samples)/2 {
+					samples[i] += mag
+				}
+			}
+		}
+	}
+}
+
+func (in *Injector) applyActuator(o *window.Observation, f Fault) {
+	switch f.Type {
+	case ActuatorSpurious:
+		// The actuator fires on its own in ~40% of windows.
+		if in.rng.Float64() < 0.4 && !containsID(o.Actuated, f.Device) {
+			o.Actuated = insertID(o.Actuated, f.Device)
+		}
+	case ActuatorDead:
+		// The actuator never fires again.
+		o.Actuated = removeID(o.Actuated, f.Device)
+	}
+}
+
+// outlierMagnitude sizes a disturbance relative to the window's own scale:
+// ten times the in-window spread, floored at 10 absolute units so that
+// near-constant signals still get visibly corrupted.
+func outlierMagnitude(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 10
+	}
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	m := (hi - lo) * 10
+	base := math.Abs(samples[0]) * 2
+	if m < base {
+		m = base
+	}
+	if m < 10 {
+		m = 10
+	}
+	return m
+}
+
+func sign(rng *rand.Rand) float64 {
+	if rng.Intn(2) == 0 {
+		return -1
+	}
+	return 1
+}
+
+func containsID(ids []device.ID, id device.ID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func insertID(ids []device.ID, id device.ID) []device.ID {
+	pos := len(ids)
+	for i, v := range ids {
+		if id < v {
+			pos = i
+			break
+		}
+	}
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	return ids
+}
+
+func removeID(ids []device.ID, id device.ID) []device.ID {
+	out := ids[:0]
+	for _, v := range ids {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Plan draws a random fault assignment for an accuracy experiment: n
+// distinct sensors (or actuators for actuator fault classes), each with a
+// random compatible class and a random onset within [minOnset, maxOnset).
+// It mirrors §4.2: "the sensor type, fault type, and the insertion time
+// were chosen randomly".
+func Plan(layout *window.Layout, rng *rand.Rand, n int, classes []Type, minOnset, maxOnset int) ([]Fault, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("faults: plan size %d", n)
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("faults: no fault classes")
+	}
+	if maxOnset <= minOnset {
+		return nil, fmt.Errorf("faults: empty onset range [%d, %d)", minOnset, maxOnset)
+	}
+	actuatorOnly := true
+	sensorOnly := true
+	for _, c := range classes {
+		if c.IsActuatorFault() {
+			sensorOnly = false
+		} else {
+			actuatorOnly = false
+		}
+	}
+	if !actuatorOnly && !sensorOnly {
+		return nil, fmt.Errorf("faults: plan cannot mix sensor and actuator classes")
+	}
+	reg := layout.Registry()
+	var pool []device.ID
+	if actuatorOnly {
+		pool = reg.Actuators()
+	} else {
+		pool = append(reg.Binaries(), reg.Numerics()...)
+	}
+	return PlanPool(rng, pool, n, classes, minOnset, maxOnset)
+}
+
+// PlanPool is Plan with an explicit device pool. The evaluation harness
+// uses it to restrict fault targets to devices that actually produce data
+// in the segment under test: corrupting a silent sensor yields a segment
+// byte-identical to the fault-free one, for which "detection" is
+// ill-defined.
+func PlanPool(rng *rand.Rand, pool []device.ID, n int, classes []Type, minOnset, maxOnset int) ([]Fault, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("faults: plan size %d", n)
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("faults: no fault classes")
+	}
+	if maxOnset <= minOnset {
+		return nil, fmt.Errorf("faults: empty onset range [%d, %d)", minOnset, maxOnset)
+	}
+	if len(pool) < n {
+		return nil, fmt.Errorf("faults: want %d devices, pool has %d", n, len(pool))
+	}
+	pool = append([]device.ID(nil), pool...)
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	out := make([]Fault, n)
+	for i := 0; i < n; i++ {
+		out[i] = Fault{
+			Device: pool[i],
+			Type:   classes[rng.Intn(len(classes))],
+			Onset:  minOnset + rng.Intn(maxOnset-minOnset),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,369 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// faultLayout: devices 0-1 binary, 2-3 numeric, 4 actuator.
+func faultLayout(t testing.TB) *window.Layout {
+	t.Helper()
+	reg := device.NewRegistry()
+	reg.MustAdd("m0", device.Binary, device.Motion, "a")
+	reg.MustAdd("m1", device.Binary, device.Motion, "b")
+	reg.MustAdd("t0", device.Numeric, device.Temperature, "a")
+	reg.MustAdd("l0", device.Numeric, device.Light, "b")
+	reg.MustAdd("bulb", device.Actuator, device.SmartBulb, "b")
+	return window.NewLayout(reg)
+}
+
+// normalObs: both motions fired, both numerics reporting, bulb fired.
+func normalObs(l *window.Layout, idx int) *window.Observation {
+	o := l.NewObservation(idx)
+	o.Binary[0] = true
+	o.Binary[1] = true
+	o.Numeric[0] = []float64{20, 21, 22}
+	o.Numeric[1] = []float64{100, 101, 99}
+	o.Actuated = []device.ID{4}
+	return o
+}
+
+func mustInjector(t testing.TB, l *window.Layout, seed int64, fs ...Fault) *Injector {
+	t.Helper()
+	in, err := NewInjector(l, seed, fs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewInjectorValidation(t *testing.T) {
+	l := faultLayout(t)
+	if _, err := NewInjector(nil, 1); err == nil {
+		t.Error("nil layout accepted")
+	}
+	if _, err := NewInjector(l, 1, Fault{Device: 99, Type: FailStop}); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if _, err := NewInjector(l, 1, Fault{Device: 4, Type: FailStop}); err == nil {
+		t.Error("sensor fault on actuator accepted")
+	}
+	if _, err := NewInjector(l, 1, Fault{Device: 0, Type: ActuatorDead}); err == nil {
+		t.Error("actuator fault on sensor accepted")
+	}
+	if _, err := NewInjector(l, 1, Fault{Device: 0, Type: FailStop, Onset: -1}); err == nil {
+		t.Error("negative onset accepted")
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 1, Fault{Device: 2, Type: HighNoise, Onset: 0})
+	o := normalObs(l, 0)
+	before := o.Numeric[0][0]
+	_ = in.Apply(o, 0)
+	if o.Numeric[0][0] != before {
+		t.Error("Apply mutated its input")
+	}
+}
+
+func TestOnsetRespected(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 1, Fault{Device: 0, Type: FailStop, Onset: 5})
+	pre := in.Apply(normalObs(l, 4), 4)
+	if !pre.Binary[0] {
+		t.Error("fault applied before onset")
+	}
+	post := in.Apply(normalObs(l, 5), 5)
+	if post.Binary[0] {
+		t.Error("fault not applied at onset")
+	}
+}
+
+func TestFailStopBinary(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 1, Fault{Device: 1, Type: FailStop, Onset: 0})
+	got := in.Apply(normalObs(l, 0), 0)
+	if got.Binary[1] {
+		t.Error("fail-stop binary still fires")
+	}
+	if !got.Binary[0] {
+		t.Error("fault leaked to another sensor")
+	}
+}
+
+func TestFailStopNumericEmptiesWindow(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 1, Fault{Device: 2, Type: FailStop, Onset: 0})
+	got := in.Apply(normalObs(l, 0), 0)
+	if len(got.Numeric[0]) != 0 {
+		t.Errorf("fail-stop numeric reported %v", got.Numeric[0])
+	}
+	if len(got.Numeric[1]) == 0 {
+		t.Error("fault leaked to another numeric sensor")
+	}
+}
+
+func TestStuckAtNumericFreezesFirstSeenValue(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 1, Fault{Device: 2, Type: StuckAt, Onset: 2})
+	// Window 2 is the first faulty one; the stuck value is its first sample.
+	w2 := in.Apply(normalObs(l, 2), 2)
+	stuck := w2.Numeric[0][0]
+	for _, s := range w2.Numeric[0] {
+		if s != stuck {
+			t.Errorf("window 2 not constant: %v", w2.Numeric[0])
+		}
+	}
+	// Later windows report the SAME frozen value even though the input
+	// differs.
+	later := normalObs(l, 7)
+	later.Numeric[0] = []float64{55, 56, 57}
+	w7 := in.Apply(later, 7)
+	for _, s := range w7.Numeric[0] {
+		if s != stuck {
+			t.Errorf("window 7 diverged from stuck value %v: %v", stuck, w7.Numeric[0])
+		}
+	}
+}
+
+func TestStuckAtNumericOnEmptyWindowStillReports(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 1, Fault{Device: 2, Type: StuckAt, Onset: 0})
+	o := normalObs(l, 0)
+	o.Numeric[0] = nil
+	got := in.Apply(o, 0)
+	if len(got.Numeric[0]) == 0 {
+		t.Error("stuck-at on empty window should fabricate the stuck value")
+	}
+}
+
+func TestStuckAtBinaryFreezesState(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 1, Fault{Device: 0, Type: StuckAt, Onset: 0})
+	// First faulty window has the sensor fired: it freezes to "fired".
+	w0 := in.Apply(normalObs(l, 0), 0)
+	if !w0.Binary[0] {
+		t.Error("stuck-at should freeze the first observed state")
+	}
+	quiet := normalObs(l, 1)
+	quiet.Binary[0] = false
+	w1 := in.Apply(quiet, 1)
+	if !w1.Binary[0] {
+		t.Error("stuck-at binary did not hold frozen state")
+	}
+}
+
+func TestOutlierNumericOccasionallyPerturbs(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 42, Fault{Device: 3, Type: Outlier, Onset: 0})
+	changed := 0
+	for i := 0; i < 200; i++ {
+		got := in.Apply(normalObs(l, i), i)
+		for j, s := range got.Numeric[1] {
+			if s != normalObs(l, i).Numeric[1][j] {
+				changed++
+				break
+			}
+		}
+	}
+	if changed == 0 {
+		t.Error("outlier never perturbed any window")
+	}
+	if changed > 120 {
+		t.Errorf("outlier perturbed %d/200 windows; should be sporadic", changed)
+	}
+}
+
+func TestHighNoisePerturbsEveryWindow(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 7, Fault{Device: 2, Type: HighNoise, Onset: 0})
+	got := in.Apply(normalObs(l, 0), 0)
+	same := true
+	for j, s := range got.Numeric[0] {
+		if s != normalObs(l, 0).Numeric[0][j] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("high-noise left the window untouched")
+	}
+}
+
+func TestSpikeRaisesLaterSamples(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 7, Fault{Device: 2, Type: Spike, Onset: 0})
+	got := in.Apply(normalObs(l, 0), 0) // (0-0)%5 < 2: spiking window
+	orig := normalObs(l, 0).Numeric[0]
+	if got.Numeric[0][len(orig)-1] <= orig[len(orig)-1] {
+		t.Errorf("spike did not raise tail samples: %v", got.Numeric[0])
+	}
+	// Window 2 is outside the spike burst.
+	calm := in.Apply(normalObs(l, 2), 2)
+	for j, s := range calm.Numeric[0] {
+		if s != orig[j] {
+			t.Errorf("non-burst window perturbed: %v", calm.Numeric[0])
+		}
+	}
+}
+
+func TestActuatorDeadRemovesActivation(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 1, Fault{Device: 4, Type: ActuatorDead, Onset: 0})
+	got := in.Apply(normalObs(l, 0), 0)
+	if len(got.Actuated) != 0 {
+		t.Errorf("dead actuator still fired: %v", got.Actuated)
+	}
+}
+
+func TestActuatorSpuriousAddsActivation(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 3, Fault{Device: 4, Type: ActuatorSpurious, Onset: 0})
+	fired := 0
+	for i := 0; i < 100; i++ {
+		o := l.NewObservation(i) // bulb NOT fired normally
+		got := in.Apply(o, i)
+		if len(got.Actuated) == 1 && got.Actuated[0] == 4 {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Error("spurious actuator never fired")
+	}
+	if fired == 100 {
+		t.Error("spurious actuator fired every window; should be random")
+	}
+}
+
+func TestFaultyDevicesSortedDistinct(t *testing.T) {
+	l := faultLayout(t)
+	in := mustInjector(t, l, 1,
+		Fault{Device: 3, Type: Outlier, Onset: 0},
+		Fault{Device: 0, Type: FailStop, Onset: 0},
+		Fault{Device: 3, Type: Spike, Onset: 5},
+	)
+	got := in.FaultyDevices()
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("FaultyDevices = %v, want [0 3]", got)
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	l := faultLayout(t)
+	run := func(seed int64) []float64 {
+		in := mustInjector(t, l, seed, Fault{Device: 2, Type: HighNoise, Onset: 0})
+		var out []float64
+		for i := 0; i < 10; i++ {
+			got := in.Apply(normalObs(l, i), i)
+			out = append(out, got.Numeric[0]...)
+		}
+		return out
+	}
+	a, b := run(5), run(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different corruption")
+		}
+	}
+	c := run(6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corruption")
+	}
+}
+
+func TestPlanDrawsValidFaults(t *testing.T) {
+	l := faultLayout(t)
+	rng := rand.New(rand.NewSource(9))
+	fs, err := Plan(l, rng, 2, SensorTypes(), 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("plan size = %d", len(fs))
+	}
+	if fs[0].Device == fs[1].Device {
+		t.Error("plan repeated a device")
+	}
+	for _, f := range fs {
+		if f.Onset < 10 || f.Onset >= 50 {
+			t.Errorf("onset %d outside [10, 50)", f.Onset)
+		}
+		if f.Type.IsActuatorFault() {
+			t.Errorf("sensor plan drew actuator fault %v", f.Type)
+		}
+		if _, err := NewInjector(l, 1, f); err != nil {
+			t.Errorf("plan produced invalid fault: %v", err)
+		}
+	}
+}
+
+func TestPlanActuators(t *testing.T) {
+	l := faultLayout(t)
+	rng := rand.New(rand.NewSource(9))
+	fs, err := Plan(l, rng, 1, ActuatorTypes(), 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs[0].Device != 4 {
+		t.Errorf("actuator plan picked device %d", fs[0].Device)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	l := faultLayout(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Plan(l, rng, 0, SensorTypes(), 0, 10); err == nil {
+		t.Error("zero plan size accepted")
+	}
+	if _, err := Plan(l, rng, 1, nil, 0, 10); err == nil {
+		t.Error("empty classes accepted")
+	}
+	if _, err := Plan(l, rng, 1, SensorTypes(), 5, 5); err == nil {
+		t.Error("empty onset range accepted")
+	}
+	if _, err := Plan(l, rng, 10, SensorTypes(), 0, 10); err == nil {
+		t.Error("oversized plan accepted")
+	}
+	mixed := []Type{FailStop, ActuatorDead}
+	if _, err := Plan(l, rng, 1, mixed, 0, 10); err == nil {
+		t.Error("mixed sensor/actuator classes accepted")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for _, tt := range []Type{FailStop, Outlier, StuckAt, HighNoise, Spike, ActuatorSpurious, ActuatorDead} {
+		if tt.String() == "" {
+			t.Errorf("empty name for %d", int(tt))
+		}
+	}
+	if Type(99).String() == "" {
+		t.Error("unknown type should render")
+	}
+}
+
+func BenchmarkApplyHighNoise(b *testing.B) {
+	reg := device.NewRegistry()
+	reg.MustAdd("t0", device.Numeric, device.Temperature, "a")
+	l := window.NewLayout(reg)
+	in, err := NewInjector(l, 1, Fault{Device: 0, Type: HighNoise, Onset: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := l.NewObservation(0)
+	o.Numeric[0] = []float64{20, 21, 22, 23, 24}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Apply(o, i)
+	}
+}

@@ -1,0 +1,208 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/coap"
+	"repro/internal/device"
+	"repro/internal/event"
+)
+
+// Wire format for device reports: devices POST a batch of readings to
+// /report; the gateway windows them and runs DICE. A device may also POST
+// /advance to push stream time forward during silent stretches (the
+// simulated aggregators do this once per minute), and GET /stats for the
+// gateway counters.
+
+// WireEvent is one reading in a report payload.
+type WireEvent struct {
+	// AtMS is the stream-time offset in milliseconds.
+	AtMS int64 `json:"at"`
+	// Device is the device ID in the shared registry.
+	Device int `json:"d"`
+	// Value is the reading.
+	Value float64 `json:"v"`
+}
+
+// wireAdvance is the /advance payload.
+type wireAdvance struct {
+	AtMS int64 `json:"at"`
+}
+
+// Front serves the gateway's CoAP API.
+type Front struct {
+	gw  *Gateway
+	srv *coap.Server
+}
+
+// ServeCoAP starts the CoAP front end on addr (":0" picks a free port).
+func ServeCoAP(gw *Gateway, addr string) (*Front, error) {
+	f := &Front{gw: gw}
+	srv, err := coap.ListenAndServe(addr, f.handle)
+	if err != nil {
+		return nil, err
+	}
+	f.srv = srv
+	return f, nil
+}
+
+// Addr returns the bound UDP address string.
+func (f *Front) Addr() string { return f.srv.Addr().String() }
+
+// Close stops the front end.
+func (f *Front) Close() error { return f.srv.Close() }
+
+func (f *Front) handle(req *coap.Message) *coap.Message {
+	switch req.Path() {
+	case "report":
+		if req.Code != coap.CodePOST {
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte("POST only")}
+		}
+		var batch []WireEvent
+		if err := json.Unmarshal(req.Payload, &batch); err != nil {
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(err.Error())}
+		}
+		for _, w := range batch {
+			e := event.Event{
+				At:     time.Duration(w.AtMS) * time.Millisecond,
+				Device: device.ID(w.Device),
+				Value:  w.Value,
+			}
+			if err := f.gw.Ingest(e); err != nil {
+				return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(err.Error())}
+			}
+		}
+		return &coap.Message{Code: coap.CodeChanged}
+	case "advance":
+		var adv wireAdvance
+		if err := json.Unmarshal(req.Payload, &adv); err != nil {
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(err.Error())}
+		}
+		if err := f.gw.AdvanceTo(time.Duration(adv.AtMS) * time.Millisecond); err != nil {
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(err.Error())}
+		}
+		return &coap.Message{Code: coap.CodeChanged}
+	case "stats":
+		data, err := json.Marshal(f.gw.Stats())
+		if err != nil {
+			return &coap.Message{Code: coap.CodeInternal}
+		}
+		return &coap.Message{Code: coap.CodeContent, Payload: data}
+	default:
+		return &coap.Message{Code: coap.CodeNotFound}
+	}
+}
+
+// Agent is the device-side helper: it batches readings and posts them to a
+// gateway front end.
+type Agent struct {
+	cli     *coap.Client
+	pending []WireEvent
+	// BatchSize is how many readings are sent per POST (default 16).
+	BatchSize int
+	// Timeout bounds each exchange (default 5s).
+	Timeout time.Duration
+}
+
+// NewAgent dials a gateway front end.
+func NewAgent(addr string) (*Agent, error) {
+	cli, err := coap.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{cli: cli, BatchSize: 16, Timeout: 5 * time.Second}, nil
+}
+
+// Close flushes pending readings and releases the socket.
+func (a *Agent) Close() error {
+	flushErr := a.Flush()
+	closeErr := a.cli.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Report queues one reading, flushing when the batch is full.
+func (a *Agent) Report(e event.Event) error {
+	a.pending = append(a.pending, WireEvent{
+		AtMS:   e.At.Milliseconds(),
+		Device: int(e.Device),
+		Value:  e.Value,
+	})
+	if len(a.pending) >= a.BatchSize {
+		return a.Flush()
+	}
+	return nil
+}
+
+// Flush posts all queued readings.
+func (a *Agent) Flush() error {
+	if len(a.pending) == 0 {
+		return nil
+	}
+	payload, err := json.Marshal(a.pending)
+	if err != nil {
+		return err
+	}
+	req := &coap.Message{Code: coap.CodePOST, Payload: payload}
+	req.SetPath("report")
+	resp, err := a.do(req)
+	if err != nil {
+		return err
+	}
+	if resp.Code != coap.CodeChanged {
+		return fmt.Errorf("gateway: report rejected: %s %s", resp.Code, resp.Payload)
+	}
+	a.pending = a.pending[:0]
+	return nil
+}
+
+// Advance pushes the gateway's stream clock to t.
+func (a *Agent) Advance(t time.Duration) error {
+	if err := a.Flush(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(wireAdvance{AtMS: t.Milliseconds()})
+	if err != nil {
+		return err
+	}
+	req := &coap.Message{Code: coap.CodePOST, Payload: payload}
+	req.SetPath("advance")
+	resp, err := a.do(req)
+	if err != nil {
+		return err
+	}
+	if resp.Code != coap.CodeChanged {
+		return fmt.Errorf("gateway: advance rejected: %s %s", resp.Code, resp.Payload)
+	}
+	return nil
+}
+
+// Stats fetches the gateway counters.
+func (a *Agent) Stats() (Stats, error) {
+	req := &coap.Message{Code: coap.CodeGET}
+	req.SetPath("stats")
+	resp, err := a.do(req)
+	if err != nil {
+		return Stats{}, err
+	}
+	var s Stats
+	if err := json.Unmarshal(resp.Payload, &s); err != nil {
+		return Stats{}, fmt.Errorf("gateway: bad stats payload: %w", err)
+	}
+	return s, nil
+}
+
+func (a *Agent) do(req *coap.Message) (*coap.Message, error) {
+	timeout := a.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return a.cli.Do(ctx, req)
+}

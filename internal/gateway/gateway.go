@@ -1,0 +1,146 @@
+// Package gateway is the home-gateway runtime of Figure 3.1: it ingests
+// timestamped device events (in-process or over CoAP), windows them into
+// fixed durations, runs the DICE detector online, and publishes alerts.
+// The same window.Builder drives both this gateway and the batch
+// evaluator, so online and offline detection are behaviourally identical.
+package gateway
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/event"
+	"repro/internal/window"
+)
+
+// Alert is a detector alert enriched with gateway metadata.
+type Alert struct {
+	// Devices are the probable faulty devices, resolved to full records.
+	Devices []device.Device
+	// Cause is the check that detected the underlying violation.
+	Cause core.CheckKind
+	// DetectedAt / ReportedAt are stream times (offsets from stream start).
+	DetectedAt time.Duration
+	ReportedAt time.Duration
+}
+
+// Stats counts gateway activity.
+type Stats struct {
+	Events        int64
+	Windows       int64
+	Violations    int64
+	Alerts        int64
+	AlertsDropped int64
+}
+
+// Gateway runs DICE over a live event stream. Events must be ingested in
+// non-decreasing time order (the CoAP front end enforces this per device
+// and tolerates cross-device skew up to the window duration).
+type Gateway struct {
+	mu      sync.Mutex
+	det     *core.Detector
+	builder *window.Builder
+	reg     *device.Registry
+	alerts  chan Alert
+	stats   Stats
+	horizon time.Duration
+}
+
+// New builds a gateway around a trained context.
+func New(ctx *core.Context, cfg core.Config) (*Gateway, error) {
+	det, err := core.NewDetector(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Gateway{
+		det:     det,
+		builder: window.NewBuilder(ctx.Layout(), ctx.Duration()),
+		reg:     ctx.Layout().Registry(),
+		alerts:  make(chan Alert, 64),
+	}, nil
+}
+
+// Alerts returns the alert channel. It is never closed; buffer overruns
+// increment Stats.AlertsDropped rather than blocking detection.
+func (g *Gateway) Alerts() <-chan Alert { return g.alerts }
+
+// Stats returns a snapshot of the counters.
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Ingest feeds one event. Completed windows are run through the detector
+// immediately.
+func (g *Gateway) Ingest(e event.Event) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if e.At < g.horizon {
+		return fmt.Errorf("gateway: event at %s regresses behind %s", e.At, g.horizon)
+	}
+	g.stats.Events++
+	done, err := g.builder.Add(e)
+	if err != nil {
+		return err
+	}
+	return g.processLocked(done)
+}
+
+// AdvanceTo declares that stream time has reached t, closing any windows
+// that ended before it even if no events arrived (a silent home must still
+// produce windows: an all-quiet window is itself a state set).
+func (g *Gateway) AdvanceTo(t time.Duration) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t <= g.horizon {
+		return nil
+	}
+	g.horizon = t
+	done, err := g.builder.AdvanceTo(t)
+	if err != nil {
+		return err
+	}
+	return g.processLocked(done)
+}
+
+// processLocked runs completed windows through the detector.
+func (g *Gateway) processLocked(obs []*window.Observation) error {
+	d := g.builder.Duration()
+	for _, o := range obs {
+		res, err := g.det.Process(o)
+		if err != nil {
+			return err
+		}
+		g.stats.Windows++
+		if res.Detected {
+			g.stats.Violations++
+		}
+		if res.Alert != nil {
+			g.emit(res.Alert, d)
+		}
+	}
+	return nil
+}
+
+func (g *Gateway) emit(a *core.Alert, d time.Duration) {
+	out := Alert{
+		Cause:      a.Cause,
+		DetectedAt: time.Duration(a.DetectedWindow) * d,
+		ReportedAt: time.Duration(a.ReportedWindow) * d,
+	}
+	for _, id := range a.Devices {
+		if dev, err := g.reg.Get(id); err == nil {
+			out.Devices = append(out.Devices, dev)
+		}
+	}
+	select {
+	case g.alerts <- out:
+		g.stats.Alerts++
+	default:
+		g.stats.AlertsDropped++
+	}
+}

@@ -1,0 +1,251 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV, one renderer per table/figure of the paper, so `dice-eval` output
+// can be diffed against EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/eval"
+	"repro/internal/simhome"
+)
+
+// Table is a simple aligned-text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("## " + t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	sb.WriteString("\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// CSV writes the table as CSV.
+func (t *Table) CSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Headers, ",") + "\n")
+	for _, r := range t.Rows {
+		sb.WriteString(strings.Join(r, ",") + "\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Datasets renders Table 4.1: the dataset inventory.
+func Datasets(specs []simhome.Spec) *Table {
+	t := &Table{
+		Title:   "Table 4.1 — Datasets",
+		Headers: []string{"dataset", "hours", "binary", "numeric", "actuators", "activities", "residents"},
+	}
+	for _, s := range specs {
+		nb, nn, na := 0, 0, 0
+		for _, d := range s.Devices {
+			switch d.Kind {
+			case device.Binary:
+				nb++
+			case device.Numeric:
+				nn++
+			case device.Actuator:
+				na++
+			}
+		}
+		t.AddRow(s.Name, s.Hours, nb, nn, na, s.NumActivities, s.Residents)
+	}
+	return t
+}
+
+// Accuracy renders Fig 5.1a+b: detection and identification accuracy.
+func Accuracy(results []*eval.DatasetResult) *Table {
+	t := &Table{
+		Title: "Fig 5.1 — Detection and Identification Accuracy",
+		Headers: []string{"dataset", "det-precision", "det-recall",
+			"id-precision", "id-recall"},
+	}
+	var dp, dr, ip, ir float64
+	for _, r := range results {
+		t.AddRow(r.Name, pct(r.Detection.Precision()), pct(r.Detection.Recall()),
+			pct(r.Identification.Precision()), pct(r.Identification.Recall()))
+		dp += r.Detection.Precision()
+		dr += r.Detection.Recall()
+		ip += r.Identification.Precision()
+		ir += r.Identification.Recall()
+	}
+	n := float64(len(results))
+	if n > 0 {
+		t.AddRow("AVERAGE", pct(dp/n), pct(dr/n), pct(ip/n), pct(ir/n))
+	}
+	return t
+}
+
+// Latency renders Fig 5.2: detection and identification time.
+func Latency(results []*eval.DatasetResult) *Table {
+	t := &Table{
+		Title:   "Fig 5.2 — Detection and Identification Time (minutes)",
+		Headers: []string{"dataset", "detect-min", "identify-min"},
+	}
+	for _, r := range results {
+		t.AddRow(r.Name, r.MeanDetectMinutes, r.MeanIdentifyMinutes)
+	}
+	return t
+}
+
+// CheckLatency renders Table 5.1: detection time by check type.
+func CheckLatency(results []*eval.DatasetResult) *Table {
+	t := &Table{
+		Title:   "Table 5.1 — Detection Time by Check (minutes)",
+		Headers: []string{"dataset", "correlation-check", "transition-check"},
+	}
+	for _, r := range results {
+		c, hasC := r.DetectMinutesByCheck["correlation"]
+		tr, hasT := r.DetectMinutesByCheck["transition"]
+		cs, ts := "-", "-"
+		if hasC {
+			cs = fmt.Sprintf("%.1f", c)
+		}
+		if hasT {
+			ts = fmt.Sprintf("%.1f", tr)
+		}
+		t.AddRow(r.Name, cs, ts)
+	}
+	return t
+}
+
+// Degree renders Table 5.2: correlation degree and sensor counts.
+func Degree(results []*eval.DatasetResult) *Table {
+	t := &Table{
+		Title:   "Table 5.2 — Correlation Degree",
+		Headers: []string{"dataset", "degree", "sensors", "groups"},
+	}
+	for _, r := range results {
+		t.AddRow(r.Name, r.Degree, r.NumSensors, r.NumGroups)
+	}
+	return t
+}
+
+// ComputeTime renders Fig 5.3: per-window computation time by stage, in
+// microseconds (sub-microsecond stages matter here).
+func ComputeTime(results []*eval.DatasetResult) *Table {
+	t := &Table{
+		Title:   "Fig 5.3 — Computation Time per Window (µs)",
+		Headers: []string{"dataset", "correlation", "transition", "identification"},
+	}
+	us := func(d time.Duration) string {
+		return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1000.0)
+	}
+	for _, r := range results {
+		t.AddRow(r.Name, us(r.CorrelationCheckTime), us(r.TransitionCheckTime), us(r.IdentifyTime))
+	}
+	return t
+}
+
+// DetectionRatio renders Fig 5.4: share of faults caught per check family,
+// by fault type, pooled across the given results.
+func DetectionRatio(results []*eval.DatasetResult) *Table {
+	t := &Table{
+		Title:   "Fig 5.4 — Detection Ratio by Fault Type",
+		Headers: []string{"fault-type", "by-correlation", "by-transition", "n"},
+	}
+	pool := make(map[string][2]int)
+	for _, r := range results {
+		for typ, cnt := range r.DetectByType {
+			c := pool[typ]
+			c[0] += cnt[0]
+			c[1] += cnt[1]
+			pool[typ] = c
+		}
+	}
+	types := make([]string, 0, len(pool))
+	for typ := range pool {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	for _, typ := range types {
+		c := pool[typ]
+		n := c[0] + c[1]
+		if n == 0 {
+			continue
+		}
+		t.AddRow(typ, pct(float64(c[0])/float64(n)), pct(float64(c[1])/float64(n)), n)
+	}
+	return t
+}
+
+// Ablations renders the §VI parameter study.
+func Ablations(results []*eval.AblationResult) *Table {
+	t := &Table{
+		Title: "§VI — Parameter Ablations",
+		Headers: []string{"variant", "precompute-h", "segment-h", "duration-min",
+			"det-P", "det-R", "id-P", "id-R", "groups"},
+	}
+	for _, a := range results {
+		t.AddRow(a.Label, a.PrecomputeHours, a.SegmentHours, a.DurationMinutes,
+			pct(a.Detection.Precision()), pct(a.Detection.Recall()),
+			pct(a.Identification.Precision()), pct(a.Identification.Recall()),
+			a.NumGroups)
+	}
+	return t
+}

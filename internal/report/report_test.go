@@ -1,0 +1,163 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/simhome"
+)
+
+func sampleResults() []*eval.DatasetResult {
+	r1 := &eval.DatasetResult{
+		Name:       "houseA",
+		NumSensors: 14,
+		NumGroups:  11,
+		Degree:     1.6,
+		DetectMinutesByCheck: map[string]float64{
+			"correlation": 12.5,
+			"transition":  30.0,
+		},
+		MeanDetectMinutes:    15,
+		MeanIdentifyMinutes:  30,
+		CorrelationCheckTime: 1500 * time.Nanosecond,
+		TransitionCheckTime:  200 * time.Nanosecond,
+		DetectByType: map[string][2]int{
+			"fail-stop": {9, 1},
+			"stuck-at":  {2, 8},
+		},
+	}
+	r1.Detection.AddTP(45)
+	r1.Detection.AddFP(5)
+	r1.Detection.AddFN(5)
+	r1.Identification.AddTP(40)
+	r1.Identification.AddFP(10)
+	r1.Identification.AddFN(10)
+	r2 := &eval.DatasetResult{
+		Name:                 "D_houseA",
+		NumSensors:           37,
+		NumGroups:            8,
+		Degree:               7.4,
+		DetectMinutesByCheck: map[string]float64{},
+		DetectByType:         map[string][2]int{},
+	}
+	r2.Detection.AddTP(50)
+	return []*eval.DatasetResult{r1, r2}
+}
+
+func render(t *testing.T, tab *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestTableRenderAligned(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "long-header"}}
+	tab.AddRow("x", 1)
+	tab.AddRow("longer-cell", 2.5)
+	out := render(t, tab)
+	if !strings.Contains(out, "## T") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[4], "2.50") {
+		t.Errorf("float formatting: %q", lines[4])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow("x", 1)
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "a,b\nx,1\n" {
+		t.Errorf("CSV = %q", buf.String())
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	out := render(t, Datasets(simhome.AllSpecs()))
+	for _, want := range []string{"houseA", "D_hh102", "hours"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Table 4.1 sensor counts must appear.
+	if !strings.Contains(out, "112") && !strings.Contains(out, "79") {
+		t.Error("hh102 sensor counts missing")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	out := render(t, Accuracy(sampleResults()))
+	if !strings.Contains(out, "90.0%") { // houseA detection precision 45/50
+		t.Errorf("precision missing:\n%s", out)
+	}
+	if !strings.Contains(out, "AVERAGE") {
+		t.Error("average row missing")
+	}
+}
+
+func TestLatencyAndChecks(t *testing.T) {
+	out := render(t, Latency(sampleResults()))
+	if !strings.Contains(out, "15.00") || !strings.Contains(out, "30.00") {
+		t.Errorf("latency values missing:\n%s", out)
+	}
+	out = render(t, CheckLatency(sampleResults()))
+	if !strings.Contains(out, "12.5") || !strings.Contains(out, "30.0") {
+		t.Errorf("check latencies missing:\n%s", out)
+	}
+	// The dataset with no detections renders dashes.
+	if !strings.Contains(out, "-") {
+		t.Error("missing-value dash absent")
+	}
+}
+
+func TestDegreeAndCompute(t *testing.T) {
+	out := render(t, Degree(sampleResults()))
+	if !strings.Contains(out, "1.60") || !strings.Contains(out, "7.40") {
+		t.Errorf("degrees missing:\n%s", out)
+	}
+	out = render(t, ComputeTime(sampleResults()))
+	if !strings.Contains(out, "1.50") { // 1500ns = 1.50µs
+		t.Errorf("compute time missing:\n%s", out)
+	}
+}
+
+func TestDetectionRatioPoolsAcrossDatasets(t *testing.T) {
+	out := render(t, DetectionRatio(sampleResults()))
+	if !strings.Contains(out, "fail-stop") || !strings.Contains(out, "stuck-at") {
+		t.Errorf("fault types missing:\n%s", out)
+	}
+	if !strings.Contains(out, "90.0%") { // fail-stop 9/10 by correlation
+		t.Errorf("ratio missing:\n%s", out)
+	}
+	if !strings.Contains(out, "80.0%") { // stuck-at 8/10 by transition
+		t.Errorf("stuck-at transition share missing:\n%s", out)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	a := &eval.AblationResult{
+		Label:           "precompute 150h",
+		PrecomputeHours: 150,
+		SegmentHours:    6,
+		DurationMinutes: 1,
+		NumGroups:       9,
+	}
+	a.Detection.AddTP(10)
+	out := render(t, Ablations([]*eval.AblationResult{a}))
+	if !strings.Contains(out, "precompute 150h") || !strings.Contains(out, "150") {
+		t.Errorf("ablation row missing:\n%s", out)
+	}
+}

@@ -1,0 +1,376 @@
+package simhome
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Phase partitions the day; the scheduler only starts an activity in a
+// matching phase. PhaseAny activities (toilet, snack) can start any time.
+type Phase int
+
+// Day phases.
+const (
+	PhaseAny Phase = iota
+	PhaseNight
+	PhaseMorning
+	PhaseDay
+	PhaseEvening
+)
+
+// phaseAt returns the phase of a minute-of-day.
+func phaseAt(minOfDay int) Phase {
+	switch {
+	case minOfDay < 6*60 || minOfDay >= 22*60:
+		return PhaseNight
+	case minOfDay < 11*60:
+		return PhaseMorning
+	case minOfDay < 17*60:
+		return PhaseDay
+	default:
+		return PhaseEvening
+	}
+}
+
+// RoomCategory names the kind of room an activity wants; specs map
+// categories onto their concrete rooms.
+type RoomCategory string
+
+// Room categories used by the activity templates.
+const (
+	CatBedroom  RoomCategory = "bedroom"
+	CatBathroom RoomCategory = "bathroom"
+	CatKitchen  RoomCategory = "kitchen"
+	CatLiving   RoomCategory = "living"
+	CatHall     RoomCategory = "hall"
+	// CatAway is "not at home": nothing in the house reacts.
+	CatAway RoomCategory = "away"
+)
+
+// ActivityTemplate describes one activity of daily living. The boolean
+// flags drive sensor eligibility: pressure mats respond to Restful
+// activities, flame detectors to Cooking, float switches to Water, and
+// motion sensors to non-Restful occupancy.
+type ActivityTemplate struct {
+	Name        string
+	Category    RoomCategory
+	Phase       Phase
+	MeanMinutes float64
+	Restful     bool
+	Cooking     bool
+	Water       bool
+}
+
+// activityPool is the canonical ADL library; a dataset spec with N
+// activities takes the first N (§4.1: each dataset has its own activity
+// list; the simulated lists mirror the ISLA/WSU style of ADLs). Sleep is
+// always included regardless of N because every day needs it.
+var activityPool = []ActivityTemplate{
+	{Name: "sleep", Category: CatBedroom, Phase: PhaseNight, MeanMinutes: 420, Restful: true},
+	{Name: "toilet", Category: CatBathroom, Phase: PhaseAny, MeanMinutes: 5, Water: true},
+	{Name: "shower", Category: CatBathroom, Phase: PhaseMorning, MeanMinutes: 15, Water: true},
+	{Name: "breakfast", Category: CatKitchen, Phase: PhaseMorning, MeanMinutes: 20},
+	{Name: "prepare-dinner", Category: CatKitchen, Phase: PhaseEvening, MeanMinutes: 35, Cooking: true},
+	{Name: "dinner", Category: CatKitchen, Phase: PhaseEvening, MeanMinutes: 30},
+	{Name: "watch-tv", Category: CatLiving, Phase: PhaseEvening, MeanMinutes: 90, Restful: true},
+	{Name: "leave-home", Category: CatAway, Phase: PhaseDay, MeanMinutes: 180},
+	{Name: "prepare-lunch", Category: CatKitchen, Phase: PhaseDay, MeanMinutes: 25, Cooking: true},
+	{Name: "lunch", Category: CatKitchen, Phase: PhaseDay, MeanMinutes: 25},
+	{Name: "wash-dishes", Category: CatKitchen, Phase: PhaseEvening, MeanMinutes: 15, Water: true},
+	{Name: "read", Category: CatLiving, Phase: PhaseDay, MeanMinutes: 40, Restful: true},
+	{Name: "dress", Category: CatBedroom, Phase: PhaseMorning, MeanMinutes: 8},
+	{Name: "brush-teeth", Category: CatBathroom, Phase: PhaseMorning, MeanMinutes: 4, Water: true},
+	{Name: "nap", Category: CatBedroom, Phase: PhaseDay, MeanMinutes: 45, Restful: true},
+	{Name: "snack", Category: CatKitchen, Phase: PhaseAny, MeanMinutes: 8},
+	{Name: "clean", Category: CatLiving, Phase: PhaseDay, MeanMinutes: 30},
+	{Name: "laundry", Category: CatBathroom, Phase: PhaseDay, MeanMinutes: 20, Water: true},
+	{Name: "work-desk", Category: CatLiving, Phase: PhaseDay, MeanMinutes: 120, Restful: true},
+	{Name: "phone-call", Category: CatLiving, Phase: PhaseAny, MeanMinutes: 10},
+	{Name: "drink", Category: CatKitchen, Phase: PhaseAny, MeanMinutes: 4},
+	{Name: "listen-music", Category: CatLiving, Phase: PhaseEvening, MeanMinutes: 30, Restful: true},
+	{Name: "groom", Category: CatBathroom, Phase: PhaseMorning, MeanMinutes: 10, Water: true},
+	{Name: "iron", Category: CatBedroom, Phase: PhaseDay, MeanMinutes: 15},
+	{Name: "exercise", Category: CatLiving, Phase: PhaseMorning, MeanMinutes: 25},
+	{Name: "bake", Category: CatKitchen, Phase: PhaseDay, MeanMinutes: 50, Cooking: true},
+	{Name: "pet-care", Category: CatHall, Phase: PhaseAny, MeanMinutes: 10},
+	{Name: "water-plants", Category: CatLiving, Phase: PhaseMorning, MeanMinutes: 8},
+	{Name: "trash", Category: CatHall, Phase: PhaseEvening, MeanMinutes: 5},
+	{Name: "meditate", Category: CatBedroom, Phase: PhaseEvening, MeanMinutes: 20, Restful: true},
+}
+
+// Activities returns the first n templates from the pool, guaranteeing
+// sleep is present. It errors when n exceeds the pool.
+func Activities(n int) ([]ActivityTemplate, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("simhome: need at least 1 activity")
+	}
+	if n > len(activityPool) {
+		return nil, fmt.Errorf("simhome: %d activities requested, pool has %d", n, len(activityPool))
+	}
+	return append([]ActivityTemplate(nil), activityPool[:n]...), nil
+}
+
+// span is one scheduled activity instance on a resident's timeline,
+// measured in minutes from the recording start. Activity NoActivity marks
+// idle time.
+type span struct {
+	startMin int
+	endMin   int // exclusive
+	act      int // index into the spec's activity list, or NoActivity
+}
+
+// NoActivity marks idle minutes (resident at home, nothing scheduled).
+const NoActivity = -1
+
+// TransitTemplate is the synthetic hall-transit pseudo-activity the
+// scheduler inserts at the head of every idle gap: people walk through the
+// home between tasks, which is what keeps hallway sensors exercised. Its
+// phase is a sentinel so the routine picker never draws it; Home appends it
+// after the spec's activity list.
+var TransitTemplate = ActivityTemplate{
+	Name:        "transit",
+	Category:    CatHall,
+	Phase:       Phase(-1),
+	MeanMinutes: 2,
+}
+
+// buildTimeline generates one resident's activity spans covering
+// [0, totalMinutes). Days are generated from (seed, day) so any minute is
+// reachable without simulating prior days; within a day the schedule is
+// sequential: wake, a phase-appropriate activity mix with idle gaps, sleep.
+//
+// Residents beyond the first follow the household schedule with a small
+// per-resident lag rather than an independent life: cohabitants share meal
+// and sleep times, and independent schedules would make the joint state
+// space (and hence DICE's false-positive rate) combinatorially larger than
+// anything the real two-resident datasets exhibit.
+// residentLag is the fixed schedule offset between cohabitants, minutes.
+const residentLag = 5
+
+// snap rounds a minute count to the schedule grid. Human routines run on
+// round numbers; more importantly, a coarse grid means the relative
+// alignments of spans (and of two residents' schedules) repeat across
+// days, so 300 hours of precomputation actually covers the joint state
+// space.
+func snap(m int) int {
+	const grid = 5
+	s := (m + grid/2) / grid * grid
+	if s < grid {
+		s = grid
+	}
+	return s
+}
+
+func buildTimeline(acts []ActivityTemplate, seed int64, resident, totalMinutes, transitIdx int) []span {
+	var out []span
+	days := (totalMinutes + minutesPerDay - 1) / minutesPerDay
+	for d := 0; d < days; d++ {
+		day := appendDay(nil, acts, seed, d, transitIdx)
+		if resident > 0 {
+			// A constant lag keeps the two residents' schedules in a fixed
+			// alignment, so their joint states repeat day after day.
+			day = shiftSpans(day, resident*residentLag)
+		}
+		out = append(out, day...)
+	}
+	// Clip the final day.
+	for len(out) > 0 && out[len(out)-1].startMin >= totalMinutes {
+		out = out[:len(out)-1]
+	}
+	if len(out) > 0 && out[len(out)-1].endMin > totalMinutes {
+		out[len(out)-1].endMin = totalMinutes
+	}
+	return out
+}
+
+// shiftSpans delays every span boundary inside the day by lag minutes,
+// keeping the day's outer edges (midnight-to-midnight sleep) fixed.
+func shiftSpans(day []span, lag int) []span {
+	if len(day) < 2 {
+		return day
+	}
+	dayStart := day[0].startMin
+	dayEnd := day[len(day)-1].endMin
+	for i := range day {
+		if i > 0 {
+			day[i].startMin = min(day[i].startMin+lag, dayEnd)
+		}
+		if i < len(day)-1 {
+			day[i].endMin = min(day[i].endMin+lag, dayEnd)
+		}
+	}
+	day[0].startMin = dayStart
+	// Remove spans squeezed to nothing.
+	out := day[:0]
+	for _, s := range day {
+		if s.endMin > s.startMin {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+const minutesPerDay = 24 * 60
+
+// sleepActivity returns the index of the sleep template in acts (always
+// index 0 by construction of Activities).
+func sleepActivity(acts []ActivityTemplate) int {
+	for i, a := range acts {
+		if a.Name == "sleep" {
+			return i
+		}
+	}
+	return 0
+}
+
+// appendGap emits an idle gap [cur, end): up to two leading minutes become
+// a hall transit (when the home schedules one), the rest is quiet.
+func appendGap(out *[]span, base, cur, end, transitIdx int, rng *rand.Rand) int {
+	if end <= cur {
+		return cur
+	}
+	if transitIdx >= 0 {
+		t := min(cur+2, end)
+		if t > cur {
+			*out = append(*out, span{base + cur, base + t, transitIdx})
+			cur = t
+		}
+	}
+	if end > cur {
+		*out = append(*out, span{base + cur, base + end, NoActivity})
+	}
+	return end
+}
+
+// nightVisitActivity returns the index of a short bathroom activity
+// suitable for a night visit, or -1.
+func nightVisitActivity(acts []ActivityTemplate) int {
+	for i, a := range acts {
+		if a.Category == CatBathroom && a.Phase == PhaseAny {
+			return i
+		}
+	}
+	return -1
+}
+
+func appendDay(out []span, acts []ActivityTemplate, seed int64, day, transitIdx int) []span {
+	rng := rand.New(rand.NewSource(int64(mix(uint64(seed), 101, uint64(day)+7))))
+	base := day * minutesPerDay
+	sleep := sleepActivity(acts)
+
+	// Night sleep runs from midnight to a wake time around 06:30, usually
+	// broken by one short toilet visit — the only thing that exercises the
+	// bathroom and hall sensors during night hours.
+	wake := 6*60 + snap(rng.Intn(61))
+	night := nightVisitActivity(acts)
+	if night >= 0 && rng.Float64() < 0.7 {
+		at := 60 + snap(rng.Intn(4*60)) // between 01:00 and 05:00
+		dur := 3
+		out = append(out, span{base, base + at, sleep})
+		if transitIdx >= 0 {
+			out = append(out, span{base + at, base + at + 1, transitIdx})
+			at++
+		}
+		out = append(out, span{base + at, base + at + dur, night})
+		out = append(out, span{base + at + dur, base + wake, sleep})
+	} else {
+		out = append(out, span{base, base + wake, sleep})
+	}
+
+	// Bedtime around 22:30. The last ten minutes before bed and the first
+	// minutes after waking are always quiet (people potter about), so the
+	// transitions into and out of sleep are funnelled through the same
+	// quiet state as every other activity change.
+	bed := 22*60 + snap(rng.Intn(61))
+	windDown := bed - 10
+	cur := appendGap(&out, base, wake, wake+5, transitIdx, rng)
+	ro := newRoutine()
+	for cur < windDown {
+		phase := phaseAt(cur)
+		idx := ro.pick(acts, rng, phase, sleep)
+		if idx == NoActivity {
+			// Idle gap, led by a short hall transit.
+			gap := snap(5 + rng.Intn(26))
+			cur = appendGap(&out, base, cur, min(cur+gap, windDown), transitIdx, rng)
+			continue
+		}
+		dur := snap(int(acts[idx].MeanMinutes * (0.7 + 0.6*rng.Float64())))
+		end := cur + dur
+		if end > windDown {
+			end = windDown
+		}
+		out = append(out, span{base + cur, base + end, idx})
+		cur = end
+		// A short pause always follows an activity — people transit through
+		// the house between tasks. Funnelling every activity change through
+		// a quiet state keeps the group-transition space linear in the
+		// number of groups rather than quadratic, which is what real homes
+		// look like and what makes 300 hours of precomputation sufficient.
+		if cur < windDown {
+			gap := snap(2 + rng.Intn(12))
+			cur = appendGap(&out, base, cur, min(cur+gap, windDown), transitIdx, rng)
+		}
+	}
+	// Quiet wind-down, then sleep to midnight.
+	appendGap(&out, base, cur, bed, transitIdx, rng)
+	out = append(out, span{base + bed, base + minutesPerDay, sleep})
+	return out
+}
+
+// routine tracks a resident's habitual ordering of activities within a
+// day. People are creatures of habit: the scheduler walks each phase's
+// activities in a fixed order, with occasional substitutions and idle
+// gaps, so day-to-day variation comes mostly from timing rather than from
+// novel activity sequences (which would read as anomalies).
+type routine struct {
+	cursor map[Phase]int
+}
+
+func newRoutine() *routine {
+	return &routine{cursor: make(map[Phase]int)}
+}
+
+// pick selects the next activity for the phase, or NoActivity (idle) with
+// some probability. Sleep is excluded; it is scheduled explicitly.
+func (ro *routine) pick(acts []ActivityTemplate, rng *rand.Rand, phase Phase, sleep int) int {
+	if rng.Float64() < 0.2 {
+		return NoActivity
+	}
+	var eligible []int
+	for i, a := range acts {
+		if i == sleep {
+			continue
+		}
+		if a.Phase == PhaseAny || a.Phase == phase {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return NoActivity
+	}
+	// Habitual order with an occasional deviation.
+	if rng.Float64() < 0.03 {
+		return eligible[rng.Intn(len(eligible))]
+	}
+	idx := eligible[ro.cursor[phase]%len(eligible)]
+	ro.cursor[phase]++
+	return idx
+}
+
+// activityAt returns the activity index covering minute m on a timeline
+// (binary search), or NoActivity when m is uncovered.
+func activityAt(tl []span, m int) int {
+	lo, hi := 0, len(tl)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case m < tl[mid].startMin:
+			hi = mid
+		case m >= tl[mid].endMin:
+			lo = mid + 1
+		default:
+			return tl[mid].act
+		}
+	}
+	return NoActivity
+}

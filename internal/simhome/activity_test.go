@@ -1,0 +1,173 @@
+package simhome
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func poolActs(t testing.TB, n int) []ActivityTemplate {
+	t.Helper()
+	acts, err := Activities(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(acts, TransitTemplate)
+}
+
+func TestActivitiesValidation(t *testing.T) {
+	if _, err := Activities(0); err == nil {
+		t.Error("zero activities accepted")
+	}
+	if _, err := Activities(1000); err == nil {
+		t.Error("oversized activity count accepted")
+	}
+	acts, err := Activities(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acts[0].Name != "sleep" {
+		t.Errorf("first activity = %q, want sleep", acts[0].Name)
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	tests := []struct {
+		min  int
+		want Phase
+	}{
+		{0, PhaseNight}, {5 * 60, PhaseNight}, {7 * 60, PhaseMorning},
+		{12 * 60, PhaseDay}, {18 * 60, PhaseEvening}, {23 * 60, PhaseNight},
+	}
+	for _, tt := range tests {
+		if got := phaseAt(tt.min); got != tt.want {
+			t.Errorf("phaseAt(%d) = %v, want %v", tt.min, got, tt.want)
+		}
+	}
+}
+
+// checkTimeline verifies the structural invariants of one timeline:
+// spans sorted, non-overlapping, contiguous from 0 to total, activity
+// indices in range.
+func checkTimeline(t *testing.T, tl []span, nActs, total int) {
+	t.Helper()
+	if len(tl) == 0 {
+		t.Fatal("empty timeline")
+	}
+	if tl[0].startMin != 0 {
+		t.Errorf("timeline starts at %d, want 0", tl[0].startMin)
+	}
+	prevEnd := 0
+	for i, s := range tl {
+		if s.startMin != prevEnd {
+			t.Fatalf("span %d starts at %d, previous ended at %d (gap or overlap)", i, s.startMin, prevEnd)
+		}
+		if s.endMin <= s.startMin {
+			t.Fatalf("span %d empty or inverted: [%d, %d)", i, s.startMin, s.endMin)
+		}
+		if s.act != NoActivity && (s.act < 0 || s.act >= nActs) {
+			t.Fatalf("span %d has activity %d out of range [0, %d)", i, s.act, nActs)
+		}
+		prevEnd = s.endMin
+	}
+	if prevEnd != total {
+		t.Errorf("timeline ends at %d, want %d", prevEnd, total)
+	}
+}
+
+func TestBuildTimelineInvariants(t *testing.T) {
+	f := func(seedRaw uint16, nActsRaw, residentsRaw, daysRaw uint8) bool {
+		nActs := 1 + int(nActsRaw)%20
+		resident := int(residentsRaw) % 3
+		days := 1 + int(daysRaw)%4
+		acts := poolActs(t, nActs)
+		total := days * minutesPerDay
+		tl := buildTimeline(acts, int64(seedRaw), resident, total, len(acts)-1)
+		if len(tl) == 0 {
+			return false
+		}
+		prevEnd := 0
+		if tl[0].startMin != 0 {
+			return false
+		}
+		for _, s := range tl {
+			if s.startMin != prevEnd || s.endMin <= s.startMin {
+				return false
+			}
+			if s.act != NoActivity && (s.act < 0 || s.act >= len(acts)) {
+				return false
+			}
+			prevEnd = s.endMin
+		}
+		return prevEnd == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimelineSleepsAtNight(t *testing.T) {
+	acts := poolActs(t, 16)
+	tl := buildTimeline(acts, 7, 0, 3*minutesPerDay, len(acts)-1)
+	checkTimeline(t, tl, len(acts), 3*minutesPerDay)
+	sleep := sleepActivity(acts)
+	// 03:30 on each day must be sleep or (rarely) a night toilet visit.
+	for d := 0; d < 3; d++ {
+		m := d*minutesPerDay + 3*60 + 30
+		act := activityAt(tl, m)
+		if act == NoActivity {
+			t.Errorf("day %d 03:30: idle, want sleep or a visit", d)
+			continue
+		}
+		if act != sleep && acts[act].Category != CatBathroom && acts[act].Category != CatHall {
+			t.Errorf("day %d 03:30: activity %q", d, acts[act].Name)
+		}
+	}
+}
+
+func TestResidentLagShiftsSchedule(t *testing.T) {
+	acts := poolActs(t, 9)
+	tl0 := buildTimeline(acts, 5, 0, minutesPerDay, len(acts)-1)
+	tl1 := buildTimeline(acts, 5, 1, minutesPerDay, len(acts)-1)
+	checkTimeline(t, tl0, len(acts), minutesPerDay)
+	checkTimeline(t, tl1, len(acts), minutesPerDay)
+	// Resident 1's mid-day spans are resident 0's shifted by residentLag.
+	matched := 0
+	for _, s := range tl0 {
+		if s.act == NoActivity || s.startMin < 8*60 || s.startMin > 20*60 {
+			continue
+		}
+		if activityAt(tl1, s.startMin+residentLag) == s.act {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Error("resident 1's schedule shows no lagged correspondence to resident 0's")
+	}
+}
+
+func TestActivityAt(t *testing.T) {
+	tl := []span{{0, 10, 1}, {10, 20, NoActivity}, {20, 30, 2}}
+	tests := []struct {
+		m    int
+		want int
+	}{
+		{0, 1}, {9, 1}, {10, NoActivity}, {19, NoActivity}, {20, 2}, {29, 2},
+		{30, NoActivity}, {-1, NoActivity},
+	}
+	for _, tt := range tests {
+		if got := activityAt(tl, tt.m); got != tt.want {
+			t.Errorf("activityAt(%d) = %d, want %d", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestSnap(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 5}, {2, 5}, {3, 5}, {7, 5}, {8, 10}, {12, 10}, {13, 15}, {60, 60},
+	}
+	for _, tt := range tests {
+		if got := snap(tt.in); got != tt.want {
+			t.Errorf("snap(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}

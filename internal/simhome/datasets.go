@@ -1,0 +1,361 @@
+package simhome
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/device"
+)
+
+// The ten dataset specs of Table 4.1. The five third-party datasets
+// (houseA/B/C from ISLA, twor/hh102 from WSU CASAS) are simulated with
+// deployments matching their published sensor counts and activity list
+// sizes; the five D_* datasets replicate the paper's own testbed (6 binary
+// sensors, 31 numeric sensors, 8 actuators) while imitating each
+// third-party dataset's activity list, exactly as §4.1.2 describes.
+//
+// Per-spec co-activation parameters (sensor mix, rooms, NumericResponse)
+// are chosen so the resulting correlation degrees reproduce the ordering of
+// Table 5.2: houseA lowest, D_* highest.
+
+// smallRooms is the room plan used by the compact houses.
+func smallRooms() map[RoomCategory][]string {
+	return map[RoomCategory][]string{
+		CatBedroom:  {"bedroom"},
+		CatBathroom: {"bathroom"},
+		CatKitchen:  {"kitchen"},
+		CatLiving:   {"living"},
+		CatHall:     {"hall"},
+	}
+}
+
+// twoBedroomRooms is the plan for the two-resident homes.
+func twoBedroomRooms() map[RoomCategory][]string {
+	return map[RoomCategory][]string{
+		CatBedroom:  {"bedroom1", "bedroom2"},
+		CatBathroom: {"bathroom"},
+		CatKitchen:  {"kitchen"},
+		CatLiving:   {"living"},
+		CatHall:     {"hall"},
+	}
+}
+
+// roomsOf flattens the distinct concrete rooms of a plan in a stable order.
+func roomsOf(plan map[RoomCategory][]string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, cat := range []RoomCategory{CatBedroom, CatBathroom, CatKitchen, CatLiving, CatHall} {
+		for _, r := range plan[cat] {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// suitableRooms filters a room list to the rooms where a binary sensor
+// type can actually trigger: a float switch in a living room or a pressure
+// mat in a kitchen would never fire and its faults would be undetectable by
+// construction.
+func suitableRooms(t device.Type, rooms []string) []string {
+	var want []string
+	switch t {
+	case device.PressureMat:
+		want = []string{"bedroom", "living"}
+	case device.FloatSwitch:
+		want = []string{"bathroom", "kitchen"}
+	case device.FlameDetector:
+		want = []string{"kitchen"}
+	default:
+		return rooms
+	}
+	var out []string
+	for _, r := range rooms {
+		for _, w := range want {
+			if strings.HasPrefix(r, w) {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return rooms
+	}
+	return out
+}
+
+// binarySensors spreads n binary sensors across rooms, cycling the given
+// type mix and keeping each type in rooms where it can trigger.
+func binarySensors(rooms []string, types []device.Type, n int) []DeviceSpec {
+	out := make([]DeviceSpec, 0, n)
+	perType := make(map[device.Type]int)
+	for i := 0; i < n; i++ {
+		// Each pass over the rooms places one sensor type, so a room gets a
+		// mix of types regardless of how the two list lengths divide.
+		t := types[(i/len(rooms))%len(types)]
+		suitable := suitableRooms(t, rooms)
+		room := suitable[perType[t]%len(suitable)]
+		perType[t]++
+		out = append(out, DeviceSpec{
+			Name: fmt.Sprintf("%s-%s-%d", t, room, i),
+			Kind: device.Binary,
+			Type: t,
+			Room: room,
+		})
+	}
+	return out
+}
+
+// numericSensors spreads n numeric sensors across rooms, cycling the type
+// mix.
+func numericSensors(rooms []string, types []device.Type, n int) []DeviceSpec {
+	out := make([]DeviceSpec, 0, n)
+	for i := 0; i < n; i++ {
+		t := types[(i/len(rooms))%len(types)]
+		room := rooms[i%len(rooms)]
+		out = append(out, DeviceSpec{
+			Name: fmt.Sprintf("%s-%s-%d", t, room, i),
+			Kind: device.Numeric,
+			Type: t,
+			Room: room,
+		})
+	}
+	return out
+}
+
+// diceTestbedDevices reproduces the paper's deployment (Figure 4.1):
+// 6 binary sensors, 31 numeric sensors, 8 actuators across four main rooms
+// plus a hall.
+func diceTestbedDevices() []DeviceSpec {
+	var out []DeviceSpec
+	mainRooms := []string{"kitchen", "bathroom", "bedroom", "living"}
+	// 6 binary: four motion (one per main room), flame + float in kitchen/
+	// bathroom.
+	for i, r := range mainRooms {
+		out = append(out, DeviceSpec{fmt.Sprintf("motion-%s-%d", r, i), device.Binary, device.Motion, r})
+	}
+	out = append(out,
+		DeviceSpec{"flame-kitchen", device.Binary, device.FlameDetector, "kitchen"},
+		DeviceSpec{"float-bathroom", device.Binary, device.FloatSwitch, "bathroom"},
+	)
+	// 31 numeric: light/temperature/humidity/sound in each main room (16),
+	// ultrasonic in kitchen/living/hall (3), gas in kitchen (1), weight on
+	// bed and couch (2), RSSI beacons in the four main rooms (4), plus
+	// light/temp/humidity/sound/ultrasonic in the hall (5).
+	for _, r := range mainRooms {
+		out = append(out,
+			DeviceSpec{"light-" + r, device.Numeric, device.Light, r},
+			DeviceSpec{"temp-" + r, device.Numeric, device.Temperature, r},
+			DeviceSpec{"humid-" + r, device.Numeric, device.Humidity, r},
+			DeviceSpec{"sound-" + r, device.Numeric, device.Sound, r},
+		)
+	}
+	out = append(out,
+		DeviceSpec{"ultra-kitchen", device.Numeric, device.Ultrasonic, "kitchen"},
+		DeviceSpec{"ultra-living", device.Numeric, device.Ultrasonic, "living"},
+		DeviceSpec{"ultra-hall", device.Numeric, device.Ultrasonic, "hall"},
+		DeviceSpec{"gas-kitchen", device.Numeric, device.Gas, "kitchen"},
+		DeviceSpec{"weight-bedroom", device.Numeric, device.Weight, "bedroom"},
+		DeviceSpec{"weight-living", device.Numeric, device.Weight, "living"},
+	)
+	for _, r := range mainRooms {
+		out = append(out, DeviceSpec{"rssi-" + r, device.Numeric, device.RSSI, r})
+	}
+	out = append(out,
+		DeviceSpec{"light-hall", device.Numeric, device.Light, "hall"},
+		DeviceSpec{"temp-hall", device.Numeric, device.Temperature, "hall"},
+		DeviceSpec{"humid-hall", device.Numeric, device.Humidity, "hall"},
+		DeviceSpec{"sound-hall", device.Numeric, device.Sound, "hall"},
+		DeviceSpec{"ultra-hall2", device.Numeric, device.Ultrasonic, "hall"},
+	)
+	// 8 actuators: three Hue bulbs, two WeMo switches (fan + humidifier),
+	// two blinds, one Echo speaker (§4.1.2).
+	out = append(out,
+		DeviceSpec{"bulb-bedroom", device.Actuator, device.SmartBulb, "bedroom"},
+		DeviceSpec{"bulb-living", device.Actuator, device.SmartBulb, "living"},
+		DeviceSpec{"bulb-kitchen", device.Actuator, device.SmartBulb, "kitchen"},
+		DeviceSpec{"fan-living", device.Actuator, device.FanController, "living"},
+		DeviceSpec{"humidifier-bedroom", device.Actuator, device.HumidifierSwitch, "bedroom"},
+		DeviceSpec{"blind-bedroom", device.Actuator, device.SmartBlind, "bedroom"},
+		DeviceSpec{"blind-living", device.Actuator, device.SmartBlind, "living"},
+		DeviceSpec{"speaker-living", device.Actuator, device.SmartSpeaker, "living"},
+	)
+	return out
+}
+
+// diceRooms is the room plan for the D_* testbed.
+func diceRooms() map[RoomCategory][]string {
+	return map[RoomCategory][]string{
+		CatBedroom:  {"bedroom"},
+		CatBathroom: {"bathroom"},
+		CatKitchen:  {"kitchen"},
+		CatLiving:   {"living"},
+		CatHall:     {"hall"},
+	}
+}
+
+// diceSpec builds a D_* spec imitating the named third-party dataset.
+func diceSpec(name string, hours, activities, residents int) Spec {
+	return Spec{
+		Name:             name,
+		Hours:            hours,
+		Residents:        residents,
+		NumActivities:    activities,
+		SamplesPerWindow: 4,
+		NumericResponse:  1,
+		Rooms:            diceRooms(),
+		Devices:          diceTestbedDevices(),
+	}
+}
+
+// SpecHouseA: ISLA houseA — 14 binary sensors, sparse single-sensor
+// responses, the lowest correlation degree of the ten (Table 5.2: 1.4).
+func SpecHouseA() Spec {
+	plan := smallRooms()
+	rooms := roomsOf(plan)
+	return Spec{
+		Name:          "houseA",
+		Hours:         576,
+		Residents:     1,
+		NumActivities: 16,
+		Rooms:         plan,
+		Devices: binarySensors(rooms,
+			[]device.Type{device.DoorContact, device.Motion, device.PressureMat, device.FloatSwitch},
+			14),
+	}
+}
+
+// SpecHouseB: ISLA houseB — 27 binary sensors (Table 5.2 degree: 2.9).
+func SpecHouseB() Spec {
+	plan := smallRooms()
+	rooms := roomsOf(plan)
+	return Spec{
+		Name:          "houseB",
+		Hours:         648,
+		Residents:     1,
+		NumActivities: 25,
+		Rooms:         plan,
+		Devices: binarySensors(rooms,
+			[]device.Type{device.Motion, device.DoorContact, device.FloatSwitch, device.PressureMat},
+			27),
+	}
+}
+
+// SpecHouseC: ISLA houseC — 23 binary sensors concentrated in fewer rooms
+// with a motion-heavy mix (Table 5.2 degree: 4.6).
+func SpecHouseC() Spec {
+	plan := map[RoomCategory][]string{
+		CatBedroom:  {"bedroom"},
+		CatBathroom: {"bathroom"},
+		CatKitchen:  {"kitchen"},
+		CatLiving:   {"living"},
+		CatHall:     {"living"}, // hall activities land in the living room
+	}
+	rooms := []string{"bedroom", "bathroom", "kitchen", "living"}
+	return Spec{
+		Name:          "houseC",
+		Hours:         480,
+		Residents:     1,
+		NumActivities: 27,
+		Rooms:         plan,
+		Devices: binarySensors(rooms,
+			[]device.Type{device.Motion, device.Motion, device.PressureMat, device.DoorContact},
+			23),
+	}
+}
+
+// SpecTwoR: WSU twor — 68 binary + 3 numeric, two residents (Table 5.2
+// degree: 7.2, the highest of the third-party sets).
+func SpecTwoR() Spec {
+	plan := twoBedroomRooms()
+	rooms := roomsOf(plan)
+	devs := binarySensors(rooms,
+		[]device.Type{device.Motion, device.Motion, device.DoorContact, device.PressureMat},
+		68)
+	devs = append(devs, numericSensors(rooms, []device.Type{device.Temperature}, 3)...)
+	return Spec{
+		Name:          "twor",
+		Hours:         1104,
+		Residents:     2,
+		NumActivities: 9,
+		Rooms:         plan,
+		Devices:       devs,
+	}
+}
+
+// SpecHH102: WSU hh102 — 33 binary + 79 numeric, but the numerics are all
+// battery/light/temperature modules scattered across many rooms, so few of
+// them react to any one activity (Table 5.2 degree: 3.8 despite 112
+// sensors).
+func SpecHH102() Spec {
+	plan := map[RoomCategory][]string{
+		CatBedroom:  {"bedroom1", "bedroom2"},
+		CatBathroom: {"bathroom1", "bathroom2"},
+		CatKitchen:  {"kitchen"},
+		CatLiving:   {"living", "office"},
+		CatHall:     {"hall"},
+	}
+	rooms := []string{"bedroom1", "bedroom2", "bathroom1", "bathroom2", "kitchen", "living", "office", "hall"}
+	devs := binarySensors(rooms,
+		[]device.Type{device.Motion, device.DoorContact, device.PressureMat, device.DoorContact},
+		33)
+	devs = append(devs, numericSensors(rooms,
+		[]device.Type{device.Battery, device.Light, device.Temperature}, 79)...)
+	return Spec{
+		Name:            "hh102",
+		Hours:           1488,
+		Residents:       1,
+		NumActivities:   30,
+		NumericResponse: 0.35,
+		Rooms:           plan,
+		Devices:         devs,
+	}
+}
+
+// SpecDHouseA through SpecDHH102 are the paper's own testbed runs imitating
+// each third-party activity list (Table 4.1, bottom half).
+
+// SpecDHouseA is D_houseA.
+func SpecDHouseA() Spec { return diceSpec("D_houseA", 600, 16, 1) }
+
+// SpecDHouseB is D_houseB.
+func SpecDHouseB() Spec { return diceSpec("D_houseB", 650, 14, 1) }
+
+// SpecDHouseC is D_houseC.
+func SpecDHouseC() Spec { return diceSpec("D_houseC", 500, 18, 1) }
+
+// SpecDTwoR is D_twor (two residents like its model dataset).
+func SpecDTwoR() Spec { return diceSpec("D_twor", 1200, 9, 2) }
+
+// SpecDHH102 is D_hh102.
+func SpecDHH102() Spec { return diceSpec("D_hh102", 1500, 26, 1) }
+
+// AllSpecs returns the ten dataset specs in the paper's order.
+func AllSpecs() []Spec {
+	return []Spec{
+		SpecHouseA(), SpecHouseB(), SpecHouseC(), SpecTwoR(), SpecHH102(),
+		SpecDHouseA(), SpecDHouseB(), SpecDHouseC(), SpecDTwoR(), SpecDHH102(),
+	}
+}
+
+// SpecByName returns the spec with the given name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range AllSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("simhome: unknown dataset %q", name)
+}
+
+// ThirdPartyNames lists the five simulated public datasets.
+func ThirdPartyNames() []string {
+	return []string{"houseA", "houseB", "houseC", "twor", "hh102"}
+}
+
+// TestbedNames lists the five D_* testbed datasets.
+func TestbedNames() []string {
+	return []string{"D_houseA", "D_houseB", "D_houseC", "D_twor", "D_hh102"}
+}

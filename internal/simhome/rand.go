@@ -1,0 +1,41 @@
+package simhome
+
+import "math"
+
+// Deterministic hashing underlies every random draw in the simulator: a
+// sample is a pure function of (seed, device, window, sampleIndex), so any
+// window of any dataset can be regenerated in O(1) without materializing
+// the recording. This is the substitution mechanism described in DESIGN.md.
+
+// splitmix64 is the finalizer from Vigna's SplitMix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// mix folds several keys into one well-distributed 64-bit hash.
+func mix(parts ...uint64) uint64 {
+	h := uint64(0x8A91_7C6B_5D3E_1F2A)
+	for _, p := range parts {
+		h = splitmix64(h ^ p)
+	}
+	return h
+}
+
+// uniform maps a hash to [0, 1).
+func uniform(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// gauss maps a hash to a standard normal deviate via Box-Muller, deriving
+// the second uniform from a re-hash.
+func gauss(h uint64) float64 {
+	u1 := uniform(h)
+	u2 := uniform(splitmix64(h))
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,534 @@
+// Package simhome is the smart-home substrate: a deterministic simulator
+// that generates the sensor/actuator recordings DICE is evaluated on. It
+// stands in for the ISLA/WSU public datasets and the paper's POSTECH
+// testbed (see DESIGN.md §2 for the substitution argument): residents
+// follow phase-structured activity schedules; binary sensors fire
+// probabilistically near activities; numeric sensors follow per-type value
+// models with quantized reporting; actuators obey the rule wiring described
+// in §4.1.2 (bulbs on motion at night, fan on heat, blinds on light level).
+//
+// Every sample is a pure function of (seed, device, window, sample index),
+// so any window of any dataset can be regenerated in O(1) and experiments
+// are reproducible bit for bit.
+package simhome
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/event"
+	"repro/internal/window"
+)
+
+// DeviceSpec declares one device of a deployment.
+type DeviceSpec struct {
+	Name string
+	Kind device.Kind
+	Type device.Type
+	Room string
+}
+
+// Spec describes a complete dataset to simulate (one row of Table 4.1).
+type Spec struct {
+	// Name is the dataset name (e.g. "houseA", "D_hh102").
+	Name string
+	// Hours is the recording length.
+	Hours int
+	// Residents is the number of independently scheduled occupants.
+	Residents int
+	// NumActivities selects how many ADL templates the residents perform.
+	NumActivities int
+	// SamplesPerWindow is how many readings a numeric sensor reports per
+	// one-minute window.
+	SamplesPerWindow int
+	// DiurnalScale damps the outdoor daylight influence on numeric sensors
+	// (0 = fully indoor/controlled, 1 = full curve).
+	DiurnalScale float64
+	// NumericResponse is the fraction of a room's numeric sensors that
+	// react to activity in the room (sensor-chosen deterministically).
+	// It models sparse instrumented deployments like hh102 where most
+	// modules sit far from the action.
+	NumericResponse float64
+	// Rooms maps activity room categories to the concrete rooms of this
+	// home.
+	Rooms map[RoomCategory][]string
+	// Devices is the deployment.
+	Devices []DeviceSpec
+}
+
+// Home is an instantiated simulated smart home.
+type Home struct {
+	spec   Spec
+	seed   int64
+	reg    *device.Registry
+	layout *window.Layout
+
+	acts     []ActivityTemplate
+	actRooms [][]string // concrete room per activity, per resident ("" for away)
+	lines    [][]span   // one timeline per resident
+
+	binDevs []binDev
+	numDevs []numDev
+	actDevs []actDev
+
+	// af carries injected actuator faults (nil when fault-free).
+	af *ActuatorFaults
+}
+
+type binDev struct {
+	id   device.ID
+	room string
+}
+
+type numDev struct {
+	id       device.ID
+	room     string
+	model    numericModel
+	responds bool
+}
+
+type actDev struct {
+	id   device.ID
+	room string
+	typ  device.Type
+}
+
+// New instantiates a home from a spec and a seed.
+func New(spec Spec, seed int64) (*Home, error) {
+	if spec.Hours <= 0 {
+		return nil, fmt.Errorf("simhome: %s: non-positive hours", spec.Name)
+	}
+	if spec.Residents <= 0 {
+		spec.Residents = 1
+	}
+	if spec.SamplesPerWindow <= 0 {
+		spec.SamplesPerWindow = 4
+	}
+	if spec.NumericResponse <= 0 {
+		spec.NumericResponse = 1
+	}
+	acts, err := Activities(spec.NumActivities)
+	if err != nil {
+		return nil, fmt.Errorf("simhome: %s: %w", spec.Name, err)
+	}
+
+	reg := device.NewRegistry()
+	for _, d := range spec.Devices {
+		if _, err := reg.Add(d.Name, d.Kind, d.Type, d.Room); err != nil {
+			return nil, fmt.Errorf("simhome: %s: %w", spec.Name, err)
+		}
+	}
+	layout := window.NewLayout(reg)
+
+	// The hall-transit pseudo-activity joins the activity list whenever the
+	// home has a hall to walk through.
+	transitIdx := -1
+	if len(spec.Rooms[CatHall]) > 0 {
+		transitIdx = len(acts)
+		acts = append(acts, TransitTemplate)
+	}
+
+	h := &Home{
+		spec:   spec,
+		seed:   seed,
+		reg:    reg,
+		layout: layout,
+		acts:   acts,
+	}
+
+	// Resolve each activity template to a concrete room, per resident:
+	// when a category has several rooms (two bedrooms), residents rotate
+	// through them so each has their own.
+	h.actRooms = make([][]string, spec.Residents)
+	for r := 0; r < spec.Residents; r++ {
+		h.actRooms[r] = make([]string, len(acts))
+		catCounts := make(map[RoomCategory]int)
+		for i, a := range acts {
+			rooms := spec.Rooms[a.Category]
+			if a.Category == CatAway || len(rooms) == 0 {
+				h.actRooms[r][i] = ""
+				continue
+			}
+			h.actRooms[r][i] = rooms[(catCounts[a.Category]+r)%len(rooms)]
+			catCounts[a.Category]++
+		}
+	}
+
+	// Resident timelines.
+	total := spec.Hours * 60
+	h.lines = make([][]span, spec.Residents)
+	for r := range h.lines {
+		h.lines[r] = buildTimeline(acts, seed, r, total, transitIdx)
+	}
+
+	// Device models.
+	for _, id := range reg.Binaries() {
+		d := reg.MustGet(id)
+		h.binDevs = append(h.binDevs, binDev{id: id, room: d.Room})
+	}
+	for _, id := range reg.Numerics() {
+		d := reg.MustGet(id)
+		responds := uniform(mix(uint64(seed), 0xDEAD, uint64(id))) < spec.NumericResponse
+		h.numDevs = append(h.numDevs, numDev{
+			id:       id,
+			room:     d.Room,
+			model:    numericModelFor(d.Type, spec.DiurnalScale),
+			responds: responds,
+		})
+	}
+	for _, id := range reg.Actuators() {
+		d := reg.MustGet(id)
+		h.actDevs = append(h.actDevs, actDev{id: id, room: d.Room, typ: d.Type})
+	}
+	return h, nil
+}
+
+// Spec returns the spec the home was built from.
+func (h *Home) Spec() Spec { return h.spec }
+
+// Registry returns the device registry.
+func (h *Home) Registry() *device.Registry { return h.reg }
+
+// Layout returns the window layout for the deployment.
+func (h *Home) Layout() *window.Layout { return h.layout }
+
+// Windows returns the total number of one-minute windows in the recording.
+func (h *Home) Windows() int { return h.spec.Hours * 60 }
+
+// Activities returns the resolved activity list (template + concrete room).
+func (h *Home) Activities() []ActivityTemplate { return append([]ActivityTemplate(nil), h.acts...) }
+
+// occupied reports whether any resident's activity at minute m takes place
+// in the given room.
+func (h *Home) occupied(room string, m int) bool {
+	if room == "" || m < 0 || m >= h.Windows() {
+		return false
+	}
+	for r, tl := range h.lines {
+		act := activityAt(tl, m)
+		if act != NoActivity && h.actRooms[r][act] == room {
+			return true
+		}
+	}
+	return false
+}
+
+// roomStateAt derives the full room state at minute m from every resident's
+// schedule.
+func (h *Home) roomStateAt(room string, m int) roomState {
+	var rs roomState
+	if room == "" || m < 0 || m >= h.Windows() {
+		return rs
+	}
+	for r, tl := range h.lines {
+		act := activityAt(tl, m)
+		if act == NoActivity || h.actRooms[r][act] != room {
+			continue
+		}
+		rs.occupied = true
+		t := h.acts[act]
+		if t.Restful {
+			rs.restful = true
+		}
+		if t.Cooking {
+			rs.cooking = true
+		}
+		if t.Water {
+			rs.water = true
+		}
+	}
+	if rs.occupied {
+		rs.entering = !h.occupied(room, m-1)
+		rs.leaving = !h.occupied(room, m+1)
+	}
+	return rs
+}
+
+// activeOccupied reports non-restful occupancy (someone awake and moving in
+// the room), the condition motion-triggered actuators key on.
+func (h *Home) activeOccupied(room string, m int) bool {
+	rs := h.roomStateAt(room, m)
+	return rs.occupied && !rs.restful
+}
+
+// restfulOccupied reports restful occupancy (sleep, TV, reading) in the
+// room; comfort actuators key on it.
+func (h *Home) restfulOccupied(room string, m int) bool {
+	rs := h.roomStateAt(room, m)
+	return rs.occupied && rs.restful
+}
+
+// cookingAnywhere reports whether a cooking activity is in progress in any
+// room at minute m (the fan switch keys on kitchen heat).
+func (h *Home) cookingAnywhere(m int) bool {
+	if m < 0 || m >= h.Windows() {
+		return false
+	}
+	for _, tl := range h.lines {
+		act := activityAt(tl, m)
+		if act != NoActivity && h.acts[act].Cooking {
+			return true
+		}
+	}
+	return false
+}
+
+// ActivityInRoom exposes occupancy for tests and examples.
+func (h *Home) ActivityInRoom(room string, minute int) bool { return h.occupied(room, minute) }
+
+// ActuatorFaults injects actuator-level faults with physical consequences:
+// a dead actuator never activates (and its effects — a bulb's light — never
+// reach the sensors), while a spurious one also self-activates at random.
+// Observation-level injection (internal/faults) cannot express this,
+// because by the time an observation exists the actuator's effect is baked
+// into the sensor readings.
+type ActuatorFaults struct {
+	// Dead actuators never turn on from FromMinute onward.
+	Dead map[device.ID]bool
+	// Spurious actuators additionally self-activate at random (~40% of
+	// minutes) from FromMinute onward.
+	Spurious map[device.ID]bool
+	// Seed drives the spurious activations.
+	Seed int64
+	// FromMinute is the fault onset, in absolute recording minutes.
+	FromMinute int
+}
+
+// WithActuatorFaults returns a view of the home whose actuators carry the
+// given faults. The underlying home is shared and unmodified.
+func (h *Home) WithActuatorFaults(af ActuatorFaults) *Home {
+	view := *h
+	view.af = &af
+	return &view
+}
+
+// actuatorOn evaluates an actuator's rule at minute m (§4.1.2 wiring),
+// then applies any injected actuator fault.
+func (h *Home) actuatorOn(a actDev, m int) bool {
+	if h.af != nil && m >= h.af.FromMinute {
+		if h.af.Dead[a.id] {
+			return false
+		}
+		if h.af.Spurious[a.id] &&
+			uniform(mix(uint64(h.af.Seed), 5, uint64(a.id), uint64(m))) < 0.4 {
+			return true
+		}
+	}
+	return h.actuatorRule(a, m)
+}
+
+// actuatorRule is the fault-free §4.1.2 wiring.
+func (h *Home) actuatorRule(a actDev, m int) bool {
+	if m < 0 {
+		return false
+	}
+	switch a.typ {
+	case device.SmartBulb:
+		// Hue-style: motion-triggered light (§4.1.2 states no darkness
+		// condition), so restful occupancy (sleep, settled TV watching)
+		// keeps it off and any active occupancy lights it.
+		return h.activeOccupied(a.room, m)
+	case device.FanController, device.SmartSwitch:
+		// WeMo-style switch driving a fan off the kitchen temperature:
+		// runs while cooking heats the home.
+		return h.cookingAnywhere(m)
+	case device.HumidifierSwitch:
+		// Humidifier runs while its room is occupied restfully (sleeping).
+		return h.restfulOccupied(a.room, m)
+	case device.SmartBlind:
+		// Blinds close for privacy while the room is restfully occupied
+		// (the paper keys them on the light sensor and privacy; a closed
+		// blind blocks daylight, which is what makes a stuck blind
+		// observable).
+		return h.restfulOccupied(a.room, m)
+	case device.SmartSpeaker:
+		// Echo-style speaker plays while someone relaxes in its room.
+		return h.restfulOccupied(a.room, m)
+	default:
+		return false
+	}
+}
+
+// roomEffects summarizes which actuator effects act on a room at minute m.
+type roomEffects struct {
+	bulb       bool
+	speaker    bool
+	humidifier bool
+	fan        bool
+	blind      bool
+}
+
+// effectsAt computes the actuator effects on a room at minute m.
+func (h *Home) effectsAt(room string, m int) roomEffects {
+	var e roomEffects
+	for _, a := range h.actDevs {
+		if a.room != room || !h.actuatorOn(a, m) {
+			continue
+		}
+		switch a.typ {
+		case device.SmartBulb:
+			e.bulb = true
+		case device.SmartSpeaker:
+			e.speaker = true
+		case device.HumidifierSwitch:
+			e.humidifier = true
+		case device.FanController, device.SmartSwitch:
+			e.fan = true
+		case device.SmartBlind:
+			e.blind = true
+		}
+	}
+	return e
+}
+
+// bulbOn reports whether any smart bulb lights the room at minute m.
+func (h *Home) bulbOn(room string, m int) bool {
+	return h.effectsAt(room, m).bulb
+}
+
+// Window generates the observation for window idx (minute idx). It is safe
+// for concurrent use: generation is purely functional.
+func (h *Home) Window(idx int) *window.Observation {
+	o := h.layout.NewObservation(idx)
+	// Room states are shared by every sensor in the room; compute lazily.
+	states := make(map[string]roomState)
+	stateOf := func(room string) roomState {
+		if rs, ok := states[room]; ok {
+			return rs
+		}
+		rs := h.roomStateAt(room, idx)
+		states[room] = rs
+		return rs
+	}
+	// Binary sensors: near-deterministic response with rare independent
+	// misses and rarer spurious firings.
+	for slot, b := range h.binDevs {
+		d := h.reg.MustGet(b.id)
+		u := uniform(mix(uint64(h.seed), 1, uint64(b.id), uint64(idx)))
+		if binaryEligible(d.Type, stateOf(b.room)) {
+			o.Binary[slot] = u >= missProb
+		} else {
+			o.Binary[slot] = u < falseFireProb
+		}
+	}
+	// Numeric sensors.
+	minOfDay := idx % minutesPerDay
+	dl := daylight(minOfDay)
+	effects := make(map[string]roomEffects)
+	effectOf := func(room string) roomEffects {
+		if e, ok := effects[room]; ok {
+			return e
+		}
+		e := h.effectsAt(room, idx)
+		effects[room] = e
+		return e
+	}
+	for slot, n := range h.numDevs {
+		m := n.model
+		d := h.reg.MustGet(n.id)
+		eff := effectOf(n.room)
+		diurnal := m.diurnalAmp * dl
+		if d.Type == device.Light && eff.blind {
+			diurnal *= blindDaylightFactor
+		}
+		v := m.base + diurnal
+		if n.responds && numericEligible(d.Type, stateOf(n.room)) {
+			miss := uniform(mix(uint64(h.seed), 4, uint64(n.id), uint64(idx))) < missProb
+			if !miss {
+				v += m.actBoost
+			}
+		}
+		if m.bulbBoost != 0 && eff.bulb {
+			v += m.bulbBoost
+		}
+		switch d.Type {
+		case device.Sound:
+			if eff.speaker {
+				v += speakerSoundBoost
+			}
+		case device.Humidity:
+			if eff.humidifier {
+				v += humidifierHumidBoost
+			}
+		case device.Temperature:
+			if eff.fan {
+				v += fanTempCool
+			}
+		}
+		samples := make([]float64, h.spec.SamplesPerWindow)
+		for i := range samples {
+			noise := gauss(mix(uint64(h.seed), 2, uint64(n.id), uint64(idx), uint64(i))) * m.noiseSD
+			samples[i] = quantize(v+noise, m.resolution)
+		}
+		o.Numeric[slot] = samples
+	}
+	// Actuators: rising edges only.
+	for _, a := range h.actDevs {
+		if h.actuatorOn(a, idx) && !h.actuatorOn(a, idx-1) {
+			o.Actuated = append(o.Actuated, a.id)
+		}
+	}
+	return o
+}
+
+// WindowRange generates windows [from, to).
+func (h *Home) WindowRange(from, to int) []*window.Observation {
+	if from < 0 {
+		from = 0
+	}
+	if to > h.Windows() {
+		to = h.Windows()
+	}
+	out := make([]*window.Observation, 0, max(0, to-from))
+	for i := from; i < to; i++ {
+		out = append(out, h.Window(i))
+	}
+	return out
+}
+
+// Events renders windows [from, to) as a sorted event stream, for dataset
+// persistence and for replaying a home through the CoAP gateway. Binary
+// firings land at a hashed second within their minute; numeric samples are
+// evenly spaced; actuator activations land at the window start.
+func (h *Home) Events(from, to int) []event.Event {
+	var evts []event.Event
+	if from < 0 {
+		from = 0
+	}
+	if to > h.Windows() {
+		to = h.Windows()
+	}
+	for idx := from; idx < to; idx++ {
+		o := h.Window(idx)
+		base := time.Duration(idx) * time.Minute
+		for _, id := range o.Actuated {
+			evts = append(evts, event.Event{At: base, Device: id, Value: 1})
+		}
+		for slot, fired := range o.Binary {
+			if !fired {
+				continue
+			}
+			id := h.layout.BinaryID(slot)
+			sec := uniform(mix(uint64(h.seed), 3, uint64(id), uint64(idx))) * 59
+			evts = append(evts, event.Event{
+				At:     base + time.Duration(sec*float64(time.Second)),
+				Device: id,
+				Value:  1,
+			})
+		}
+		for slot, samples := range o.Numeric {
+			id := h.layout.NumericID(slot)
+			step := time.Minute / time.Duration(len(samples)+1)
+			for i, s := range samples {
+				evts = append(evts, event.Event{
+					At:     base + time.Duration(i+1)*step,
+					Device: id,
+					Value:  s,
+				})
+			}
+		}
+	}
+	event.Sort(evts)
+	return evts
+}

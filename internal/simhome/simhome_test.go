@@ -1,0 +1,325 @@
+package simhome
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/event"
+	"repro/internal/window"
+)
+
+func tinySpec() Spec {
+	plan := smallRooms()
+	rooms := roomsOf(plan)
+	devs := binarySensors(rooms, []device.Type{device.Motion, device.DoorContact}, 6)
+	devs = append(devs, numericSensors(rooms, []device.Type{device.Light, device.Temperature}, 4)...)
+	devs = append(devs, DeviceSpec{"bulb-living", device.Actuator, device.SmartBulb, "living"})
+	return Spec{
+		Name:          "tiny",
+		Hours:         48,
+		Residents:     1,
+		NumActivities: 8,
+		Rooms:         plan,
+		Devices:       devs,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := tinySpec()
+	s.Hours = 0
+	if _, err := New(s, 1); err == nil {
+		t.Error("zero hours accepted")
+	}
+	s = tinySpec()
+	s.NumActivities = 999
+	if _, err := New(s, 1); err == nil {
+		t.Error("oversized activity count accepted")
+	}
+	s = tinySpec()
+	s.Devices = append(s.Devices, s.Devices[0]) // duplicate name
+	if _, err := New(s, 1); err == nil {
+		t.Error("duplicate device accepted")
+	}
+}
+
+func TestWindowDeterministic(t *testing.T) {
+	h1, err := New(tinySpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := New(tinySpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, 100, 999, 2879} {
+		a, b := h1.Window(idx), h2.Window(idx)
+		for i := range a.Binary {
+			if a.Binary[i] != b.Binary[i] {
+				t.Fatalf("window %d binary %d differs", idx, i)
+			}
+		}
+		for j := range a.Numeric {
+			for k := range a.Numeric[j] {
+				if a.Numeric[j][k] != b.Numeric[j][k] {
+					t.Fatalf("window %d numeric %d sample %d differs", idx, j, k)
+				}
+			}
+		}
+		if len(a.Actuated) != len(b.Actuated) {
+			t.Fatalf("window %d actuated differs", idx)
+		}
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	h1, _ := New(tinySpec(), 1)
+	h2, _ := New(tinySpec(), 2)
+	diff := false
+	for idx := 0; idx < 500 && !diff; idx++ {
+		a, b := h1.Window(idx), h2.Window(idx)
+		for i := range a.Binary {
+			if a.Binary[i] != b.Binary[i] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical binary streams")
+	}
+}
+
+func TestWindowRandomAccessMatchesSequential(t *testing.T) {
+	h, _ := New(tinySpec(), 3)
+	seq := h.WindowRange(50, 60)
+	for i, o := range seq {
+		ra := h.Window(50 + i)
+		if o.Index != ra.Index {
+			t.Fatalf("index mismatch at %d", i)
+		}
+		for j := range o.Numeric {
+			for k := range o.Numeric[j] {
+				if o.Numeric[j][k] != ra.Numeric[j][k] {
+					t.Fatal("random access differs from sequential")
+				}
+			}
+		}
+	}
+}
+
+func TestOccupancyDrivesSensors(t *testing.T) {
+	h, _ := New(tinySpec(), 5)
+	// Over two days, bedroom must be occupied at 03:00 (sleep) and motion
+	// sensors should fire there far more often than in an empty room at
+	// that hour.
+	night := 3 * 60
+	if !h.ActivityInRoom("bedroom", night) {
+		t.Error("bedroom unoccupied at 03:00 (sleep missing)")
+	}
+	if h.ActivityInRoom("kitchen", night) {
+		t.Error("kitchen occupied at 03:00")
+	}
+}
+
+func TestNumericQuiescentWindowsAreConstant(t *testing.T) {
+	h, _ := New(tinySpec(), 5)
+	// Count windows where a numeric sensor has non-constant samples; with
+	// noise at resolution/8 this must be rare.
+	flickers, total := 0, 0
+	for idx := 0; idx < 1440; idx++ {
+		o := h.Window(idx)
+		for _, samples := range o.Numeric {
+			total++
+			for _, s := range samples[1:] {
+				if s != samples[0] {
+					flickers++
+					break
+				}
+			}
+		}
+	}
+	// Room transitions legitimately change values BETWEEN windows, not
+	// within, so any within-window flicker is quantization noise.
+	if rate := float64(flickers) / float64(total); rate > 0.02 {
+		t.Errorf("within-window flicker rate %.4f, want <= 0.02", rate)
+	}
+}
+
+func TestActuatorRisingEdgesOnly(t *testing.T) {
+	h, _ := New(tinySpec(), 5)
+	// The bulb turns on when the living room is occupied at low daylight;
+	// it must appear in Actuated only on state changes, so consecutive
+	// windows cannot both list it.
+	prev := false
+	for idx := 0; idx < 2880; idx++ {
+		o := h.Window(idx)
+		fired := len(o.Actuated) > 0
+		if fired && prev {
+			t.Fatalf("actuator fired in consecutive windows at %d", idx)
+		}
+		prev = fired
+	}
+}
+
+func TestEventsRoundTripThroughWindower(t *testing.T) {
+	h, _ := New(tinySpec(), 9)
+	const n = 120
+	evts := h.Events(0, n)
+	if !event.IsSorted(evts) {
+		t.Fatal("Events output not sorted")
+	}
+	obs, err := window.FromEvents(h.Layout(), time.Minute, evts, n*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != n {
+		t.Fatalf("windowed %d observations, want %d", len(obs), n)
+	}
+	// Binary activations and actuations must match the direct windows;
+	// numeric samples match as multisets per window.
+	for i := 0; i < n; i++ {
+		direct := h.Window(i)
+		for s := range direct.Binary {
+			if direct.Binary[s] != obs[i].Binary[s] {
+				t.Fatalf("window %d binary slot %d mismatch", i, s)
+			}
+		}
+		if len(direct.Actuated) != len(obs[i].Actuated) {
+			t.Fatalf("window %d actuated mismatch: %v vs %v", i, direct.Actuated, obs[i].Actuated)
+		}
+		for j := range direct.Numeric {
+			if len(direct.Numeric[j]) != len(obs[i].Numeric[j]) {
+				t.Fatalf("window %d numeric slot %d sample count mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestAllSpecsInstantiate(t *testing.T) {
+	for _, s := range AllSpecs() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			h, err := New(s, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := h.Registry()
+			wantCounts := map[string][3]int{
+				"houseA": {14, 0, 0}, "houseB": {27, 0, 0}, "houseC": {23, 0, 0},
+				"twor": {68, 3, 0}, "hh102": {33, 79, 0},
+				"D_houseA": {6, 31, 8}, "D_houseB": {6, 31, 8}, "D_houseC": {6, 31, 8},
+				"D_twor": {6, 31, 8}, "D_hh102": {6, 31, 8},
+			}
+			w := wantCounts[s.Name]
+			if reg.NumBinary() != w[0] || reg.NumNumeric() != w[1] || reg.NumActuators() != w[2] {
+				t.Errorf("%s device counts = %d/%d/%d, want %d/%d/%d (Table 4.1)",
+					s.Name, reg.NumBinary(), reg.NumNumeric(), reg.NumActuators(), w[0], w[1], w[2])
+			}
+			// Spot check one window.
+			o := h.Window(0)
+			if len(o.Binary) != reg.NumBinary() || len(o.Numeric) != reg.NumNumeric() {
+				t.Error("window shape mismatch")
+			}
+		})
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("twor")
+	if err != nil || s.Name != "twor" {
+		t.Errorf("SpecByName(twor) = %v, %v", s.Name, err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if len(ThirdPartyNames())+len(TestbedNames()) != len(AllSpecs()) {
+		t.Error("name lists disagree with AllSpecs")
+	}
+}
+
+// TestContextLearnable is the pivotal integration check: training DICE on a
+// simulated home must produce a BOUNDED group catalogue (state sets recur)
+// and near-zero violations on held-out fault-free data.
+func TestContextLearnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training integration test")
+	}
+	spec := tinySpec()
+	spec.Hours = 14 * 24 // 14 days
+	h, err := New(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainWindows := 10 * 24 * 60 // 10 days training
+	tr := core.NewTrainer(h.Layout(), time.Minute)
+	for i := 0; i < trainWindows; i++ {
+		if err := tr.Calibrate(h.Window(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.FinishCalibration(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trainWindows; i++ {
+		if err := tr.Learn(h.Window(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, err := tr.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := ctx.NumGroups(); g < 4 || g > 3000 {
+		t.Errorf("group count %d out of sane range [4, 3000]", g)
+	}
+	deg := ctx.CorrelationDegree()
+	if deg <= 0.3 || deg > float64(h.Registry().NumSensors()) {
+		t.Errorf("correlation degree %.2f implausible", deg)
+	}
+
+	det, err := core.NewDetector(ctx, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	tested := 0
+	for i := trainWindows; i < h.Windows(); i++ {
+		res, err := det.Process(h.Window(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tested++
+		if res.Detected {
+			violations++
+		}
+	}
+	if rate := float64(violations) / float64(tested); rate > 0.02 {
+		t.Errorf("held-out violation rate %.4f (%d/%d), want <= 0.02",
+			rate, violations, tested)
+	}
+}
+
+func BenchmarkWindowTiny(b *testing.B) {
+	h, err := New(tinySpec(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Window(i % h.Windows())
+	}
+}
+
+func BenchmarkWindowHH102(b *testing.B) {
+	h, err := New(SpecHH102(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Window(i % h.Windows())
+	}
+}

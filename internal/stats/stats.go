@@ -1,0 +1,346 @@
+// Package stats provides the small set of descriptive statistics DICE needs:
+// streaming moment accumulators (Welford), sample skewness for the state-set
+// binarizer (Eq. 3.2 of the paper), robust location/scale estimates used by
+// the fault injectors and baselines, and autoregressive model fitting used by
+// the ARIMA-lite baseline.
+//
+// Everything here is deliberately dependency-free and allocation-conscious:
+// the binarizer calls into this package once per numeric sensor per window on
+// the real-time path.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned by estimators that need more samples than
+// they were given.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n, not n-1),
+// or 0 when fewer than two samples are present. The binarizer standardizes
+// by the population moment to mirror the paper's E[((S-mu)/sigma)^3]
+// formulation.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance (dividing by n-1), or
+// 0 when fewer than two samples are present.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return Variance(xs) * float64(len(xs)) / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Skewness returns the population skewness E[((x-mu)/sigma)^3] of xs.
+// It returns 0 when there are fewer than three samples or when the values
+// are (numerically) constant, matching the binarizer's need for a defined
+// "skewness > 0" bit on degenerate windows.
+func Skewness(xs []float64) float64 {
+	if len(xs) < 3 {
+		return 0
+	}
+	mu := Mean(xs)
+	m2, m3 := 0.0, 0.0
+	for _, x := range xs {
+		d := x - mu
+		m2 += d * d
+		m3 += d * d * d
+	}
+	n := float64(len(xs))
+	m2 /= n
+	m3 /= n
+	if m2 <= 1e-12 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
+}
+
+// Median returns the median of xs without mutating it, or 0 for an empty
+// slice.
+func Median(xs []float64) float64 {
+	switch len(xs) {
+	case 0:
+		return 0
+	case 1:
+		return xs[0]
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	mid := len(tmp) / 2
+	if len(tmp)%2 == 1 {
+		return tmp[mid]
+	}
+	return (tmp[mid-1] + tmp[mid]) / 2
+}
+
+// MAD returns the median absolute deviation of xs around its median. It is
+// the robust scale estimate used by the majority-vote baseline.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	med := Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return Median(devs)
+}
+
+// Quantile returns the q-th quantile of xs (0 <= q <= 1) using linear
+// interpolation between order statistics. It returns 0 for an empty slice
+// and clamps q into [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	if q <= 0 {
+		return tmp[0]
+	}
+	if q >= 1 {
+		return tmp[len(tmp)-1]
+	}
+	pos := q * float64(len(tmp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return tmp[lo]
+	}
+	frac := pos - float64(lo)
+	return tmp[lo]*(1-frac) + tmp[hi]*frac
+}
+
+// MinMax returns the minimum and maximum of xs. It returns (0, 0) for an
+// empty slice.
+func MinMax(xs []float64) (minV, maxV float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	minV, maxV = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	return minV, maxV
+}
+
+// Welford is a streaming accumulator of count, mean, and variance using
+// Welford's algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean, or 0 before any samples.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance, or 0 with fewer than two
+// samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Merge folds another accumulator into w (parallel Welford merge).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// EWMA is an exponentially weighted moving average. The zero value is not
+// useful; construct with NewEWMA.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]. Larger
+// alpha weights recent samples more heavily.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds x in and returns the updated average.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return x
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average, or 0 before any samples.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Autocovariance returns the lag-k autocovariance of xs (population
+// normalization). It returns 0 when k >= len(xs).
+func Autocovariance(xs []float64, k int) float64 {
+	n := len(xs)
+	if k < 0 || k >= n {
+		return 0
+	}
+	mu := Mean(xs)
+	sum := 0.0
+	for i := 0; i+k < n; i++ {
+		sum += (xs[i] - mu) * (xs[i+k] - mu)
+	}
+	return sum / float64(n)
+}
+
+// Autocorrelation returns the lag-k autocorrelation of xs, or 0 when the
+// series is constant.
+func Autocorrelation(xs []float64, k int) float64 {
+	c0 := Autocovariance(xs, 0)
+	if c0 <= 1e-12 {
+		return 0
+	}
+	return Autocovariance(xs, k) / c0
+}
+
+// FitAR fits an AR(p) model to xs by solving the Yule-Walker equations with
+// Levinson-Durbin recursion. It returns the p coefficients (phi_1..phi_p)
+// and the innovation variance. It needs at least p+2 samples.
+func FitAR(xs []float64, p int) (coeffs []float64, noiseVar float64, err error) {
+	if p < 1 {
+		return nil, 0, errors.New("stats: AR order must be >= 1")
+	}
+	if len(xs) < p+2 {
+		return nil, 0, ErrInsufficientData
+	}
+	r := make([]float64, p+1)
+	for k := 0; k <= p; k++ {
+		r[k] = Autocovariance(xs, k)
+	}
+	if r[0] <= 1e-12 {
+		// Constant series: AR coefficients of zero predict the mean exactly.
+		return make([]float64, p), 0, nil
+	}
+	phi := make([]float64, p)
+	prev := make([]float64, p)
+	v := r[0]
+	for k := 1; k <= p; k++ {
+		acc := r[k]
+		for j := 1; j < k; j++ {
+			acc -= prev[j-1] * r[k-j]
+		}
+		lambda := acc / v
+		phi[k-1] = lambda
+		for j := 1; j < k; j++ {
+			phi[j-1] = prev[j-1] - lambda*prev[k-j-1]
+		}
+		v *= 1 - lambda*lambda
+		copy(prev, phi[:k])
+	}
+	if v < 0 {
+		v = 0
+	}
+	return phi, v, nil
+}
+
+// PredictAR returns the one-step-ahead AR prediction for the series history,
+// where history holds the most recent observations ordered oldest first and
+// mean is the process mean the model was centred on. It needs
+// len(history) >= len(coeffs).
+func PredictAR(coeffs []float64, mean float64, history []float64) (float64, error) {
+	p := len(coeffs)
+	if len(history) < p {
+		return 0, ErrInsufficientData
+	}
+	pred := mean
+	for j := 0; j < p; j++ {
+		pred += coeffs[j] * (history[len(history)-1-j] - mean)
+	}
+	return pred, nil
+}
+
+// Histogram counts xs into n equal-width bins spanning [lo, hi]. Values
+// outside the range are clamped into the first/last bin. It returns nil when
+// n <= 0 or hi <= lo.
+func Histogram(xs []float64, n int, lo, hi float64) []int {
+	if n <= 0 || hi <= lo {
+		return nil
+	}
+	bins := make([]int, n)
+	width := (hi - lo) / float64(n)
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		bins[idx]++
+	}
+	return bins
+}

@@ -1,0 +1,430 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"simple", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVariance(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 0},
+		{"constant", []float64{3, 3, 3}, 0},
+		{"simple", []float64{1, 2, 3, 4}, 1.25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Variance(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Variance(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	got := SampleVariance([]float64{1, 2, 3, 4})
+	want := 5.0 / 3.0
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", got, want)
+	}
+	if SampleVariance([]float64{1}) != 0 {
+		t.Error("SampleVariance of single value should be 0")
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	tests := []struct {
+		name     string
+		in       []float64
+		wantSign int // -1, 0, +1
+	}{
+		{"too short", []float64{1, 2}, 0},
+		{"constant", []float64{5, 5, 5, 5}, 0},
+		{"right skewed", []float64{1, 1, 1, 1, 10}, 1},
+		{"left skewed", []float64{10, 10, 10, 10, 1}, -1},
+		{"symmetric", []float64{1, 2, 3, 4, 5}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Skewness(tt.in)
+			switch tt.wantSign {
+			case 0:
+				if !almostEqual(got, 0, 1e-9) {
+					t.Errorf("Skewness(%v) = %v, want ~0", tt.in, got)
+				}
+			case 1:
+				if got <= 0 {
+					t.Errorf("Skewness(%v) = %v, want > 0", tt.in, got)
+				}
+			case -1:
+				if got >= 0 {
+					t.Errorf("Skewness(%v) = %v, want < 0", tt.in, got)
+				}
+			}
+		})
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 3},
+		{"odd", []float64{5, 1, 3}, 3},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Median(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Median(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	// Median of {1,2,3,4,100} is 3; abs devs {2,1,0,1,97}; median dev 1.
+	got := MAD([]float64{1, 2, 3, 4, 100})
+	if !almostEqual(got, 1, 1e-12) {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	if MAD(nil) != 0 {
+		t.Error("MAD(nil) should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	minV, maxV := MinMax([]float64{3, -1, 7, 2})
+	if minV != -1 || maxV != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", minV, maxV)
+	}
+	minV, maxV = MinMax(nil)
+	if minV != 0 || maxV != 0 {
+		t.Errorf("MinMax(nil) = (%v, %v), want (0, 0)", minV, maxV)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	if !almostEqual(w.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("Welford mean %v != batch mean %v", w.Mean(), Mean(xs))
+	}
+	if !almostEqual(w.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("Welford var %v != batch var %v", w.Variance(), Variance(xs))
+	}
+	if w.N() != 1000 {
+		t.Errorf("N = %d, want 1000", w.N())
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var all, a, b Welford
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 100
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean %v != %v", a.Mean(), all.Mean())
+	}
+	if !almostEqual(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merged variance %v != %v", a.Variance(), all.Variance())
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(5)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Errorf("merge with empty changed accumulator: n=%d mean=%v", a.N(), a.Mean())
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 5 {
+		t.Errorf("merge into empty: n=%d mean=%v", b.N(), b.Mean())
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Error("initial EWMA value should be 0")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Errorf("first sample should initialize: got %v", e.Value())
+	}
+	e.Add(20)
+	if !almostEqual(e.Value(), 15, 1e-12) {
+		t.Errorf("EWMA = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMABadAlpha(t *testing.T) {
+	e := NewEWMA(-1) // falls back to default alpha
+	e.Add(1)
+	e.Add(2)
+	if e.Value() <= 1 || e.Value() >= 2 {
+		t.Errorf("EWMA with fallback alpha out of range: %v", e.Value())
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A strongly alternating series has negative lag-1 autocorrelation.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	if got := Autocorrelation(alt, 1); got >= 0 {
+		t.Errorf("alternating series lag-1 autocorr = %v, want < 0", got)
+	}
+	if got := Autocorrelation(alt, 0); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("lag-0 autocorr = %v, want 1", got)
+	}
+	if Autocorrelation([]float64{2, 2, 2}, 1) != 0 {
+		t.Error("constant series autocorr should be 0")
+	}
+	if Autocovariance(alt, 99) != 0 {
+		t.Error("out-of-range lag should give 0")
+	}
+}
+
+func TestFitARRecoversCoefficient(t *testing.T) {
+	// Simulate AR(1) x_t = 0.8 x_{t-1} + e_t and check recovery.
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 5000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.8*xs[i-1] + rng.NormFloat64()
+	}
+	coeffs, noiseVar, err := FitAR(xs, 1)
+	if err != nil {
+		t.Fatalf("FitAR: %v", err)
+	}
+	if !almostEqual(coeffs[0], 0.8, 0.05) {
+		t.Errorf("AR(1) coefficient = %v, want ~0.8", coeffs[0])
+	}
+	if !almostEqual(noiseVar, 1.0, 0.15) {
+		t.Errorf("noise variance = %v, want ~1.0", noiseVar)
+	}
+}
+
+func TestFitARErrors(t *testing.T) {
+	if _, _, err := FitAR([]float64{1, 2}, 0); err == nil {
+		t.Error("order 0 should error")
+	}
+	if _, _, err := FitAR([]float64{1, 2}, 3); err == nil {
+		t.Error("too little data should error")
+	}
+}
+
+func TestFitARConstantSeries(t *testing.T) {
+	coeffs, noiseVar, err := FitAR([]float64{5, 5, 5, 5, 5, 5}, 2)
+	if err != nil {
+		t.Fatalf("FitAR constant: %v", err)
+	}
+	for _, c := range coeffs {
+		if c != 0 {
+			t.Errorf("constant series should give zero coefficients, got %v", coeffs)
+		}
+	}
+	if noiseVar != 0 {
+		t.Errorf("constant series noise variance = %v, want 0", noiseVar)
+	}
+}
+
+func TestPredictAR(t *testing.T) {
+	// Model x_t = mean + 0.5(x_{t-1} - mean).
+	pred, err := PredictAR([]float64{0.5}, 10, []float64{8, 12})
+	if err != nil {
+		t.Fatalf("PredictAR: %v", err)
+	}
+	if !almostEqual(pred, 11, 1e-12) {
+		t.Errorf("prediction = %v, want 11", pred)
+	}
+	if _, err := PredictAR([]float64{0.5, 0.3}, 0, []float64{1}); err == nil {
+		t.Error("short history should error")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0, 0.5, 1.5, 2.5, 10, -5}, 3, 0, 3)
+	want := []int{3, 1, 2} // -5 and 0 and 0.5 clamp/fall into bin 0; 10 clamps into bin 2
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Errorf("Histogram = %v, want %v", bins, want)
+			break
+		}
+	}
+	if Histogram(nil, 0, 0, 1) != nil {
+		t.Error("n<=0 should return nil")
+	}
+	if Histogram(nil, 3, 2, 1) != nil {
+		t.Error("hi<=lo should return nil")
+	}
+}
+
+// Property: variance is non-negative and invariant under shift.
+func TestVarianceProperties(t *testing.T) {
+	f := func(raw []int8, shift int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			ys[i] = float64(v) + float64(shift)
+		}
+		v1, v2 := Variance(xs), Variance(ys)
+		return v1 >= 0 && almostEqual(v1, v2, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Welford agrees with the batch mean for arbitrary inputs.
+func TestWelfordProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		var w Welford
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			w.Add(xs[i])
+		}
+		return almostEqual(w.Mean(), Mean(xs), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		minV, maxV := MinMax(xs)
+		q25, q50, q75 := Quantile(xs, 0.25), Quantile(xs, 0.5), Quantile(xs, 0.75)
+		return q25 <= q50 && q50 <= q75 && q25 >= minV && q75 <= maxV
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: skewness flips sign under negation.
+func TestSkewnessAntisymmetry(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		neg := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			neg[i] = -float64(v)
+		}
+		return almostEqual(Skewness(xs), -Skewness(neg), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSkewness(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 60)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Skewness(xs)
+	}
+}
+
+func BenchmarkWelfordAdd(b *testing.B) {
+	var w Welford
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i % 97))
+	}
+}

@@ -1,0 +1,317 @@
+// Package window aggregates raw event streams into the fixed-duration
+// observations DICE consumes. The paper calls the window length the
+// "duration" of the sensor state set and finds one minute optimal (§VI);
+// both the batch evaluator and the live gateway build observations through
+// this package so detection behaves identically offline and online.
+package window
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/event"
+)
+
+// DefaultDuration is the paper's empirically optimal state-set duration.
+const DefaultDuration = time.Minute
+
+// Observation is everything DICE sees about one window: which binary
+// sensors fired, the numeric samples of each numeric sensor, and which
+// actuators were activated.
+type Observation struct {
+	// Index is the window's ordinal position (window k covers
+	// [k*d, (k+1)*d) from the recording start).
+	Index int
+	// Binary has one entry per binary sensor, in registry order; true iff
+	// the sensor fired at least once during the window (Eq. 3.1).
+	Binary []bool
+	// Numeric has one entry per numeric sensor, in registry order, holding
+	// the time-ordered samples observed during the window. An empty slice
+	// means the sensor reported nothing (e.g. a fail-stop fault).
+	Numeric [][]float64
+	// Actuated lists the actuators that were switched on during the window,
+	// deduplicated, in registry order.
+	Actuated []device.ID
+}
+
+// Clone returns a deep copy, so fault injectors can mutate observations
+// without corrupting shared state.
+func (o *Observation) Clone() *Observation {
+	c := &Observation{Index: o.Index}
+	c.Binary = append([]bool(nil), o.Binary...)
+	c.Numeric = make([][]float64, len(o.Numeric))
+	for i, s := range o.Numeric {
+		c.Numeric[i] = append([]float64(nil), s...)
+	}
+	c.Actuated = append([]device.ID(nil), o.Actuated...)
+	return c
+}
+
+// Layout maps between device IDs and the per-kind dense slots used inside
+// observations and state sets. It is derived once from a registry.
+type Layout struct {
+	reg         *device.Registry
+	binarySlot  map[device.ID]int
+	numericSlot map[device.ID]int
+	actSlot     map[device.ID]int
+	binaries    []device.ID
+	numerics    []device.ID
+	acts        []device.ID
+}
+
+// NewLayout builds the slot mapping for a registry.
+func NewLayout(reg *device.Registry) *Layout {
+	l := &Layout{
+		reg:         reg,
+		binarySlot:  make(map[device.ID]int),
+		numericSlot: make(map[device.ID]int),
+		actSlot:     make(map[device.ID]int),
+		binaries:    reg.Binaries(),
+		numerics:    reg.Numerics(),
+		acts:        reg.Actuators(),
+	}
+	for i, id := range l.binaries {
+		l.binarySlot[id] = i
+	}
+	for i, id := range l.numerics {
+		l.numericSlot[id] = i
+	}
+	for i, id := range l.acts {
+		l.actSlot[id] = i
+	}
+	return l
+}
+
+// Registry returns the registry the layout was built from.
+func (l *Layout) Registry() *device.Registry { return l.reg }
+
+// NumBinary returns the number of binary sensor slots.
+func (l *Layout) NumBinary() int { return len(l.binaries) }
+
+// NumNumeric returns the number of numeric sensor slots.
+func (l *Layout) NumNumeric() int { return len(l.numerics) }
+
+// NumActuators returns the number of actuator slots.
+func (l *Layout) NumActuators() int { return len(l.acts) }
+
+// BinarySlot returns the dense slot for a binary sensor ID.
+func (l *Layout) BinarySlot(id device.ID) (int, bool) {
+	s, ok := l.binarySlot[id]
+	return s, ok
+}
+
+// NumericSlot returns the dense slot for a numeric sensor ID.
+func (l *Layout) NumericSlot(id device.ID) (int, bool) {
+	s, ok := l.numericSlot[id]
+	return s, ok
+}
+
+// ActuatorSlot returns the dense slot for an actuator ID.
+func (l *Layout) ActuatorSlot(id device.ID) (int, bool) {
+	s, ok := l.actSlot[id]
+	return s, ok
+}
+
+// BinaryID returns the device ID occupying binary slot s.
+func (l *Layout) BinaryID(s int) device.ID { return l.binaries[s] }
+
+// NumericID returns the device ID occupying numeric slot s.
+func (l *Layout) NumericID(s int) device.ID { return l.numerics[s] }
+
+// ActuatorID returns the device ID occupying actuator slot s.
+func (l *Layout) ActuatorID(s int) device.ID { return l.acts[s] }
+
+// NewObservation returns an empty observation shaped for the layout.
+func (l *Layout) NewObservation(index int) *Observation {
+	return &Observation{
+		Index:   index,
+		Binary:  make([]bool, len(l.binaries)),
+		Numeric: make([][]float64, len(l.numerics)),
+	}
+}
+
+// Builder folds a sorted event stream into consecutive observations. It is
+// single-goroutine; the gateway wraps it with its own synchronization.
+type Builder struct {
+	layout   *Layout
+	duration time.Duration
+	cur      *Observation
+	actSeen  map[device.ID]bool
+	// floor is the first window index that has not been emitted yet; it
+	// advances monotonically so time can never regress even across
+	// Flush/AdvanceTo.
+	floor int
+}
+
+// NewBuilder returns a builder producing windows of the given duration.
+// A non-positive duration falls back to DefaultDuration.
+func NewBuilder(layout *Layout, duration time.Duration) *Builder {
+	if duration <= 0 {
+		duration = DefaultDuration
+	}
+	return &Builder{
+		layout:   layout,
+		duration: duration,
+		actSeen:  make(map[device.ID]bool),
+	}
+}
+
+// Duration returns the window duration.
+func (b *Builder) Duration() time.Duration { return b.duration }
+
+// Add folds one event in. Events must arrive in non-decreasing time order;
+// an event belonging to a later window than the current one causes the
+// current observation (and any skipped empty ones) to be emitted via the
+// returned slice. The caller owns the returned observations.
+func (b *Builder) Add(e event.Event) ([]*Observation, error) {
+	idx := int(e.At / b.duration)
+	if e.At < 0 {
+		return nil, fmt.Errorf("window: negative event time %s", e.At)
+	}
+	var out []*Observation
+	if b.cur == nil {
+		if idx < b.floor {
+			return nil, fmt.Errorf("window: event at %s regresses before window %d", e.At, b.floor)
+		}
+		b.cur = b.layout.NewObservation(b.floor)
+	}
+	if idx < b.cur.Index {
+		return nil, fmt.Errorf("window: event at %s regresses before window %d", e.At, b.cur.Index)
+	}
+	for idx > b.cur.Index {
+		out = append(out, b.cur)
+		b.startWindow(b.cur.Index + 1)
+	}
+	b.fold(e)
+	return out, nil
+}
+
+// Flush emits the in-progress observation, if any, and resets the builder.
+// The time floor is preserved: later events must not regress.
+func (b *Builder) Flush() *Observation {
+	o := b.cur
+	b.cur = nil
+	for k := range b.actSeen {
+		delete(b.actSeen, k)
+	}
+	if o != nil {
+		b.floor = o.Index + 1
+	}
+	return o
+}
+
+// AdvanceTo declares that stream time has reached t, emitting every window
+// that ends at or before it — including empty ones. A silent stretch of a
+// smart home still produces windows; the all-quiet window is itself a
+// sensor state set the detector must judge.
+func (b *Builder) AdvanceTo(t time.Duration) ([]*Observation, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("window: negative advance time %s", t)
+	}
+	target := int(t / b.duration) // first window still open at time t
+	var out []*Observation
+	if b.cur == nil {
+		if target <= b.floor {
+			return nil, nil
+		}
+		b.cur = b.layout.NewObservation(b.floor)
+	}
+	for b.cur.Index < target {
+		out = append(out, b.cur)
+		b.startWindow(b.cur.Index + 1)
+	}
+	return out, nil
+}
+
+func (b *Builder) startWindow(idx int) {
+	b.cur = b.layout.NewObservation(idx)
+	b.floor = idx
+	for k := range b.actSeen {
+		delete(b.actSeen, k)
+	}
+}
+
+func (b *Builder) fold(e event.Event) {
+	if s, ok := b.layout.binarySlot[e.Device]; ok {
+		if e.Value != 0 {
+			b.cur.Binary[s] = true
+		}
+		return
+	}
+	if s, ok := b.layout.numericSlot[e.Device]; ok {
+		b.cur.Numeric[s] = append(b.cur.Numeric[s], e.Value)
+		return
+	}
+	if _, ok := b.layout.actSlot[e.Device]; ok {
+		// Only switch-on events count as actuator activations for G2A/A2G.
+		if e.Value != 0 && !b.actSeen[e.Device] {
+			b.actSeen[e.Device] = true
+			b.cur.Actuated = insertSorted(b.cur.Actuated, e.Device)
+		}
+	}
+	// Events from unknown devices are ignored: a live deployment may carry
+	// devices the detector was not trained on.
+}
+
+func insertSorted(ids []device.ID, id device.ID) []device.ID {
+	pos := len(ids)
+	for i, v := range ids {
+		if id < v {
+			pos = i
+			break
+		}
+	}
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	return ids
+}
+
+// FromEvents windows a complete sorted event slice into observations
+// covering [0, horizon). Windows with no events are still emitted (empty
+// observations), which is what lets fail-stop faults surface as all-zero
+// state sets.
+func FromEvents(layout *Layout, duration time.Duration, evts []event.Event, horizon time.Duration) ([]*Observation, error) {
+	if duration <= 0 {
+		duration = DefaultDuration
+	}
+	n := int(horizon / duration)
+	out := make([]*Observation, 0, n)
+	b := NewBuilder(layout, duration)
+	for _, e := range evts {
+		if e.At >= horizon {
+			break
+		}
+		emitted, err := b.Add(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, emitted...)
+	}
+	if last := b.Flush(); last != nil {
+		out = append(out, last)
+	}
+	// Pad leading gap (if the first event was late) and trailing gap.
+	return padWindows(layout, out, n), nil
+}
+
+func padWindows(layout *Layout, obs []*Observation, n int) []*Observation {
+	full := make([]*Observation, 0, n)
+	next := 0
+	for _, o := range obs {
+		for next < o.Index && next < n {
+			full = append(full, layout.NewObservation(next))
+			next++
+		}
+		if o.Index < n {
+			full = append(full, o)
+			next = o.Index + 1
+		}
+	}
+	for next < n {
+		full = append(full, layout.NewObservation(next))
+		next++
+	}
+	return full
+}

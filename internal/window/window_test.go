@@ -1,0 +1,260 @@
+package window
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/event"
+)
+
+// testDevices builds a registry with 2 binary, 2 numeric, 2 actuator devices
+// in interleaved registration order to exercise the slot mapping.
+func testDevices(t *testing.T) (*device.Registry, *Layout) {
+	t.Helper()
+	reg := device.NewRegistry()
+	reg.MustAdd("m0", device.Binary, device.Motion, "a")       // ID 0, binary slot 0
+	reg.MustAdd("t0", device.Numeric, device.Temperature, "a") // ID 1, numeric slot 0
+	reg.MustAdd("b0", device.Actuator, device.SmartBulb, "a")  // ID 2, act slot 0
+	reg.MustAdd("m1", device.Binary, device.Motion, "b")       // ID 3, binary slot 1
+	reg.MustAdd("l0", device.Numeric, device.Light, "b")       // ID 4, numeric slot 1
+	reg.MustAdd("b1", device.Actuator, device.SmartBlind, "b") // ID 5, act slot 1
+	return reg, NewLayout(reg)
+}
+
+func TestLayoutSlots(t *testing.T) {
+	_, l := testDevices(t)
+	if l.NumBinary() != 2 || l.NumNumeric() != 2 || l.NumActuators() != 2 {
+		t.Fatalf("layout sizes: %d/%d/%d", l.NumBinary(), l.NumNumeric(), l.NumActuators())
+	}
+	if s, ok := l.BinarySlot(3); !ok || s != 1 {
+		t.Errorf("BinarySlot(3) = (%d, %v), want (1, true)", s, ok)
+	}
+	if s, ok := l.NumericSlot(4); !ok || s != 1 {
+		t.Errorf("NumericSlot(4) = (%d, %v), want (1, true)", s, ok)
+	}
+	if s, ok := l.ActuatorSlot(2); !ok || s != 0 {
+		t.Errorf("ActuatorSlot(2) = (%d, %v), want (0, true)", s, ok)
+	}
+	if _, ok := l.BinarySlot(1); ok {
+		t.Error("numeric device got a binary slot")
+	}
+	if l.BinaryID(1) != 3 || l.NumericID(0) != 1 || l.ActuatorID(1) != 5 {
+		t.Error("slot->ID inverse mapping broken")
+	}
+}
+
+func TestBuilderBasicWindowing(t *testing.T) {
+	_, l := testDevices(t)
+	b := NewBuilder(l, time.Minute)
+	evts := []event.Event{
+		{At: 5 * time.Second, Device: 0, Value: 1},   // binary slot 0, window 0
+		{At: 10 * time.Second, Device: 1, Value: 20}, // numeric slot 0
+		{At: 40 * time.Second, Device: 1, Value: 21}, // numeric slot 0
+		{At: 61 * time.Second, Device: 3, Value: 1},  // window 1
+		{At: 70 * time.Second, Device: 2, Value: 1},  // actuator on, window 1
+		{At: 80 * time.Second, Device: 2, Value: 1},  // duplicate actuator on
+		{At: 90 * time.Second, Device: 5, Value: 0},  // actuator OFF: not an activation
+	}
+	var got []*Observation
+	for _, e := range evts {
+		emitted, err := b.Add(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, emitted...)
+	}
+	if last := b.Flush(); last != nil {
+		got = append(got, last)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d windows, want 2", len(got))
+	}
+	w0, w1 := got[0], got[1]
+	if !w0.Binary[0] || w0.Binary[1] {
+		t.Errorf("window 0 binary = %v", w0.Binary)
+	}
+	if len(w0.Numeric[0]) != 2 || w0.Numeric[0][0] != 20 || w0.Numeric[0][1] != 21 {
+		t.Errorf("window 0 numeric[0] = %v", w0.Numeric[0])
+	}
+	if len(w0.Actuated) != 0 {
+		t.Errorf("window 0 actuated = %v", w0.Actuated)
+	}
+	if !w1.Binary[1] {
+		t.Errorf("window 1 binary = %v", w1.Binary)
+	}
+	if len(w1.Actuated) != 1 || w1.Actuated[0] != 2 {
+		t.Errorf("window 1 actuated = %v, want [2]", w1.Actuated)
+	}
+}
+
+func TestBuilderEmitsSkippedWindows(t *testing.T) {
+	_, l := testDevices(t)
+	b := NewBuilder(l, time.Minute)
+	if _, err := b.Add(event.Event{At: 0, Device: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	emitted, err := b.Add(event.Event{At: 3*time.Minute + time.Second, Device: 0, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows 0, 1, 2 should all be emitted (1 and 2 empty).
+	if len(emitted) != 3 {
+		t.Fatalf("emitted %d windows, want 3", len(emitted))
+	}
+	if emitted[1].Binary[0] || emitted[2].Binary[0] {
+		t.Error("gap windows should be empty")
+	}
+	if emitted[0].Index != 0 || emitted[2].Index != 2 {
+		t.Errorf("indices: %d, %d, %d", emitted[0].Index, emitted[1].Index, emitted[2].Index)
+	}
+}
+
+func TestBuilderRejectsRegression(t *testing.T) {
+	_, l := testDevices(t)
+	b := NewBuilder(l, time.Minute)
+	if _, err := b.Add(event.Event{At: 2 * time.Minute, Device: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Add(event.Event{At: time.Second, Device: 0, Value: 1}); err == nil {
+		t.Error("time regression accepted")
+	}
+	if _, err := b.Add(event.Event{At: -time.Second, Device: 0, Value: 1}); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestBuilderIgnoresUnknownDevices(t *testing.T) {
+	_, l := testDevices(t)
+	b := NewBuilder(l, time.Minute)
+	if _, err := b.Add(event.Event{At: 0, Device: 99, Value: 1}); err != nil {
+		t.Fatalf("unknown device should be ignored, got %v", err)
+	}
+	o := b.Flush()
+	if o == nil {
+		t.Fatal("expected an in-progress window")
+	}
+	for _, bit := range o.Binary {
+		if bit {
+			t.Error("unknown device set a binary bit")
+		}
+	}
+}
+
+func TestBuilderDefaultDuration(t *testing.T) {
+	_, l := testDevices(t)
+	b := NewBuilder(l, 0)
+	if b.Duration() != DefaultDuration {
+		t.Errorf("Duration = %v, want %v", b.Duration(), DefaultDuration)
+	}
+}
+
+func TestBinaryZeroValueEventDoesNotActivate(t *testing.T) {
+	_, l := testDevices(t)
+	b := NewBuilder(l, time.Minute)
+	if _, err := b.Add(event.Event{At: 0, Device: 0, Value: 0}); err != nil {
+		t.Fatal(err)
+	}
+	o := b.Flush()
+	if o.Binary[0] {
+		t.Error("value-0 binary event should not set the bit")
+	}
+}
+
+func TestFromEventsPadsWindows(t *testing.T) {
+	_, l := testDevices(t)
+	evts := []event.Event{
+		{At: 90 * time.Second, Device: 0, Value: 1}, // only window 1 has data
+	}
+	obs, err := FromEvents(l, time.Minute, evts, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 4 {
+		t.Fatalf("got %d windows, want 4", len(obs))
+	}
+	for i, o := range obs {
+		if o.Index != i {
+			t.Errorf("window %d has index %d", i, o.Index)
+		}
+	}
+	if obs[0].Binary[0] || !obs[1].Binary[0] || obs[2].Binary[0] || obs[3].Binary[0] {
+		t.Error("wrong window received the activation")
+	}
+}
+
+func TestFromEventsHorizonCutsOff(t *testing.T) {
+	_, l := testDevices(t)
+	evts := []event.Event{
+		{At: 30 * time.Second, Device: 0, Value: 1},
+		{At: 5 * time.Minute, Device: 3, Value: 1}, // beyond horizon
+	}
+	obs, err := FromEvents(l, time.Minute, evts, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 2 {
+		t.Fatalf("got %d windows, want 2", len(obs))
+	}
+	if obs[1].Binary[1] {
+		t.Error("event beyond horizon leaked into a window")
+	}
+}
+
+func TestFromEventsEmpty(t *testing.T) {
+	_, l := testDevices(t)
+	obs, err := FromEvents(l, time.Minute, nil, 3*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 3 {
+		t.Fatalf("got %d windows, want 3 empty", len(obs))
+	}
+}
+
+func TestObservationClone(t *testing.T) {
+	_, l := testDevices(t)
+	o := l.NewObservation(7)
+	o.Binary[0] = true
+	o.Numeric[1] = []float64{1, 2}
+	o.Actuated = []device.ID{2}
+	c := o.Clone()
+	c.Binary[0] = false
+	c.Numeric[1][0] = 99
+	c.Actuated[0] = 5
+	if !o.Binary[0] || o.Numeric[1][0] != 1 || o.Actuated[0] != 2 {
+		t.Error("Clone shares state with original")
+	}
+	if c.Index != 7 {
+		t.Errorf("Clone index = %d, want 7", c.Index)
+	}
+}
+
+func TestActuatedStaysSorted(t *testing.T) {
+	_, l := testDevices(t)
+	b := NewBuilder(l, time.Minute)
+	// Activate actuator 5 before actuator 2 in the same window.
+	if _, err := b.Add(event.Event{At: time.Second, Device: 5, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Add(event.Event{At: 2 * time.Second, Device: 2, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	o := b.Flush()
+	if len(o.Actuated) != 2 || o.Actuated[0] != 2 || o.Actuated[1] != 5 {
+		t.Errorf("Actuated = %v, want [2 5]", o.Actuated)
+	}
+}
+
+func BenchmarkBuilderAdd(b *testing.B) {
+	reg := device.NewRegistry()
+	reg.MustAdd("m", device.Binary, device.Motion, "a")
+	reg.MustAdd("t", device.Numeric, device.Temperature, "a")
+	l := NewLayout(reg)
+	bld := NewBuilder(l, time.Minute)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = bld.Add(event.Event{At: time.Duration(i) * time.Second, Device: 1, Value: 20})
+	}
+}
