@@ -1,0 +1,33 @@
+# Tier-1 verification plus the race-checked variant the concurrency in
+# internal/eval requires. `make check` is the gate every change should pass.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-scan bench-eval
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The evaluation harness fans trials across goroutines; always race-check it.
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (regenerates every table/figure on the scaled-down
+# protocol).
+bench:
+	$(GO) test -bench . -benchtime 1x -run TestBenchFixtures .
+
+# Perf-trajectory benches for the PR acceptance numbers.
+bench-scan:
+	$(GO) test -bench 'BenchmarkScan$$' -run TestBenchFixtures .
+
+bench-eval:
+	$(GO) test -bench 'BenchmarkEvaluateParallel$$' -benchtime 2x -run TestBenchFixtures .

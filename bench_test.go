@@ -10,15 +10,19 @@ package dice
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/eval"
 	"repro/internal/faults"
 	"repro/internal/simhome"
+	"repro/internal/window"
 )
 
 // benchSeed keeps every benchmark deterministic.
@@ -249,6 +253,117 @@ func BenchmarkBaselines(b *testing.B) {
 		for _, row := range rows {
 			b.ReportMetric(row.Recall, row.Detector+"-recall")
 		}
+	}
+}
+
+// scanBenchContext builds a synthetic context with size groups over a
+// 128-bit state set (80 binary + 16 numeric sensors), clustered the way real
+// catalogues are: near-neighbour variants of a few dozen base patterns.
+func scanBenchContext(b *testing.B, size int) (*core.Context, *bitvec.Vec, *bitvec.Vec) {
+	b.Helper()
+	reg := device.NewRegistry()
+	for i := 0; i < 80; i++ {
+		reg.MustAdd(fmt.Sprintf("bin-%03d", i), device.Binary, device.Motion, "room")
+	}
+	thre := make([]float64, 16)
+	for i := range thre {
+		reg.MustAdd(fmt.Sprintf("num-%03d", i), device.Numeric, device.Temperature, "room")
+		thre[i] = 20
+	}
+	layout := window.NewLayout(reg)
+	ctx, err := core.NewContext(layout, time.Minute, thre)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nbits := layout.NumBinary() + core.BitsPerNumeric*layout.NumNumeric()
+	rng := rand.New(rand.NewSource(benchSeed))
+	seeds := make([]*bitvec.Vec, 32)
+	for i := range seeds {
+		v := bitvec.New(nbits)
+		for j := 0; j < nbits; j++ {
+			if rng.Float64() < 0.25 {
+				v.Set(j)
+			}
+		}
+		seeds[i] = v
+	}
+	for ctx.NumGroups() < size {
+		g := seeds[rng.Intn(len(seeds))].Clone()
+		for f := rng.Intn(8); f > 0; f-- {
+			g.Flip(rng.Intn(nbits))
+		}
+		ctx.AddGroup(g)
+	}
+	member, err := ctx.Group(size / 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mainQuery := member.Clone()
+	missQuery := member.Clone()
+	missQuery.Flip(0)
+	missQuery.Flip(nbits / 2)
+	missQuery.Flip(nbits - 1)
+	return ctx, mainQuery, missQuery
+}
+
+// BenchmarkScan measures the correlation scan — the per-window hot
+// operation of the real-time phase — at catalogue sizes 10^2/10^3/10^4, on
+// both paths (main-group exact match, and a violation near-miss), for the
+// indexed implementation against the retained naive reference.
+func BenchmarkScan(b *testing.B) {
+	const maxDist = 4
+	for _, size := range []int{100, 1000, 10000} {
+		ctx, mainQ, missQ := scanBenchContext(b, size)
+		scratch := new(core.ScanScratch)
+		b.Run(fmt.Sprintf("indexed/main/%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if c := ctx.ScanWith(scratch, mainQ, maxDist); c.Main == core.NoGroup {
+					b.Fatal("lost main group")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("naive/main/%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if c := ctx.ScanNaive(mainQ, maxDist); c.Main == core.NoGroup {
+					b.Fatal("lost main group")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("indexed/violation/%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if c := ctx.ScanWith(scratch, missQ, maxDist); c.Main != core.NoGroup {
+					b.Fatal("unexpected main group")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("naive/violation/%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if c := ctx.ScanNaive(missQ, maxDist); c.Main != core.NoGroup {
+					b.Fatal("unexpected main group")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateParallel measures the worker-pool evaluation harness at
+// 1/2/4 workers over one shared precomputation. On multi-core hardware the
+// per-op time should scale near-linearly to 4 workers; results are
+// bit-identical at every width (TestEvaluateTrainedParallelDeterminism).
+func BenchmarkEvaluateParallel(b *testing.B) {
+	t := benchTrained(b, "houseB")
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := eval.EvaluateTrainedWorkers(t, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Detection.Recall(), "det-recall")
+			}
+		})
 	}
 }
 

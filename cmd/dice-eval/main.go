@@ -6,16 +6,23 @@
 //
 //	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines]
 //	          [-datasets houseA,twor,...] [-trials N] [-seed N] [-csv]
+//	          [-workers N] [-benchjson FILE]
 //
 // `-trials 100` reproduces the paper-scale run (the default is 40 to keep
-// the full ten-dataset sweep under a minute on a laptop).
+// the full ten-dataset sweep under a minute on a laptop). `-workers` sizes
+// the evaluation worker pool (0 = GOMAXPROCS); results are bit-identical at
+// any worker count. `-benchjson` writes wall-clock and per-stage timings to
+// a JSON file (default BENCH_eval.json; empty disables) so the performance
+// trajectory is tracked across changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/eval"
@@ -36,6 +43,8 @@ func run() error {
 	trials := flag.Int("trials", 40, "faulty segments per dataset (paper: 100)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS); results are identical at any count")
+	benchJSON := flag.String("benchjson", "BENCH_eval.json", "write wall-clock/per-stage timings to this JSON file (empty = off)")
 	flag.Parse()
 
 	specs, err := selectSpecs(*dsFlag)
@@ -62,8 +71,12 @@ func run() error {
 				return err
 			}
 		}
-		results, err := evaluate(specs, *seed, proto)
+		wallStart := time.Now()
+		results, err := evaluate(specs, *seed, proto, *workers)
 		if err != nil {
+			return err
+		}
+		if err := writeBenchJSON(*benchJSON, results, *workers, time.Since(wallStart)); err != nil {
 			return err
 		}
 		tables := map[string]*report.Table{
@@ -93,7 +106,7 @@ func run() error {
 		}
 		return emit(tables[key])
 	case "actuators":
-		return runActuators(specs, *seed, proto, emit)
+		return runActuators(specs, *seed, proto, *workers, emit)
 	case "multifault":
 		return runMultiFault(specs, *seed, proto, emit)
 	case "ablations":
@@ -120,22 +133,69 @@ func selectSpecs(names string) ([]simhome.Spec, error) {
 	return out, nil
 }
 
-func evaluate(specs []simhome.Spec, seed int64, proto eval.Protocol) ([]*eval.DatasetResult, error) {
-	results := make([]*eval.DatasetResult, 0, len(specs))
-	for _, s := range specs {
-		fmt.Fprintf(os.Stderr, "evaluating %s...\n", s.Name)
-		r, err := eval.EvaluateDataset(s, seed, proto)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, r)
+func evaluate(specs []simhome.Spec, seed int64, proto eval.Protocol, workers int) ([]*eval.DatasetResult, error) {
+	return eval.EvaluateAll(specs, seed, proto, workers, func(name string) {
+		fmt.Fprintf(os.Stderr, "evaluating %s...\n", name)
+	})
+}
+
+// benchJSON is the perf-trajectory record dice-eval drops after a run, so
+// successive changes to the hot path can be compared without re-deriving
+// numbers from logs.
+type benchJSON struct {
+	Timestamp   string             `json:"timestamp"`
+	Workers     int                `json:"workers"`
+	WallClockMS float64            `json:"wall_clock_ms"`
+	Datasets    []datasetBenchJSON `json:"datasets"`
+}
+
+type datasetBenchJSON struct {
+	Name       string  `json:"name"`
+	NumSensors int     `json:"num_sensors"`
+	NumGroups  int     `json:"num_groups"`
+	TrainMS    float64 `json:"train_ms"`
+	EvalMS     float64 `json:"eval_ms"`
+	// Per-window stage means in nanoseconds (Fig 5.3's quantities).
+	CorrelationNS float64 `json:"correlation_ns_per_window"`
+	TransitionNS  float64 `json:"transition_ns_per_window"`
+	IdentifyNS    float64 `json:"identify_ns_per_window"`
+}
+
+func writeBenchJSON(path string, results []*eval.DatasetResult, workers int, wall time.Duration) error {
+	if path == "" {
+		return nil
 	}
-	return results, nil
+	out := benchJSON{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Workers:     workers,
+		WallClockMS: float64(wall.Microseconds()) / 1000,
+	}
+	for _, r := range results {
+		out.Datasets = append(out.Datasets, datasetBenchJSON{
+			Name:          r.Name,
+			NumSensors:    r.NumSensors,
+			NumGroups:     r.NumGroups,
+			TrainMS:       float64(r.TrainTime.Microseconds()) / 1000,
+			EvalMS:        float64(r.EvalTime.Microseconds()) / 1000,
+			CorrelationNS: float64(r.CorrelationCheckTime.Nanoseconds()),
+			TransitionNS:  float64(r.TransitionCheckTime.Nanoseconds()),
+			IdentifyNS:    float64(r.IdentifyTime.Nanoseconds()),
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write bench json: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }
 
 // runActuators reproduces §5.1.3: actuator faults on the D_* datasets (the
 // only ones with actuators).
-func runActuators(specs []simhome.Spec, seed int64, proto eval.Protocol, emit func(*report.Table) error) error {
+func runActuators(specs []simhome.Spec, seed int64, proto eval.Protocol, workers int, emit func(*report.Table) error) error {
 	var withActs []simhome.Spec
 	for _, s := range specs {
 		for _, d := range s.Devices {
@@ -148,7 +208,7 @@ func runActuators(specs []simhome.Spec, seed int64, proto eval.Protocol, emit fu
 	if len(withActs) == 0 {
 		return fmt.Errorf("no selected dataset has actuators (use the D_* datasets)")
 	}
-	results, err := evaluate(withActs, seed, eval.ActuatorProtocol(proto))
+	results, err := evaluate(withActs, seed, eval.ActuatorProtocol(proto), workers)
 	if err != nil {
 		return err
 	}

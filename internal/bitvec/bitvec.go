@@ -115,6 +115,21 @@ func (v *Vec) Equal(o *Vec) bool {
 	return true
 }
 
+// NumWords returns the number of 64-bit words backing the vector.
+func (v *Vec) NumWords() int { return len(v.words) }
+
+// Words returns the vector's backing words, bit 0 in the lowest bit of
+// word 0. The caller must not mutate the returned slice; it aliases the
+// vector's storage. The correlation-scan index reads group words through
+// this to compare word-at-a-time without per-group pointer chasing.
+func (v *Vec) Words() []uint64 { return v.words }
+
+// AppendWords appends the vector's words to dst and returns the extended
+// slice. Unlike Words, the result is the caller's memory.
+func (v *Vec) AppendWords(dst []uint64) []uint64 {
+	return append(dst, v.words...)
+}
+
 // PopCount returns the number of set bits.
 func (v *Vec) PopCount() int {
 	c := 0
@@ -209,19 +224,22 @@ func (v *Vec) Ones() []int {
 // Key returns a string usable as a map key identifying the exact bit
 // pattern. Two vectors have equal keys iff Equal reports true.
 func (v *Vec) Key() string {
-	var sb strings.Builder
-	sb.Grow(len(v.words)*8 + 4)
+	return string(v.AppendKey(nil))
+}
+
+// AppendKey appends the bytes of Key to dst and returns the extended slice.
+// Looking a vector up with m[string(v.AppendKey(scratch[:0]))] lets the
+// compiler elide the string allocation, which keeps the exact-match path of
+// the correlation scan allocation-free.
+func (v *Vec) AppendKey(dst []byte) []byte {
 	// Length disambiguates vectors whose trailing words are identical.
-	sb.WriteByte(byte(v.n))
-	sb.WriteByte(byte(v.n >> 8))
-	sb.WriteByte(byte(v.n >> 16))
-	sb.WriteByte(byte(v.n >> 24))
+	dst = append(dst, byte(v.n), byte(v.n>>8), byte(v.n>>16), byte(v.n>>24))
 	for _, w := range v.words {
 		for s := 0; s < wordBits; s += 8 {
-			sb.WriteByte(byte(w >> uint(s)))
+			dst = append(dst, byte(w>>uint(s)))
 		}
 	}
-	return sb.String()
+	return dst
 }
 
 // String renders the vector as a bit string, bit 0 first, e.g. "10110".

@@ -376,3 +376,64 @@ func BenchmarkKey128(b *testing.B) {
 		_ = x.Key()
 	}
 }
+
+func TestWordsAndAppendWords(t *testing.T) {
+	v := New(130) // three words
+	v.Set(0)
+	v.Set(64)
+	v.Set(129)
+	if v.NumWords() != 3 {
+		t.Fatalf("NumWords = %d, want 3", v.NumWords())
+	}
+	w := v.Words()
+	if len(w) != 3 || w[0] != 1 || w[1] != 1 || w[2] != 2 {
+		t.Errorf("Words = %x", w)
+	}
+	dst := []uint64{7}
+	out := v.AppendWords(dst)
+	if len(out) != 4 || out[0] != 7 || out[1] != 1 || out[2] != 1 || out[3] != 2 {
+		t.Errorf("AppendWords = %x", out)
+	}
+	// AppendWords must be the caller's memory: mutating it must not touch v.
+	out[1] = 0xFF
+	if !v.Get(0) || v.Words()[0] != 1 {
+		t.Error("AppendWords aliased the vector's storage")
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200} {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				v.Set(i)
+			}
+		}
+		if got := string(v.AppendKey(nil)); got != v.Key() {
+			t.Errorf("n=%d: AppendKey diverges from Key", n)
+		}
+		// Appending onto existing bytes preserves the prefix.
+		withPrefix := v.AppendKey([]byte("p:"))
+		if string(withPrefix[:2]) != "p:" || string(withPrefix[2:]) != v.Key() {
+			t.Errorf("n=%d: AppendKey with prefix broken", n)
+		}
+	}
+}
+
+func TestAppendKeyMapLookupAllocFree(t *testing.T) {
+	v := New(128)
+	v.Set(5)
+	v.Set(100)
+	m := map[string]int{v.Key(): 42}
+	scratch := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = v.AppendKey(scratch[:0])
+		if m[string(scratch)] != 42 {
+			t.Fatal("lookup failed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("keyed map lookup allocates %.1f objects per run, want 0", allocs)
+	}
+}

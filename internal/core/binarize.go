@@ -53,12 +53,27 @@ func (b *Binarizer) NumBits() int {
 // StateSet builds the sensor state set for one observation. The observation
 // must be shaped for the binarizer's layout.
 func (b *Binarizer) StateSet(o *window.Observation) (*bitvec.Vec, error) {
+	v := bitvec.New(b.NumBits())
+	if err := b.StateSetInto(v, o); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// StateSetInto builds the state set into a caller-owned vector, overwriting
+// its contents. The vector must be NumBits wide. The detector reuses one
+// vector across windows through this, keeping the per-window hot path
+// allocation-free.
+func (b *Binarizer) StateSetInto(v *bitvec.Vec, o *window.Observation) error {
 	nb, nn := b.layout.NumBinary(), b.layout.NumNumeric()
 	if len(o.Binary) != nb || len(o.Numeric) != nn {
-		return nil, fmt.Errorf("core: observation shape %d/%d does not match layout %d/%d",
+		return fmt.Errorf("core: observation shape %d/%d does not match layout %d/%d",
 			len(o.Binary), len(o.Numeric), nb, nn)
 	}
-	v := bitvec.New(b.NumBits())
+	if v.Len() != b.NumBits() {
+		return fmt.Errorf("core: state-set vector has %d bits, layout wants %d", v.Len(), b.NumBits())
+	}
+	v.Reset()
 	for i, fired := range o.Binary {
 		if fired {
 			v.Set(i)
@@ -79,7 +94,7 @@ func (b *Binarizer) StateSet(o *window.Observation) (*bitvec.Vec, error) {
 			v.Set(base + 2)
 		}
 	}
-	return v, nil
+	return nil
 }
 
 // DeviceForBit maps a state-set bit index back to the owning sensor, which

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -17,6 +18,11 @@ import (
 // state set, or an unknown previous group).
 const NoGroup = -1
 
+// NoDistance is the Candidates.MinDistance sentinel for "no distance was
+// computed": the catalogue is empty, or an exact match made the nearest-
+// group search unnecessary.
+const NoDistance = -1
+
 // Context is the output of the precomputation phase: the group catalogue
 // (unique sensor state sets) and the three transition matrices.
 type Context struct {
@@ -26,6 +32,20 @@ type Context struct {
 
 	groups   []*bitvec.Vec
 	groupIDs map[string]int
+
+	// Scan index, maintained incrementally by AddGroup so Scan needs no
+	// locking: the catalogue is immutable once training ends, and the
+	// real-time phase only reads. Group g's words live at
+	// matrix[g*scanWords : (g+1)*scanWords] — one flat contiguous block
+	// scanned word-at-a-time with popcount, instead of chasing per-group
+	// vector pointers. popBuckets[p] lists (ascending) the groups with
+	// popcount p; |pop(v)-pop(g)| <= dist(v,g), so a scan for candidates
+	// within maxDist never touches buckets farther than maxDist from the
+	// query's popcount.
+	scanWords  int
+	matrix     []uint64
+	pops       []int
+	popBuckets [][]int
 
 	g2g *markov.Chain // group -> group
 	g2a *markov.Chain // group -> actuator slot
@@ -96,14 +116,26 @@ func (c *Context) GroupID(v *bitvec.Vec) (int, bool) {
 }
 
 // AddGroup interns v as a group, returning its (possibly pre-existing) ID.
-// The context keeps its own copy.
+// The context keeps its own copy and folds it into the scan index.
 func (c *Context) AddGroup(v *bitvec.Vec) int {
-	if id, ok := c.groupIDs[v.Key()]; ok {
+	key := v.Key()
+	if id, ok := c.groupIDs[key]; ok {
 		return id
 	}
 	id := len(c.groups)
 	c.groups = append(c.groups, v.Clone())
-	c.groupIDs[v.Key()] = id
+	c.groupIDs[key] = id
+
+	if id == 0 {
+		c.scanWords = v.NumWords()
+	}
+	c.matrix = v.AppendWords(c.matrix)
+	pop := v.PopCount()
+	c.pops = append(c.pops, pop)
+	for pop >= len(c.popBuckets) {
+		c.popBuckets = append(c.popBuckets, nil)
+	}
+	c.popBuckets[pop] = append(c.popBuckets[pop], id)
 	return id
 }
 
@@ -159,47 +191,190 @@ type Candidates struct {
 	// Main is the exactly matching group, or NoGroup.
 	Main int
 	// Probable lists groups within the candidate distance, excluding Main,
-	// ascending by (distance, id).
+	// ascending by (distance, id). When no group falls within the candidate
+	// distance it falls back to the nearest groups overall (a documented
+	// extension; identification needs something to diff against). It is nil
+	// when Main is set: detection only consults Probable when no main group
+	// exists, so the scan skips the work entirely on the exact-match path.
 	Probable []int
 	// MinDistance is the smallest nonzero distance encountered across the
-	// whole catalogue (used for the nearest-group fallback).
+	// whole catalogue, or NoDistance when it was not computed (the
+	// catalogue is empty, or Main short-circuited the scan).
 	MinDistance int
 }
 
-// Scan compares v against every group. maxDist is the candidate distance.
-// When no group falls within maxDist, Probable falls back to the nearest
-// groups overall (a documented extension; identification needs something to
-// diff against).
+// scanCand pairs a group with its distance while collecting candidates.
+type scanCand struct{ id, dist int }
+
+// ScanScratch holds reusable buffers for Scan. A zero value is ready; each
+// detector (or other serial caller) owns one so repeated scans allocate
+// nothing. It must not be shared between concurrent scans — the Candidates
+// returned through a scratch alias its memory and stay valid only until the
+// next scan through the same scratch.
+type ScanScratch struct {
+	key      []byte
+	within   []scanCand
+	nearest  []int
+	probable []int
+}
+
+// Scan compares v against the group catalogue. maxDist is the candidate
+// distance. It is safe for concurrent use (the catalogue is read-only after
+// training); this convenience wrapper allocates a fresh scratch per call,
+// so hot paths should hold a ScanScratch and call ScanWith instead.
 func (c *Context) Scan(v *bitvec.Vec, maxDist int) Candidates {
-	res := Candidates{Main: NoGroup, MinDistance: int(^uint(0) >> 1)}
-	type cand struct{ id, dist int }
-	var within []cand
+	return c.ScanWith(new(ScanScratch), v, maxDist)
+}
+
+// ScanWith is Scan with caller-owned scratch. The exact-match path is a
+// single hash probe; the violation path walks popcount buckets outward from
+// the query's popcount (groups whose set-bit count differs from the query's
+// by more than the candidate distance can never be candidates) and
+// early-abandons each group's word loop once the running distance exceeds
+// the current bound.
+func (c *Context) ScanWith(s *ScanScratch, v *bitvec.Vec, maxDist int) Candidates {
+	res := Candidates{Main: NoGroup, MinDistance: NoDistance}
+	if len(c.groups) == 0 {
+		return res
+	}
+
+	// Exact-match short-circuit: the detector only needs Probable and
+	// MinDistance when there is no main group.
+	s.key = v.AppendKey(s.key[:0])
+	if id, ok := c.groupIDs[string(s.key)]; ok {
+		res.Main = id
+		return res
+	}
+
+	// Violation path: find every group within maxDist, tracking the overall
+	// nearest groups for the fallback.
+	const maxInt = int(^uint(0) >> 1)
+	qw := v.Words()
+	pv := v.PopCount()
+	minDist := maxInt
+	within := s.within[:0]
+	nearest := s.nearest[:0]
+
+	scanBucket := func(bucket []int) {
+		// A group is worth an exact distance only if it could be within
+		// maxDist or could improve/tie the running minimum.
+		limit := maxDist
+		if minDist > limit {
+			limit = minDist
+		}
+		for _, id := range bucket {
+			base := id * c.scanWords
+			d := 0
+			for i, w := range qw {
+				d += bits.OnesCount64(w ^ c.matrix[base+i])
+				if d > limit {
+					d = -1
+					break
+				}
+			}
+			if d < 0 {
+				continue
+			}
+			if d < minDist {
+				minDist = d
+				nearest = nearest[:0]
+				nearest = append(nearest, id)
+				if limit = maxDist; minDist > limit {
+					limit = minDist
+				}
+			} else if d == minDist {
+				nearest = append(nearest, id)
+			}
+			if d <= maxDist {
+				within = append(within, scanCand{id, d})
+			}
+		}
+	}
+
+	maxPop := len(c.popBuckets) - 1
+	for delta := 0; ; delta++ {
+		lo, hi := pv-delta, pv+delta
+		if lo < 0 && hi > maxPop {
+			break
+		}
+		// Buckets at popcount distance delta hold groups at Hamming distance
+		// >= delta: once delta exceeds both the candidate distance and the
+		// best minimum so far, no remaining bucket can contribute.
+		if delta > maxDist && delta > minDist {
+			break
+		}
+		if lo >= 0 && lo <= maxPop {
+			scanBucket(c.popBuckets[lo])
+		}
+		if hi != lo && hi >= 0 && hi <= maxPop {
+			scanBucket(c.popBuckets[hi])
+		}
+	}
+	s.within, s.nearest = within, nearest
+
+	if minDist != maxInt {
+		res.MinDistance = minDist
+	}
+	if len(within) > 0 {
+		sort.Slice(within, func(i, j int) bool {
+			if within[i].dist != within[j].dist {
+				return within[i].dist < within[j].dist
+			}
+			return within[i].id < within[j].id
+		})
+		s.probable = s.probable[:0]
+		for _, w := range within {
+			s.probable = append(s.probable, w.id)
+		}
+		res.Probable = s.probable
+	} else if len(nearest) > 0 {
+		// Ties at the minimum can arrive from different buckets out of id
+		// order; restore the ascending order the contract promises.
+		sort.Ints(nearest)
+		res.Probable = nearest
+	}
+	return res
+}
+
+// ScanNaive is the retained O(groups) reference implementation of Scan: a
+// straight loop over the catalogue with per-group Hamming distances. The
+// equivalence tests and benchmarks hold the indexed Scan to this contract;
+// it is not used by the real-time path.
+func (c *Context) ScanNaive(v *bitvec.Vec, maxDist int) Candidates {
+	res := Candidates{Main: NoGroup, MinDistance: NoDistance}
+	if len(c.groups) == 0 {
+		return res
+	}
+	const maxInt = int(^uint(0) >> 1)
+	minDist := maxInt
+	var within []scanCand
 	var nearest []int
 	for id, g := range c.groups {
 		d := v.HammingDistance(g)
 		if d == 0 {
-			res.Main = id
-			continue
+			return Candidates{Main: id, MinDistance: NoDistance}
 		}
-		if d < res.MinDistance {
-			res.MinDistance = d
+		if d < minDist {
+			minDist = d
 			nearest = nearest[:0]
 			nearest = append(nearest, id)
-		} else if d == res.MinDistance {
+		} else if d == minDist {
 			nearest = append(nearest, id)
 		}
 		if d <= maxDist {
-			within = append(within, cand{id, d})
+			within = append(within, scanCand{id, d})
 		}
 	}
+	if minDist != maxInt {
+		res.MinDistance = minDist
+	}
 	if len(within) > 0 {
-		// Stable by (distance, id): the scan above visits ids in order, so
-		// an insertion sort by distance preserves id order within a bucket.
-		for i := 1; i < len(within); i++ {
-			for j := i; j > 0 && within[j].dist < within[j-1].dist; j-- {
-				within[j], within[j-1] = within[j-1], within[j]
+		sort.Slice(within, func(i, j int) bool {
+			if within[i].dist != within[j].dist {
+				return within[i].dist < within[j].dist
 			}
-		}
+			return within[i].id < within[j].id
+		})
 		res.Probable = make([]int, len(within))
 		for i, w := range within {
 			res.Probable[i] = w.id

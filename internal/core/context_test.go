@@ -92,19 +92,41 @@ func TestGroupErrors(t *testing.T) {
 	}
 }
 
-func TestScanFindsMainAndProbable(t *testing.T) {
+func TestScanFindsMain(t *testing.T) {
 	ctx := mustContext(t)
 	g0 := ctx.AddGroup(vec(t, "10000000"))
-	g1 := ctx.AddGroup(vec(t, "11000000")) // distance 1 from g0
-	g2 := ctx.AddGroup(vec(t, "11100000")) // distance 2 from g0
-	ctx.AddGroup(vec(t, "11111111"))       // far away
+	ctx.AddGroup(vec(t, "11000000")) // distance 1 from g0
+	ctx.AddGroup(vec(t, "11100000")) // distance 2 from g0
+	ctx.AddGroup(vec(t, "11111111")) // far away
 
 	c := ctx.Scan(vec(t, "10000000"), 2)
 	if c.Main != g0 {
 		t.Errorf("Main = %d, want %d", c.Main, g0)
 	}
-	if len(c.Probable) != 2 || c.Probable[0] != g1 || c.Probable[1] != g2 {
-		t.Errorf("Probable = %v, want [%d %d]", c.Probable, g1, g2)
+	// An exact match short-circuits the scan: no caller consumes Probable
+	// or MinDistance when a main group exists.
+	if c.Probable != nil {
+		t.Errorf("Probable = %v, want nil on the exact-match path", c.Probable)
+	}
+	if c.MinDistance != NoDistance {
+		t.Errorf("MinDistance = %d, want NoDistance", c.MinDistance)
+	}
+}
+
+func TestScanEmptyCatalogue(t *testing.T) {
+	ctx := mustContext(t)
+	c := ctx.Scan(vec(t, "10000000"), 2)
+	if c.Main != NoGroup {
+		t.Errorf("Main = %d, want NoGroup", c.Main)
+	}
+	if c.Probable != nil {
+		t.Errorf("Probable = %v, want nil", c.Probable)
+	}
+	if c.MinDistance != NoDistance {
+		t.Errorf("MinDistance = %d, want NoDistance (documented empty-catalogue sentinel)", c.MinDistance)
+	}
+	if n := ctx.ScanNaive(vec(t, "10000000"), 2); n.MinDistance != NoDistance || n.Main != NoGroup {
+		t.Errorf("ScanNaive on empty catalogue = %+v", n)
 	}
 }
 

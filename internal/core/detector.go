@@ -135,6 +135,12 @@ type Detector struct {
 	prevActs  []device.ID
 	ep        *episode
 
+	// stateVec and scanScratch are per-window scratch: the detector is
+	// serial by contract, so one reusable state-set vector and one scan
+	// scratch keep the clean-window hot path allocation-free.
+	stateVec    *bitvec.Vec
+	scanScratch ScanScratch
+
 	// recentActs remembers which window each actuator last fired in, so an
 	// episode can tell a dead actuator (no recent firing) from a faulty
 	// effect sensor (the actuator fired recently; its effect reached the
@@ -169,6 +175,7 @@ func NewDetector(ctx *Context, cfg Config) (*Detector, error) {
 		ctx:        ctx,
 		bin:        bin,
 		prevGroup:  NoGroup,
+		stateVec:   bitvec.New(bin.NumBits()),
 		recentActs: make(map[device.ID]int),
 	}, nil
 }
@@ -194,14 +201,14 @@ func (d *Detector) Process(o *window.Observation) (Result, error) {
 	res := Result{WindowIndex: o.Index, MainGroup: NoGroup}
 
 	t0 := time.Now()
-	v, err := d.bin.StateSet(o)
-	if err != nil {
+	v := d.stateVec
+	if err := d.bin.StateSetInto(v, o); err != nil {
 		return Result{}, err
 	}
 	res.Timing.Binarize = time.Since(t0)
 
 	t1 := time.Now()
-	cands := d.ctx.Scan(v, d.cfg.CandidateDistance)
+	cands := d.ctx.ScanWith(&d.scanScratch, v, d.cfg.CandidateDistance)
 	res.Timing.Correlation = time.Since(t1)
 	res.MainGroup = cands.Main
 

@@ -43,19 +43,57 @@ type DatasetResult struct {
 	DetectedSegments  int
 	FaultFreeSegments int
 	FalsePositives    int
+
+	// EvalTime is the wall-clock cost of the evaluation passes (fault-free
+	// plus faulty), excluding training. With Workers > 1 this shrinks while
+	// every metric above stays bit-identical.
+	EvalTime time.Duration
+	// Workers is the pool size the evaluation actually ran with.
+	Workers int
 }
 
-// EvaluateDataset runs the full §V protocol for one dataset spec.
+// EvaluateDataset runs the full §V protocol for one dataset spec with the
+// default worker pool (GOMAXPROCS).
 func EvaluateDataset(spec simhome.Spec, seed int64, proto Protocol) (*DatasetResult, error) {
+	return EvaluateDatasetWorkers(spec, seed, proto, 0)
+}
+
+// EvaluateDatasetWorkers is EvaluateDataset with an explicit worker count
+// (<= 0 means GOMAXPROCS).
+func EvaluateDatasetWorkers(spec simhome.Spec, seed int64, proto Protocol, workers int) (*DatasetResult, error) {
 	t, err := Train(spec, seed, proto)
 	if err != nil {
 		return nil, err
 	}
-	return EvaluateTrained(t)
+	return EvaluateTrainedWorkers(t, workers)
 }
 
-// EvaluateTrained runs the protocol against an existing precomputation.
+// EvaluateTrained runs the protocol against an existing precomputation with
+// the default worker pool (GOMAXPROCS).
 func EvaluateTrained(t *Trained) (*DatasetResult, error) {
+	return EvaluateTrainedWorkers(t, 0)
+}
+
+// trialRun carries one faulty trial's plan and outcome from the worker pool
+// to the serial fold.
+type trialRun struct {
+	fs  []faults.Fault
+	out SegmentOutcome
+}
+
+// EvaluateTrainedWorkers runs the protocol against an existing
+// precomputation, fanning the fault-free segments and the faulty trials
+// across a pool of workers goroutines (<= 0 means GOMAXPROCS).
+//
+// Determinism guarantee: every per-trial random draw is derived from the
+// protocol seed and the trial index alone (PlanFaults, InjectorFor, and the
+// simulator's hashed sampling), workers write their outcomes into
+// index-addressed slots, and all aggregation happens afterwards in a single
+// serial fold over those slots in index order. The resulting DatasetResult
+// metrics are therefore bit-identical at any worker count; only the
+// wall-clock fields (TrainTime, EvalTime, and the per-stage timing means)
+// vary run to run.
+func EvaluateTrainedWorkers(t *Trained, workers int) (*DatasetResult, error) {
 	proto := t.Protocol
 	r := &DatasetResult{
 		Name:                 t.Home.Spec().Name,
@@ -65,16 +103,29 @@ func EvaluateTrained(t *Trained) (*DatasetResult, error) {
 		TrainTime:            t.TrainTime,
 		DetectMinutesByCheck: make(map[string]float64),
 		DetectByType:         make(map[string][2]int),
+		Workers:              resolveWorkers(workers, proto.Trials+t.NumSegments()),
+	}
+	evalStart := time.Now()
+
+	// PlanFaults lazily builds the shared fault-pool binarizer; force it
+	// before the fan-out so workers only read the Trained.
+	if err := t.ensureBinarizer(); err != nil {
+		return nil, err
 	}
 
 	// Fault-free pass over every distinct segment (precision).
+	segOuts := make([]SegmentOutcome, t.NumSegments())
+	err := forEachIndex(workers, t.NumSegments(), func(seg int) error {
+		out, err := t.RunSegment(seg, nil)
+		segOuts[seg] = out
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	var corrT, transT, identT MeanAccumulator
 	falsePos := 0
-	for seg := 0; seg < t.NumSegments(); seg++ {
-		out, err := t.RunSegment(seg, nil)
-		if err != nil {
-			return nil, err
-		}
+	for _, out := range segOuts {
 		if out.Detected {
 			falsePos++
 		}
@@ -88,25 +139,38 @@ func EvaluateTrained(t *Trained) (*DatasetResult, error) {
 
 	// Faulty pass: Trials segments, cycling through the distinct segments
 	// with a fresh random fault each trial (§4.2: sensor, fault type, and
-	// insertion time chosen randomly).
+	// insertion time chosen randomly). Each trial is independent — a fresh
+	// detector over a read-only context and a purely functional simulated
+	// home — so trials fan out, and the fold below runs serially in trial
+	// order for bit-identical aggregation.
+	trials := make([]trialRun, proto.Trials)
+	err = forEachIndex(workers, proto.Trials, func(trial int) error {
+		fs, err := t.PlanFaults(trial)
+		if err != nil {
+			return err
+		}
+		inj, err := t.InjectorFor(trial, fs)
+		if err != nil {
+			return err
+		}
+		out, err := t.RunSegment(trial%t.NumSegments(), inj)
+		if err != nil {
+			return err
+		}
+		trials[trial] = trialRun{fs: fs, out: out}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var detLatency, identLatency MeanAccumulator
 	latencyByCheck := map[string]*MeanAccumulator{
 		"correlation": {}, "transition": {},
 	}
 	minutesPerWindow := float64(proto.WindowsPerAggregate)
 	for trial := 0; trial < proto.Trials; trial++ {
-		fs, err := t.PlanFaults(trial)
-		if err != nil {
-			return nil, err
-		}
-		inj, err := t.InjectorFor(trial, fs)
-		if err != nil {
-			return nil, err
-		}
-		out, err := t.RunSegment(trial%t.NumSegments(), inj)
-		if err != nil {
-			return nil, err
-		}
+		fs, out := trials[trial].fs, trials[trial].out
 		r.FaultySegments++
 		onset := fs[0].Onset
 		for _, f := range fs[1:] {
@@ -175,14 +239,21 @@ func EvaluateTrained(t *Trained) (*DatasetResult, error) {
 	r.CorrelationCheckTime = time.Duration(corrT.Mean())
 	r.TransitionCheckTime = time.Duration(transT.Mean())
 	r.IdentifyTime = time.Duration(identT.Mean())
+	r.EvalTime = time.Since(evalStart)
 	return r, nil
 }
 
-// EvaluateAll runs the protocol for every dataset spec given.
-func EvaluateAll(specs []simhome.Spec, seed int64, proto Protocol) ([]*DatasetResult, error) {
+// EvaluateAll runs the protocol for every dataset spec given, fanning each
+// dataset's segments and trials across workers goroutines (<= 0 means
+// GOMAXPROCS). Datasets run in order — training is inherently serial — and
+// progress, when non-nil, is called with each dataset's name before its run.
+func EvaluateAll(specs []simhome.Spec, seed int64, proto Protocol, workers int, progress func(name string)) ([]*DatasetResult, error) {
 	out := make([]*DatasetResult, 0, len(specs))
 	for _, s := range specs {
-		r, err := EvaluateDataset(s, seed, proto)
+		if progress != nil {
+			progress(s.Name)
+		}
+		r, err := EvaluateDatasetWorkers(s, seed, proto, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// resolveWorkers maps a caller-supplied worker count to an effective pool
+// size: <= 0 means GOMAXPROCS, and the pool never exceeds the number of
+// work items.
+func resolveWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEachIndex runs fn(0), ..., fn(n-1) across a pool of workers goroutines
+// pulling indices from a shared counter. Results must be written by fn into
+// caller-owned, index-addressed storage: with every per-index output slotted
+// by index and all randomness derived from the index (as PlanFaults and
+// InjectorFor already do), the outcome is bit-identical at any worker count —
+// only the execution order varies. When an error occurs the remaining
+// indices may be skipped; the error reported is the one raised at the lowest
+// index, so failures are deterministic too.
+func forEachIndex(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = resolveWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errAt  = -1
+		outErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if errAt < 0 || i < errAt {
+						errAt, outErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return outErr
+}

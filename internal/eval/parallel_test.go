@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/simhome"
+)
+
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(4, 100); got != 4 {
+		t.Errorf("resolveWorkers(4, 100) = %d", got)
+	}
+	if got := resolveWorkers(8, 3); got != 3 {
+		t.Errorf("resolveWorkers(8, 3) = %d, want clamp to items", got)
+	}
+	if got := resolveWorkers(0, 100); got < 1 {
+		t.Errorf("resolveWorkers(0, 100) = %d, want >= 1", got)
+	}
+	if got := resolveWorkers(-2, 0); got != 1 {
+		t.Errorf("resolveWorkers(-2, 0) = %d, want 1", got)
+	}
+}
+
+func TestForEachIndexCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		n := 57
+		var hits = make([]int32, n)
+		err := forEachIndex(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d run %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachIndexReportsLowestError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := forEachIndex(workers, 40, func(i int) error {
+			if i == 7 || i == 23 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 7" {
+			t.Errorf("workers=%d: err = %v, want boom at 7", workers, err)
+		}
+	}
+}
+
+// normalizeResult zeroes the wall-clock fields of a DatasetResult: they are
+// the only quantities the determinism guarantee excludes (they measure the
+// host, not the protocol).
+func normalizeResult(r *DatasetResult) *DatasetResult {
+	c := *r
+	c.TrainTime = 0
+	c.EvalTime = 0
+	c.Workers = 0
+	c.CorrelationCheckTime = 0
+	c.TransitionCheckTime = 0
+	c.IdentifyTime = 0
+	return &c
+}
+
+// TestEvaluateTrainedParallelDeterminism: EvaluateTrained must produce
+// identical metrics at workers=1 and workers=8 — the guarantee the parallel
+// harness documents. Runs under -race this also proves the fan-out is
+// race-free on the shared Trained/Context.
+func TestEvaluateTrainedParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation integration test")
+	}
+	tr := trainFast(t)
+	serial, err := EvaluateTrainedWorkers(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := EvaluateTrainedWorkers(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Workers != 1 || parallel.Workers != 8 {
+		t.Errorf("worker counts: serial=%d parallel=%d", serial.Workers, parallel.Workers)
+	}
+	a, b := normalizeResult(serial), normalizeResult(parallel)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("serial and parallel results diverge:\nserial:   %+v\nparallel: %+v", a, b)
+	}
+	// Spot-check the interesting fields carry signal at all.
+	if a.FaultySegments == 0 || a.FaultFreeSegments == 0 {
+		t.Error("degenerate evaluation: no segments ran")
+	}
+}
+
+// TestEvaluateAllMatchesPerDataset: the batch entry point must agree with
+// dataset-at-a-time evaluation.
+func TestEvaluateAllMatchesPerDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation integration test")
+	}
+	spec := fastSpec()
+	p := fastProto()
+	p.Trials = 4
+	var visited []string
+	batch, err := EvaluateAll([]simhome.Spec{spec}, 5, p, 2, func(name string) {
+		visited = append(visited, name)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := EvaluateDatasetWorkers(spec, 5, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 1 || len(visited) != 1 || visited[0] != spec.Name {
+		t.Fatalf("batch shape: %d results, visited %v", len(batch), visited)
+	}
+	if !reflect.DeepEqual(normalizeResult(batch[0]), normalizeResult(single)) {
+		t.Error("EvaluateAll diverges from EvaluateDatasetWorkers")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -103,8 +104,22 @@ type Trained struct {
 	firstSegment int
 	// numSegments is how many whole segments the real-time suffix holds.
 	numSegments int
-	// bin is a lazily built binarizer for fault-pool selection.
-	bin *core.Binarizer
+	// bin is a lazily built binarizer for fault-pool selection; binOnce
+	// guards the build so concurrent PlanFaults calls from the evaluation
+	// worker pool stay race-free.
+	bin     *core.Binarizer
+	binOnce sync.Once
+	binErr  error
+}
+
+// ensureBinarizer builds the shared fault-pool binarizer exactly once.
+// After it returns nil the Trained is read-only and safe to share across
+// the evaluation worker pool.
+func (t *Trained) ensureBinarizer() error {
+	t.binOnce.Do(func() {
+		t.bin, t.binErr = core.NewBinarizer(t.Home.Layout(), t.Context.ValueThre())
+	})
+	return t.binErr
 }
 
 // aggregate merges k one-minute observations into one k-minute observation
@@ -378,13 +393,8 @@ func (t *Trained) PlanFaults(trial int) ([]faults.Fault, error) {
 // sensors with at least one active state-set bit, and actuators that
 // activate.
 func (t *Trained) exercisedDevices(seg, from, to int, actuators bool) ([]device.ID, error) {
-	layout := t.Home.Layout()
-	if t.bin == nil {
-		bin, err := core.NewBinarizer(layout, t.Context.ValueThre())
-		if err != nil {
-			return nil, err
-		}
-		t.bin = bin
+	if err := t.ensureBinarizer(); err != nil {
+		return nil, err
 	}
 	segLen := t.Protocol.segmentWindows()
 	base := t.firstSegment + seg*segLen
