@@ -3,12 +3,21 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-scan bench-eval
+.PHONY: check vet staticcheck build test race bench bench-scan bench-eval
 
-check: vet build race
+check: vet staticcheck build race
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional tooling: run it when the binary is on PATH, skip
+# with a notice otherwise so `make check` works in hermetic containers.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -7,19 +7,25 @@
 //	dice-device -data ./data/D_houseA -gateway 127.0.0.1:5683
 //	            [-from 300] [-hours 6] [-speed 600]
 //	            [-fault fail-stop:light-kitchen:60]
+//	            [-chaos seed=42,drop=0.1,dup=0.05,reorder=0.02,delay=5ms]
 //
 // -speed is the replay acceleration (600 = one recorded hour per six wall
-// seconds; 0 = as fast as possible).
+// seconds; 0 = as fast as possible). -chaos wraps the CoAP link with
+// seeded fault injection (drop/dup/reorder/corrupt/delay, both directions
+// for drop and corrupt) to exercise the gateway's dedup and the client's
+// retransmission under a lossy link.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/dataset"
 	"repro/internal/event"
 	"repro/internal/faults"
@@ -41,6 +47,7 @@ func run() error {
 	hours := flag.Int("hours", 6, "replay length in hours")
 	speed := flag.Float64("speed", 0, "replay acceleration factor (0 = no pacing)")
 	faultSpec := flag.String("fault", "", "inject CLASS:DEVICE:ONSETMIN into the replay")
+	chaosSpec := flag.String("chaos", "", "inject transport faults, e.g. seed=42,drop=0.1,dup=0.05")
 	flag.Parse()
 
 	if *dataDir == "" {
@@ -58,9 +65,31 @@ func run() error {
 		}
 	}
 
-	agent, err := gateway.NewAgent(*gwAddr)
-	if err != nil {
-		return err
+	var agent *gateway.Agent
+	var link *chaos.Conn
+	if *chaosSpec != "" {
+		cfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		conn, err := net.Dial("udp", *gwAddr)
+		if err != nil {
+			return err
+		}
+		link = chaos.WrapConn(conn, cfg)
+		agent = gateway.NewAgentConn(link)
+		// A chaotic link needs a tighter retransmission schedule than the
+		// RFC default (or a single dropped ACK stalls the replay for 2s) and
+		// a per-request budget that fits the whole backoff ladder: a long
+		// replay makes even 5-sigma loss streaks on one exchange likely.
+		agent.Client().AckTimeout = 100 * time.Millisecond
+		agent.Client().MaxRetransmit = 10
+		agent.Timeout = 30 * time.Second
+	} else {
+		agent, err = gateway.NewAgent(*gwAddr)
+		if err != nil {
+			return err
+		}
 	}
 	defer agent.Close()
 
@@ -106,6 +135,11 @@ func run() error {
 	}
 	fmt.Printf("replay done: gateway saw %d events, %d windows, %d violations, %d alerts\n",
 		st.Events, st.Windows, st.Violations, st.Alerts)
+	if link != nil {
+		cs := link.Stats()
+		fmt.Printf("chaos link: %d sent, %d delivered, %d dropped, %d duplicated, %d reordered, %d corrupted\n",
+			cs.Sent, cs.Delivered, cs.Dropped, cs.Dups, cs.Reordered, cs.Corrupted)
+	}
 	return nil
 }
 

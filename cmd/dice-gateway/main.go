@@ -5,18 +5,30 @@
 // Usage:
 //
 //	dice-gateway -data ./data/D_houseA -context context.json -listen 127.0.0.1:5683
+//	             [-checkpoint gateway.ckpt] [-checkpoint-interval 30s]
+//	             [-liveness 30m]
+//
+// With -checkpoint the gateway persists its runtime state (previous group,
+// partial window, counters, dedup cache) atomically on the interval and on
+// shutdown, and resumes from the file on the next start — a restarted
+// gateway picks the transition check up mid-stream instead of cold-starting.
+// SIGINT/SIGTERM trigger a graceful shutdown: stop ingesting, drain the
+// alert channel, write a final checkpoint.
 //
 // Pair it with dice-device, which replays a dataset slice as live CoAP
-// traffic (optionally with an injected fault).
+// traffic (optionally with an injected fault and/or a chaotic link).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -34,6 +46,9 @@ func run() error {
 	dataDir := flag.String("data", "", "dataset directory holding the device manifest (required)")
 	ctxFile := flag.String("context", "context.json", "trained context file")
 	listen := flag.String("listen", "127.0.0.1:5683", "UDP address to serve CoAP on")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file; resume from it if present, persist to it on an interval and on shutdown")
+	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often to persist the checkpoint")
+	liveness := flag.Duration("liveness", 0, "silence threshold for fail-stop device alerts (0 disables)")
 	flag.Parse()
 
 	if *dataDir == "" {
@@ -56,30 +71,84 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	gw.SetLiveness(*liveness)
 	front, err := gateway.ServeCoAP(gw, *listen)
 	if err != nil {
 		return err
 	}
 	defer front.Close()
+
+	if *ckptPath != "" {
+		cp, err := gateway.ReadCheckpoint(*ckptPath)
+		switch {
+		case err == nil:
+			if err := front.Restore(cp); err != nil {
+				return fmt.Errorf("restore %s: %w", *ckptPath, err)
+			}
+			fmt.Printf("resumed from %s: stream at %s, %d events, %d windows\n",
+				*ckptPath, time.Duration(cp.StreamNowMS)*time.Millisecond,
+				cp.Stats.Events, cp.Stats.Windows)
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh start; the first checkpoint creates the file.
+		default:
+			return err
+		}
+	}
+
 	fmt.Printf("gateway listening on coap://%s (%d devices, %d groups)\n",
 		front.Addr(), ds.Registry.Len(), ctx.NumGroups())
+
+	var ticker *time.Ticker
+	tick := make(<-chan time.Time) // nil-like: never fires unless enabled
+	if *ckptPath != "" && *ckptEvery > 0 {
+		ticker = time.NewTicker(*ckptEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	for {
 		select {
 		case a := <-gw.Alerts():
-			names := make([]string, 0, len(a.Devices))
-			for _, d := range a.Devices {
-				names = append(names, d.Name)
+			printAlert(a)
+		case <-tick:
+			if err := gateway.WriteCheckpoint(*ckptPath, front.Checkpoint()); err != nil {
+				fmt.Fprintln(os.Stderr, "dice-gateway: checkpoint:", err)
 			}
-			fmt.Printf("ALERT faulty=%s cause=%s detected@%s reported@%s\n",
-				strings.Join(names, ","), a.Cause, a.DetectedAt, a.ReportedAt)
 		case <-sig:
+			// Graceful shutdown: stop ingesting first so the final
+			// checkpoint is a stable snapshot, then drain pending alerts,
+			// then persist.
+			front.Close()
+			for {
+				select {
+				case a := <-gw.Alerts():
+					printAlert(a)
+					continue
+				default:
+				}
+				break
+			}
+			if *ckptPath != "" {
+				if err := gateway.WriteCheckpoint(*ckptPath, front.Checkpoint()); err != nil {
+					return fmt.Errorf("final checkpoint: %w", err)
+				}
+				fmt.Printf("checkpoint written to %s\n", *ckptPath)
+			}
 			st := gw.Stats()
-			fmt.Printf("shutting down: %d events, %d windows, %d violations, %d alerts\n",
-				st.Events, st.Windows, st.Violations, st.Alerts)
+			fmt.Printf("shutting down: %d events, %d windows, %d violations, %d alerts (%d liveness), %d dark\n",
+				st.Events, st.Windows, st.Violations, st.Alerts, st.LivenessAlerts, st.DarkDevices)
 			return nil
 		}
 	}
+}
+
+func printAlert(a gateway.Alert) {
+	names := make([]string, 0, len(a.Devices))
+	for _, d := range a.Devices {
+		names = append(names, d.Name)
+	}
+	fmt.Printf("ALERT faulty=%s cause=%s detected@%s reported@%s\n",
+		strings.Join(names, ","), a.Cause, a.DetectedAt, a.ReportedAt)
 }

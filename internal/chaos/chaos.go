@@ -1,0 +1,358 @@
+// Package chaos wraps network connections with seeded, deterministic fault
+// injection: datagram drop, duplication, reordering, corruption, and added
+// latency. The gateway's robustness claims (CoAP dedup, retransmission,
+// checkpoint/restore) are only credible if they hold under exactly the lossy
+// links a smart home runs on, so the chaos wrappers are used both by the
+// test suite (asserting bit-identical detector output with and without
+// faults) and by `dice-device --chaos` for live lossy-link replays.
+//
+// Fault decisions are drawn from rand.Rand seeded by Config.Seed, one
+// fixed-order draw sequence per datagram, so a given seed yields the same
+// fault pattern for the same sequence of sends. Drop and corrupt apply to
+// both directions (independent seeded streams); duplicate, reorder, and
+// delay apply to outbound datagrams only.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets per-datagram fault probabilities (each in [0,1]) and latency.
+type Config struct {
+	// Seed selects the deterministic fault pattern.
+	Seed int64
+	// Drop is the probability a datagram is silently discarded.
+	Drop float64
+	// Dup is the probability an outbound datagram is sent twice.
+	Dup float64
+	// Reorder is the probability an outbound datagram is held back and
+	// delivered after the next send (a one-slot reorder buffer; a held
+	// datagram with no successor stays held until the next write or Close).
+	Reorder float64
+	// Corrupt is the probability one random bit of the datagram is flipped.
+	Corrupt float64
+	// Delay is a fixed latency added before every outbound send.
+	Delay time.Duration
+	// Jitter adds a uniformly random extra latency in [0, Jitter).
+	Jitter time.Duration
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.Drop > 0 || c.Dup > 0 || c.Reorder > 0 || c.Corrupt > 0 ||
+		c.Delay > 0 || c.Jitter > 0
+}
+
+// Stats counts injected faults. All fields are updated atomically.
+type Stats struct {
+	Sent      int64 // datagrams offered to the write path
+	Delivered int64 // datagrams actually written (includes duplicates)
+	Dropped   int64 // outbound + inbound drops
+	Dups      int64
+	Reordered int64
+	Corrupted int64
+	Received  int64 // datagrams passed up the read path
+}
+
+// ParseSpec parses a CLI chaos spec of comma-separated key=value pairs:
+//
+//	seed=42,drop=0.1,dup=0.05,reorder=0.02,corrupt=0,delay=20ms,jitter=5ms
+//
+// Unknown keys are rejected; omitted keys default to zero.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return Config{}, fmt.Errorf("chaos: bad spec entry %q, want key=value", part)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("chaos: bad seed %q: %w", val, err)
+			}
+			cfg.Seed = n
+		case "drop", "dup", "reorder", "corrupt":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return Config{}, fmt.Errorf("chaos: bad probability %s=%q (want [0,1])", key, val)
+			}
+			switch key {
+			case "drop":
+				cfg.Drop = p
+			case "dup":
+				cfg.Dup = p
+			case "reorder":
+				cfg.Reorder = p
+			case "corrupt":
+				cfg.Corrupt = p
+			}
+		case "delay", "jitter":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Config{}, fmt.Errorf("chaos: bad duration %s=%q", key, val)
+			}
+			if key == "delay" {
+				cfg.Delay = d
+			} else {
+				cfg.Jitter = d
+			}
+		default:
+			return Config{}, fmt.Errorf("chaos: unknown spec key %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+// packet is one held or planned datagram (addr is nil on connected sockets).
+type packet struct {
+	data []byte
+	addr net.Addr
+}
+
+// injector holds the seeded decision state for one direction-pair. It is
+// shared by Conn and PacketConn; all methods are mutex-guarded because
+// worker pools write concurrently.
+type injector struct {
+	cfg   Config
+	stats *Stats
+
+	outMu  sync.Mutex
+	outRng *rand.Rand
+	held   *packet // one-slot reorder buffer
+
+	inMu  sync.Mutex
+	inRng *rand.Rand
+}
+
+func newInjector(cfg Config, stats *Stats) *injector {
+	return &injector{
+		cfg:    cfg,
+		stats:  stats,
+		outRng: rand.New(rand.NewSource(cfg.Seed)),
+		// Decorrelate the inbound stream from the outbound one so read
+		// timing never perturbs write-path decisions.
+		inRng: rand.New(rand.NewSource(cfg.Seed ^ 0x1e3779b97f4a7c15)),
+	}
+}
+
+// planWrite runs the fixed draw sequence for one outbound datagram and
+// returns the packets to put on the wire, in order. It also computes the
+// latency to sleep before sending (outside the lock).
+func (j *injector) planWrite(data []byte, addr net.Addr) (sends []*packet, delay time.Duration) {
+	j.outMu.Lock()
+	defer j.outMu.Unlock()
+	atomic.AddInt64(&j.stats.Sent, 1)
+
+	var cur []*packet
+	dropped := j.cfg.Drop > 0 && j.outRng.Float64() < j.cfg.Drop
+	if dropped {
+		atomic.AddInt64(&j.stats.Dropped, 1)
+	} else {
+		body := append([]byte(nil), data...)
+		if j.cfg.Corrupt > 0 && j.outRng.Float64() < j.cfg.Corrupt {
+			flipRandomBit(body, j.outRng)
+			atomic.AddInt64(&j.stats.Corrupted, 1)
+		}
+		cur = append(cur, &packet{data: body, addr: addr})
+		if j.cfg.Dup > 0 && j.outRng.Float64() < j.cfg.Dup {
+			cur = append(cur, &packet{data: append([]byte(nil), body...), addr: addr})
+			atomic.AddInt64(&j.stats.Dups, 1)
+		}
+		if j.cfg.Reorder > 0 && j.held == nil && j.outRng.Float64() < j.cfg.Reorder {
+			// Hold the first copy back; it rides behind the next send.
+			j.held = cur[0]
+			cur = cur[1:]
+			atomic.AddInt64(&j.stats.Reordered, 1)
+		}
+	}
+	// A datagram held on an earlier write is released now, riding behind
+	// the current one — that is the reordering. It stays held across
+	// dropped writes (nothing to ride behind).
+	if j.held != nil && len(cur) > 0 {
+		cur = append(cur, j.held)
+		j.held = nil
+	}
+
+	if j.cfg.Delay > 0 || j.cfg.Jitter > 0 {
+		delay = j.cfg.Delay
+		if j.cfg.Jitter > 0 {
+			delay += time.Duration(j.outRng.Int63n(int64(j.cfg.Jitter)))
+		}
+	}
+	return cur, delay
+}
+
+// flush returns (and clears) any held datagram so Close can release it.
+func (j *injector) flush() *packet {
+	j.outMu.Lock()
+	defer j.outMu.Unlock()
+	p := j.held
+	j.held = nil
+	return p
+}
+
+// admitRead decides the fate of one inbound datagram, corrupting it in
+// place when the corrupt draw fires. It reports whether to deliver it.
+func (j *injector) admitRead(data []byte) bool {
+	j.inMu.Lock()
+	defer j.inMu.Unlock()
+	if j.cfg.Drop > 0 && j.inRng.Float64() < j.cfg.Drop {
+		atomic.AddInt64(&j.stats.Dropped, 1)
+		return false
+	}
+	if j.cfg.Corrupt > 0 && j.inRng.Float64() < j.cfg.Corrupt {
+		flipRandomBit(data, j.inRng)
+		atomic.AddInt64(&j.stats.Corrupted, 1)
+	}
+	atomic.AddInt64(&j.stats.Received, 1)
+	return true
+}
+
+func flipRandomBit(b []byte, rng *rand.Rand) {
+	if len(b) == 0 {
+		return
+	}
+	bit := rng.Intn(len(b) * 8)
+	b[bit/8] ^= 1 << (bit % 8)
+}
+
+// Conn is a fault-injecting wrapper around a connected datagram socket
+// (the CoAP client side).
+type Conn struct {
+	net.Conn
+	inj   *injector
+	stats Stats
+}
+
+// WrapConn wraps a connected datagram conn with fault injection.
+func WrapConn(inner net.Conn, cfg Config) *Conn {
+	c := &Conn{Conn: inner}
+	c.inj = newInjector(cfg, &c.stats)
+	return c
+}
+
+// Write applies the outbound fault plan to one datagram.
+func (c *Conn) Write(b []byte) (int, error) {
+	sends, delay := c.inj.planWrite(b, nil)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	for _, p := range sends {
+		if _, err := c.Conn.Write(p.data); err != nil {
+			return 0, err
+		}
+		atomic.AddInt64(&c.stats.Delivered, 1)
+	}
+	// A dropped or held datagram still reports success: the fault is
+	// indistinguishable from wire loss to the caller, by design.
+	return len(b), nil
+}
+
+// Read applies inbound drop/corrupt faults, looping past dropped datagrams.
+func (c *Conn) Read(b []byte) (int, error) {
+	for {
+		n, err := c.Conn.Read(b)
+		if err != nil {
+			return n, err
+		}
+		if c.inj.admitRead(b[:n]) {
+			return n, nil
+		}
+	}
+}
+
+// Close releases any held reorder datagram onto the wire before closing.
+func (c *Conn) Close() error {
+	if p := c.inj.flush(); p != nil {
+		c.Conn.Write(p.data) //nolint:errcheck // best-effort flush
+	}
+	return c.Conn.Close()
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (c *Conn) Stats() Stats { return snapshot(&c.stats) }
+
+// PacketConn is a fault-injecting wrapper around an unconnected datagram
+// socket (the CoAP server side).
+type PacketConn struct {
+	net.PacketConn
+	inj   *injector
+	stats Stats
+}
+
+// WrapPacketConn wraps a packet conn with fault injection.
+func WrapPacketConn(inner net.PacketConn, cfg Config) *PacketConn {
+	c := &PacketConn{PacketConn: inner}
+	c.inj = newInjector(cfg, &c.stats)
+	return c
+}
+
+// WriteTo applies the outbound fault plan to one datagram.
+func (c *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	sends, delay := c.inj.planWrite(b, addr)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	for _, p := range sends {
+		to := p.addr
+		if to == nil {
+			to = addr
+		}
+		if _, err := c.PacketConn.WriteTo(p.data, to); err != nil {
+			return 0, err
+		}
+		atomic.AddInt64(&c.stats.Delivered, 1)
+	}
+	return len(b), nil
+}
+
+// ReadFrom applies inbound drop/corrupt faults, looping past dropped
+// datagrams.
+func (c *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	for {
+		n, addr, err := c.PacketConn.ReadFrom(b)
+		if err != nil {
+			return n, addr, err
+		}
+		if c.inj.admitRead(b[:n]) {
+			return n, addr, nil
+		}
+	}
+}
+
+// Close releases any held reorder datagram before closing.
+func (c *PacketConn) Close() error {
+	if p := c.inj.flush(); p != nil && p.addr != nil {
+		c.PacketConn.WriteTo(p.data, p.addr) //nolint:errcheck // best-effort flush
+	}
+	return c.PacketConn.Close()
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (c *PacketConn) Stats() Stats { return snapshot(&c.stats) }
+
+func snapshot(s *Stats) Stats {
+	return Stats{
+		Sent:      atomic.LoadInt64(&s.Sent),
+		Delivered: atomic.LoadInt64(&s.Delivered),
+		Dropped:   atomic.LoadInt64(&s.Dropped),
+		Dups:      atomic.LoadInt64(&s.Dups),
+		Reordered: atomic.LoadInt64(&s.Reordered),
+		Corrupted: atomic.LoadInt64(&s.Corrupted),
+		Received:  atomic.LoadInt64(&s.Received),
+	}
+}

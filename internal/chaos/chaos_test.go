@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recConn is an in-memory net.Conn that records written datagrams and
+// serves queued inbound ones.
+type recConn struct {
+	mu   sync.Mutex
+	sent [][]byte
+	in   [][]byte
+}
+
+func (c *recConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sent = append(c.sent, append([]byte(nil), b...))
+	return len(b), nil
+}
+
+func (c *recConn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.in) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(b, c.in[0])
+	c.in = c.in[1:]
+	return n, nil
+}
+
+func (c *recConn) Close() error                       { return nil }
+func (c *recConn) LocalAddr() net.Addr                { return nil }
+func (c *recConn) RemoteAddr() net.Addr               { return nil }
+func (c *recConn) SetDeadline(t time.Time) error      { return nil }
+func (c *recConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *recConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func (c *recConn) recorded() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([][]byte(nil), c.sent...)
+}
+
+func pkt(i int) []byte { return []byte{byte(i), byte(i >> 8), 0xAB} }
+
+func TestSameSeedSameFaultPattern(t *testing.T) {
+	run := func(seed int64) [][]byte {
+		inner := &recConn{}
+		c := WrapConn(inner, Config{Seed: seed, Drop: 0.3, Dup: 0.2, Reorder: 0.1, Corrupt: 0.1})
+		for i := 0; i < 200; i++ {
+			if _, err := c.Write(pkt(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return inner.recorded()
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different wire traffic")
+	}
+	if other := run(43); reflect.DeepEqual(a, other) {
+		t.Error("different seed produced identical wire traffic (suspicious)")
+	}
+}
+
+func TestDropRateAndStats(t *testing.T) {
+	inner := &recConn{}
+	c := WrapConn(inner, Config{Seed: 1, Drop: 0.5})
+	const n = 400
+	for i := 0; i < n; i++ {
+		c.Write(pkt(i)) //nolint:errcheck
+	}
+	st := c.Stats()
+	if st.Sent != n {
+		t.Errorf("Sent = %d, want %d", st.Sent, n)
+	}
+	if st.Delivered != st.Sent-st.Dropped {
+		t.Errorf("Delivered %d != Sent %d - Dropped %d", st.Delivered, st.Sent, st.Dropped)
+	}
+	if st.Dropped < n/4 || st.Dropped > 3*n/4 {
+		t.Errorf("Dropped = %d out of %d, far from the 0.5 rate", st.Dropped, n)
+	}
+	if got := len(inner.recorded()); int64(got) != st.Delivered {
+		t.Errorf("wire saw %d datagrams, stats say %d", got, st.Delivered)
+	}
+}
+
+func TestDuplicateEveryDatagram(t *testing.T) {
+	inner := &recConn{}
+	c := WrapConn(inner, Config{Seed: 1, Dup: 1.0})
+	c.Write(pkt(1)) //nolint:errcheck
+	c.Write(pkt(2)) //nolint:errcheck
+	got := inner.recorded()
+	want := [][]byte{pkt(1), pkt(1), pkt(2), pkt(2)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("wire = %v, want %v", got, want)
+	}
+	if st := c.Stats(); st.Dups != 2 || st.Delivered != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReorderHoldsOneAndReleasesBehindNext(t *testing.T) {
+	inner := &recConn{}
+	c := WrapConn(inner, Config{Seed: 1, Reorder: 1.0})
+	c.Write(pkt(1)) //nolint:errcheck // held
+	c.Write(pkt(2)) //nolint:errcheck // delivered, then releases 1
+	c.Write(pkt(3)) //nolint:errcheck // held again
+	if got, want := inner.recorded(), [][]byte{pkt(2), pkt(1)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("wire = %v, want %v", got, want)
+	}
+	c.Close() //nolint:errcheck // flushes the held datagram
+	if got := inner.recorded(); len(got) != 3 || !bytes.Equal(got[2], pkt(3)) {
+		t.Errorf("after close wire = %v", got)
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	inner := &recConn{}
+	c := WrapConn(inner, Config{Seed: 9, Corrupt: 1.0})
+	orig := []byte{0x00, 0xFF, 0x55}
+	c.Write(orig) //nolint:errcheck
+	got := inner.recorded()
+	if len(got) != 1 {
+		t.Fatalf("wire saw %d datagrams", len(got))
+	}
+	diffBits := 0
+	for i := range orig {
+		x := orig[i] ^ got[0][i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Errorf("corrupted datagram differs by %d bits, want 1", diffBits)
+	}
+	// The caller's buffer must stay untouched.
+	if !bytes.Equal(orig, []byte{0x00, 0xFF, 0x55}) {
+		t.Error("Write corrupted the caller's buffer")
+	}
+}
+
+func TestInboundDrop(t *testing.T) {
+	inner := &recConn{in: [][]byte{pkt(1), pkt(2), pkt(3)}}
+	c := WrapConn(inner, Config{Seed: 5, Drop: 1.0})
+	buf := make([]byte, 16)
+	if _, err := c.Read(buf); err != io.EOF {
+		t.Errorf("Read with full inbound drop = %v, want EOF after draining", err)
+	}
+	st := c.Stats()
+	if st.Received != 0 || st.Dropped != 3 {
+		t.Errorf("stats = %+v, want 3 inbound drops and 0 received", st)
+	}
+}
+
+func TestInboundPassThrough(t *testing.T) {
+	inner := &recConn{in: [][]byte{pkt(7)}}
+	c := WrapConn(inner, Config{Seed: 5}) // no faults
+	buf := make([]byte, 16)
+	n, err := c.Read(buf)
+	if err != nil || !bytes.Equal(buf[:n], pkt(7)) {
+		t.Errorf("Read = %v %v", buf[:n], err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=42, drop=0.1,dup=0.05,reorder=0.02,corrupt=0.01,delay=20ms,jitter=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 42, Drop: 0.1, Dup: 0.05, Reorder: 0.02, Corrupt: 0.01,
+		Delay: 20 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	if cfg != want {
+		t.Errorf("cfg = %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Error("Enabled() = false for a faulty config")
+	}
+	if (Config{Seed: 1}).Enabled() {
+		t.Error("Enabled() = true for a no-fault config")
+	}
+	for _, bad := range []string{"drop=2", "drop=x", "nope=1", "delay=-1s", "drop"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg.Enabled() {
+		t.Errorf("empty spec: %+v, %v", cfg, err)
+	}
+}

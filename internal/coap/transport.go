@@ -14,23 +14,98 @@ import (
 // (its Type/MessageID/Token are filled in by the server).
 type Handler func(req *Message) *Message
 
-// Server is a minimal CoAP-over-UDP server: it answers confirmable and
-// non-confirmable requests through a single handler.
-type Server struct {
-	conn    *net.UDPConn
-	handler Handler
-
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+// ServerConfig tunes the server's robustness machinery. The zero value
+// selects the defaults noted on each field.
+type ServerConfig struct {
+	// Workers is the number of handler goroutines (default 8). The read
+	// loop never calls the handler inline, so one slow request cannot
+	// stall reads.
+	Workers int
+	// QueueDepth bounds requests waiting for a free worker (default 64).
+	// When the queue is full the request is dropped and counted; a
+	// confirmable sender recovers by retransmitting.
+	QueueDepth int
+	// ExchangeLifetime is how long a (peer, MessageID) exchange stays in
+	// the deduplication cache (RFC 7252 §4.8.2 EXCHANGE_LIFETIME,
+	// default 247s).
+	ExchangeLifetime time.Duration
 }
 
-// ListenAndServe starts a server on addr (e.g. "127.0.0.1:5683"); pass
-// port 0 to pick a free port. The returned server is already serving.
-func ListenAndServe(addr string, handler Handler) (*Server, error) {
-	if handler == nil {
-		return nil, errors.New("coap: nil handler")
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 8
 	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.ExchangeLifetime <= 0 {
+		c.ExchangeLifetime = 247 * time.Second
+	}
+	return c
+}
+
+// ServerStats counts server activity; all fields are cumulative.
+type ServerStats struct {
+	// Received counts well-formed requests read off the socket.
+	Received int64
+	// Handled counts handler invocations (each exchange exactly once).
+	Handled int64
+	// Deduped counts retransmissions absorbed by the exchange cache,
+	// including retransmissions of exchanges still being handled.
+	Deduped int64
+	// Dropped counts requests discarded because the worker queue was full.
+	Dropped int64
+	// Malformed counts datagrams that failed to parse.
+	Malformed int64
+}
+
+// dedupKey identifies one exchange per RFC 7252 §4.5: the source endpoint
+// plus the Message ID.
+type dedupKey struct {
+	peer string
+	mid  uint16
+}
+
+// exchange is one dedup-cache entry. resp stays nil while the handler is
+// still running; a retransmission arriving in that window is silently
+// absorbed (the sender's next retransmission finds the cached response).
+type exchange struct {
+	resp []byte
+	born time.Time
+}
+
+type job struct {
+	req  *Message
+	peer net.Addr
+	key  dedupKey
+	con  bool
+}
+
+// Server is a minimal CoAP-over-UDP server: it answers confirmable and
+// non-confirmable requests through a single handler, deduplicating
+// retransmitted exchanges and dispatching handlers on a bounded worker
+// pool.
+type Server struct {
+	conn    net.PacketConn
+	handler Handler
+	cfg     ServerConfig
+	queue   chan job
+
+	mu     sync.Mutex // guards closed, dedup, order, stats
+	closed bool
+	dedup  map[dedupKey]*exchange
+	order  []dedupKey // insertion order, for expiry
+
+	stats ServerStats
+
+	serveWG  sync.WaitGroup
+	workerWG sync.WaitGroup
+}
+
+// ListenAndServe starts a server on addr (e.g. "127.0.0.1:5683") with the
+// default config; pass port 0 to pick a free port. The returned server is
+// already serving.
+func ListenAndServe(addr string, handler Handler) (*Server, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("coap: resolve %q: %w", addr, err)
@@ -39,18 +114,54 @@ func ListenAndServe(addr string, handler Handler) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("coap: listen: %w", err)
 	}
-	s := &Server{conn: conn, handler: handler}
-	s.wg.Add(1)
+	s, err := NewServer(conn, handler, ServerConfig{})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewServer serves CoAP on an existing packet conn (which may be a
+// fault-injecting wrapper) and takes ownership of it. The returned server
+// is already serving.
+func NewServer(conn net.PacketConn, handler Handler, cfg ServerConfig) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("coap: nil handler")
+	}
+	if conn == nil {
+		return nil, errors.New("coap: nil conn")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		conn:    conn,
+		handler: handler,
+		cfg:     cfg,
+		queue:   make(chan job, cfg.QueueDepth),
+		dedup:   make(map[dedupKey]*exchange),
+	}
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	s.serveWG.Add(1)
 	go s.serve()
 	return s, nil
 }
 
 // Addr returns the server's bound address.
-func (s *Server) Addr() *net.UDPAddr {
-	return s.conn.LocalAddr().(*net.UDPAddr)
+func (s *Server) Addr() net.Addr {
+	return s.conn.LocalAddr()
 }
 
-// Close stops the server and waits for the read loop to exit.
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops the server and waits for the read loop and workers to exit.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -60,53 +171,182 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	err := s.conn.Close()
-	s.wg.Wait()
+	s.serveWG.Wait() // serve() is the only sender on queue
+	close(s.queue)
+	s.workerWG.Wait()
 	return err
 }
 
 func (s *Server) serve() {
-	defer s.wg.Done()
+	defer s.serveWG.Done()
 	buf := make([]byte, 64*1024)
 	for {
-		n, peer, err := s.conn.ReadFromUDP(buf)
+		n, peer, err := s.conn.ReadFrom(buf)
 		if err != nil {
 			return // closed
 		}
 		req, err := Unmarshal(buf[:n])
 		if err != nil {
+			s.mu.Lock()
+			s.stats.Malformed++
+			s.mu.Unlock()
 			continue // drop malformed datagrams
 		}
 		if req.Type != Confirmable && req.Type != NonConfirmable {
 			continue // we never originate requests, so ACK/RST are stray
 		}
-		resp := s.handler(req)
+		key := dedupKey{peer: peer.String(), mid: req.MessageID}
+
+		s.mu.Lock()
+		s.stats.Received++
+		s.purgeLocked(time.Now())
+		if e, ok := s.dedup[key]; ok {
+			// RFC 7252 §4.5: a retransmitted exchange must not reach the
+			// handler again. Replay the cached piggybacked ACK for a
+			// Confirmable retransmission; while the original is still in
+			// flight (resp == nil), or for a NON duplicate, stay silent.
+			s.stats.Deduped++
+			resp := e.resp
+			s.mu.Unlock()
+			if resp != nil && req.Type == Confirmable {
+				s.conn.WriteTo(resp, peer) //nolint:errcheck // peer retransmits on loss
+			}
+			continue
+		}
+		s.dedup[key] = &exchange{born: time.Now()}
+		s.order = append(s.order, key)
+		s.mu.Unlock()
+
+		select {
+		case s.queue <- job{req: req, peer: peer, key: key, con: req.Type == Confirmable}:
+		default:
+			// Queue full: shed the request. Forget the exchange so the
+			// sender's retransmission gets a fresh chance at a worker.
+			s.mu.Lock()
+			delete(s.dedup, key)
+			s.stats.Dropped++
+			s.mu.Unlock()
+		}
+	}
+}
+
+// purgeLocked expires exchanges older than ExchangeLifetime. Entries are
+// appended to order at birth, so the prefix is oldest-first; a key whose
+// map entry is missing was shed by the queue-full path.
+func (s *Server) purgeLocked(now time.Time) {
+	cut := 0
+	for _, key := range s.order {
+		e, ok := s.dedup[key]
+		if ok && now.Sub(e.born) < s.cfg.ExchangeLifetime {
+			break
+		}
+		if ok {
+			delete(s.dedup, key)
+		}
+		cut++
+	}
+	if cut > 0 {
+		s.order = append(s.order[:0], s.order[cut:]...)
+	}
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for jb := range s.queue {
+		resp := s.handler(jb.req)
 		if resp == nil {
 			resp = &Message{Code: CodeNotFound}
 		}
-		if req.Type == Confirmable {
+		if jb.con {
 			// Piggybacked response (RFC 7252 §5.2.1).
 			resp.Type = Acknowledgement
-			resp.MessageID = req.MessageID
 		} else {
 			resp.Type = NonConfirmable
-			resp.MessageID = req.MessageID
 		}
-		resp.Token = req.Token
+		resp.MessageID = jb.req.MessageID
+		resp.Token = jb.req.Token
 		data, err := resp.Marshal()
+
+		s.mu.Lock()
+		s.stats.Handled++
+		if err == nil {
+			if e, ok := s.dedup[jb.key]; ok {
+				e.resp = data
+			}
+		}
+		s.mu.Unlock()
 		if err != nil {
 			continue
 		}
-		if _, err := s.conn.WriteToUDP(data, peer); err != nil {
-			return
+		s.conn.WriteTo(data, jb.peer) //nolint:errcheck // peer retransmits on loss
+	}
+}
+
+// DedupEntry is the persisted form of one completed exchange, exported for
+// gateway checkpoints so a restarted gateway keeps absorbing retransmissions
+// of pre-crash requests instead of double-ingesting them.
+type DedupEntry struct {
+	Peer      string `json:"peer"`
+	MessageID uint16 `json:"mid"`
+	Response  []byte `json:"resp"`
+	AgeMS     int64  `json:"age_ms"`
+}
+
+// ExportDedup snapshots the completed exchanges in the dedup cache,
+// oldest first. In-flight exchanges (handler still running) are skipped —
+// their effects are not yet in any checkpointed state, so replaying them
+// after a restart is exactly once, not twice.
+func (s *Server) ExportDedup() []DedupEntry {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []DedupEntry
+	for _, key := range s.order {
+		e, ok := s.dedup[key]
+		if !ok || e.resp == nil {
+			continue
 		}
+		out = append(out, DedupEntry{
+			Peer:      key.peer,
+			MessageID: key.mid,
+			Response:  e.resp,
+			AgeMS:     now.Sub(e.born).Milliseconds(),
+		})
+	}
+	return out
+}
+
+// RestoreDedup seeds the dedup cache from a checkpoint. Entries whose
+// remaining lifetime has already elapsed are skipped.
+func (s *Server) RestoreDedup(entries []DedupEntry) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, en := range entries {
+		age := time.Duration(en.AgeMS) * time.Millisecond
+		if age >= s.cfg.ExchangeLifetime {
+			continue
+		}
+		key := dedupKey{peer: en.Peer, mid: en.MessageID}
+		if _, ok := s.dedup[key]; ok {
+			continue
+		}
+		s.dedup[key] = &exchange{resp: en.Response, born: now.Add(-age)}
+		s.order = append(s.order, key)
 	}
 }
 
 // Client sends CoAP requests to one server.
 type Client struct {
-	conn *net.UDPConn
+	conn net.Conn
 	rng  *rand.Rand
 	mu   sync.Mutex
+
+	// nextMID is the Message ID of the next exchange. RFC 7252 §4.4: a
+	// random initial value incremented per message, so concurrent or
+	// back-to-back exchanges never collide (a fresh random draw per
+	// request could).
+	nextMID uint16
 
 	// AckTimeout is the initial retransmission timeout (RFC 7252 §4.8:
 	// ACK_TIMEOUT, default 2s; the tests shrink it).
@@ -125,12 +365,20 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("coap: dial: %w", err)
 	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connected datagram conn (which may be a
+// fault-injecting wrapper) and takes ownership of it.
+func NewClient(conn net.Conn) *Client {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	return &Client{
 		conn:          conn,
-		rng:           rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:           rng,
+		nextMID:       uint16(rng.Intn(1 << 16)),
 		AckTimeout:    2 * time.Second,
 		MaxRetransmit: 4,
-	}, nil
+	}
 }
 
 // Close releases the client socket.
@@ -144,7 +392,8 @@ func (c *Client) Do(ctx context.Context, req *Message) (*Message, error) {
 	defer c.mu.Unlock()
 
 	req.Type = Confirmable
-	req.MessageID = uint16(c.rng.Intn(1 << 16))
+	req.MessageID = c.nextMID
+	c.nextMID++
 	if len(req.Token) == 0 {
 		tok := make([]byte, 4)
 		c.rng.Read(tok)
@@ -185,6 +434,9 @@ func (c *Client) Do(ctx context.Context, req *Message) (*Message, error) {
 			}
 			if !tokensEqual(resp.Token, req.Token) {
 				continue // stale response from an earlier exchange
+			}
+			if resp.Type == Acknowledgement && resp.MessageID != req.MessageID {
+				continue // ACK for a different exchange
 			}
 			return resp, nil
 		}

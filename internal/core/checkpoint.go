@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// DetectorState is the JSON-serializable runtime state of a Detector: the
+// previous-window group and actuators the transition checks compare
+// against, the recent-actuator history, and any in-flight identification
+// episode. A gateway checkpoints it so a restarted process resumes the
+// transition check mid-stream instead of cold-starting with NoGroup (which
+// would blind the G2G/G2A/A2G checks for the first post-restart window and
+// abandon a half-finished identification).
+type DetectorState struct {
+	PrevGroup  int               `json:"prev_group"`
+	PrevActs   []device.ID       `json:"prev_acts,omitempty"`
+	RecentActs map[device.ID]int `json:"recent_acts,omitempty"`
+	Episode    *EpisodeState     `json:"episode,omitempty"`
+}
+
+// EpisodeState is the serialized form of an in-progress identification
+// episode.
+type EpisodeState struct {
+	Cause          CheckKind   `json:"cause"`
+	DetectedWindow int         `json:"detected_window"`
+	Intersection   []device.ID `json:"intersection"`
+	Stalls         int         `json:"stalls"`
+	NormalStreak   int         `json:"normal_streak"`
+	Length         int         `json:"length"`
+	MissingEffect  bool        `json:"missing_effect,omitempty"`
+	SurplusEffect  bool        `json:"surplus_effect,omitempty"`
+	OpeningActs    []device.ID `json:"opening_acts,omitempty"`
+	OpeningPrev    int         `json:"opening_prev"`
+	FiredActs      []device.ID `json:"fired_acts,omitempty"`
+}
+
+// ExportState snapshots the detector's runtime state. The snapshot shares
+// nothing with the detector and stays valid across further Process calls.
+func (d *Detector) ExportState() DetectorState {
+	st := DetectorState{
+		PrevGroup: d.prevGroup,
+		PrevActs:  append([]device.ID(nil), d.prevActs...),
+	}
+	if len(d.recentActs) > 0 {
+		st.RecentActs = make(map[device.ID]int, len(d.recentActs))
+		for id, at := range d.recentActs {
+			st.RecentActs[id] = at
+		}
+	}
+	if ep := d.ep; ep != nil {
+		st.Episode = &EpisodeState{
+			Cause:          ep.cause,
+			DetectedWindow: ep.detectedWindow,
+			Intersection:   setToSlice(ep.intersection),
+			Stalls:         ep.stalls,
+			NormalStreak:   ep.normalStreak,
+			Length:         ep.length,
+			MissingEffect:  ep.missingEffect,
+			SurplusEffect:  ep.surplusEffect,
+			OpeningActs:    setToSlice(ep.openingActs),
+			OpeningPrev:    ep.openingPrev,
+			FiredActs:      setToSlice(ep.firedActs),
+		}
+	}
+	return st
+}
+
+// RestoreState replaces the detector's runtime state with a snapshot taken
+// by ExportState, validating group references against the trained context.
+func (d *Detector) RestoreState(st DetectorState) error {
+	if err := d.checkGroupRef(st.PrevGroup); err != nil {
+		return fmt.Errorf("core: restore prev group: %w", err)
+	}
+	if st.Episode != nil {
+		if err := d.checkGroupRef(st.Episode.OpeningPrev); err != nil {
+			return fmt.Errorf("core: restore episode opening group: %w", err)
+		}
+	}
+	d.prevGroup = st.PrevGroup
+	d.prevActs = append(d.prevActs[:0], st.PrevActs...)
+	d.recentActs = make(map[device.ID]int, len(st.RecentActs))
+	for id, at := range st.RecentActs {
+		d.recentActs[id] = at
+	}
+	d.ep = nil
+	if eps := st.Episode; eps != nil {
+		d.ep = &episode{
+			cause:          eps.Cause,
+			detectedWindow: eps.DetectedWindow,
+			intersection:   toSet(eps.Intersection),
+			stalls:         eps.Stalls,
+			normalStreak:   eps.NormalStreak,
+			length:         eps.Length,
+			missingEffect:  eps.MissingEffect,
+			surplusEffect:  eps.SurplusEffect,
+			openingActs:    toSet(eps.OpeningActs),
+			openingPrev:    eps.OpeningPrev,
+			firedActs:      toSet(eps.FiredActs),
+		}
+	}
+	return nil
+}
+
+// checkGroupRef validates a serialized group reference (NoGroup is legal).
+func (d *Detector) checkGroupRef(g int) error {
+	if g == NoGroup {
+		return nil
+	}
+	if g < 0 || g >= d.ctx.NumGroups() {
+		return fmt.Errorf("group %d out of range (context has %d groups)", g, d.ctx.NumGroups())
+	}
+	return nil
+}

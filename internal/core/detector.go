@@ -20,6 +20,11 @@ const (
 	CheckG2G
 	CheckG2A
 	CheckA2G
+	// CheckLiveness is raised by the gateway, not the detector: a device
+	// exceeded its silence threshold — the paper's outage (fail-stop)
+	// fault class surfacing at the transport layer before any window-level
+	// evidence accumulates.
+	CheckLiveness
 )
 
 // String returns the check name.
@@ -35,6 +40,8 @@ func (k CheckKind) String() string {
 		return "g2a"
 	case CheckA2G:
 		return "a2g"
+	case CheckLiveness:
+		return "liveness"
 	default:
 		return fmt.Sprintf("CheckKind(%d)", int(k))
 	}

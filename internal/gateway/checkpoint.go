@@ -1,0 +1,145 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/coap"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// CheckpointVersion is bumped when the checkpoint schema changes
+// incompatibly; Read rejects mismatches rather than restoring garbage.
+const CheckpointVersion = 1
+
+// Checkpoint is the crash-safe persisted runtime state of a gateway: every
+// piece of state the transition check and window builder carry between
+// windows, plus the counters and the CoAP dedup cache. A gateway restored
+// from a checkpoint resumes the stream mid-window — same previous group,
+// same partial window, same in-flight identification episode — so a restart
+// neither raises a spurious violation nor double-ingests a retransmitted
+// report.
+type Checkpoint struct {
+	Version     int                 `json:"version"`
+	SavedAtUnix int64               `json:"saved_at_unix"`
+	HorizonMS   int64               `json:"horizon_ms"`
+	StreamNowMS int64               `json:"stream_now_ms"`
+	Stats       Stats               `json:"stats"`
+	Detector    core.DetectorState  `json:"detector"`
+	Builder     window.BuilderState `json:"builder"`
+	LastSeenMS  map[device.ID]int64 `json:"last_seen_ms,omitempty"`
+	Dark        []device.ID         `json:"dark,omitempty"`
+	// Dedup carries the CoAP server's completed exchanges so retransmitted
+	// pre-crash requests keep being absorbed after the restart (the dedup
+	// cache high-water mark travels with the state it protects).
+	Dedup []coap.DedupEntry `json:"dedup,omitempty"`
+}
+
+// ExportCheckpoint snapshots the gateway's runtime state. The CoAP dedup
+// cache is added by Front.Checkpoint; a bare gateway leaves it empty.
+func (g *Gateway) ExportCheckpoint() *Checkpoint {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cp := &Checkpoint{
+		Version:     CheckpointVersion,
+		SavedAtUnix: time.Now().Unix(),
+		HorizonMS:   g.horizon.Milliseconds(),
+		StreamNowMS: g.streamNow.Milliseconds(),
+		Stats:       g.stats,
+		Detector:    g.det.ExportState(),
+		Builder:     g.builder.ExportState(),
+	}
+	if len(g.lastSeen) > 0 {
+		cp.LastSeenMS = make(map[device.ID]int64, len(g.lastSeen))
+		for id, at := range g.lastSeen {
+			cp.LastSeenMS[id] = at.Milliseconds()
+		}
+	}
+	for _, id := range sortedIDs(g.lastSeen) {
+		if g.dark[id] {
+			cp.Dark = append(cp.Dark, id)
+		}
+	}
+	return cp
+}
+
+// RestoreCheckpoint replaces the gateway's runtime state with a snapshot.
+// The gateway must have been built against the same trained context (the
+// detector and builder validate group and layout references).
+func (g *Gateway) RestoreCheckpoint(cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("gateway: nil checkpoint")
+	}
+	if cp.Version != CheckpointVersion {
+		return fmt.Errorf("gateway: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.det.RestoreState(cp.Detector); err != nil {
+		return err
+	}
+	if err := g.builder.RestoreState(cp.Builder); err != nil {
+		return err
+	}
+	g.stats = cp.Stats
+	g.horizon = time.Duration(cp.HorizonMS) * time.Millisecond
+	g.streamNow = time.Duration(cp.StreamNowMS) * time.Millisecond
+	g.lastSeen = make(map[device.ID]time.Duration, len(cp.LastSeenMS))
+	for id, ms := range cp.LastSeenMS {
+		g.lastSeen[id] = time.Duration(ms) * time.Millisecond
+	}
+	g.dark = make(map[device.ID]bool, len(cp.Dark))
+	for _, id := range cp.Dark {
+		g.dark[id] = true
+	}
+	return nil
+}
+
+// WriteCheckpoint atomically persists a checkpoint: write to a temp file in
+// the same directory, fsync, rename over the target. A crash mid-write
+// leaves the previous checkpoint intact; readers never observe a torn file.
+func WriteCheckpoint(path string, cp *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("gateway: checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(cp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("gateway: checkpoint encode: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("gateway: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("gateway: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("gateway: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint loads a checkpoint written by WriteCheckpoint.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: read checkpoint: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("gateway: parse checkpoint %s: %w", path, err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("gateway: checkpoint %s is version %d, want %d", path, cp.Version, CheckpointVersion)
+	}
+	return &cp, nil
+}

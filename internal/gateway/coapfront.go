@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"time"
 
 	"repro/internal/coap"
@@ -49,11 +50,44 @@ func ServeCoAP(gw *Gateway, addr string) (*Front, error) {
 	return f, nil
 }
 
+// ServeCoAPConn starts the front end on an existing packet conn — e.g. a
+// chaos-wrapped one — and takes ownership of it.
+func ServeCoAPConn(gw *Gateway, conn net.PacketConn, cfg coap.ServerConfig) (*Front, error) {
+	f := &Front{gw: gw}
+	srv, err := coap.NewServer(conn, f.handle, cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.srv = srv
+	return f, nil
+}
+
 // Addr returns the bound UDP address string.
 func (f *Front) Addr() string { return f.srv.Addr().String() }
 
 // Close stops the front end.
 func (f *Front) Close() error { return f.srv.Close() }
+
+// ServerStats returns the CoAP server's transport counters.
+func (f *Front) ServerStats() coap.ServerStats { return f.srv.Stats() }
+
+// Checkpoint snapshots the gateway state plus the CoAP dedup cache.
+func (f *Front) Checkpoint() *Checkpoint {
+	cp := f.gw.ExportCheckpoint()
+	cp.Dedup = f.srv.ExportDedup()
+	return cp
+}
+
+// Restore loads a checkpoint into the gateway and seeds the dedup cache,
+// so retransmissions of pre-crash requests replay their cached ACKs
+// instead of re-ingesting their batches.
+func (f *Front) Restore(cp *Checkpoint) error {
+	if err := f.gw.RestoreCheckpoint(cp); err != nil {
+		return err
+	}
+	f.srv.RestoreDedup(cp.Dedup)
+	return nil
+}
 
 func (f *Front) handle(req *coap.Message) *coap.Message {
 	switch req.Path() {
@@ -91,6 +125,12 @@ func (f *Front) handle(req *coap.Message) *coap.Message {
 			return &coap.Message{Code: coap.CodeInternal}
 		}
 		return &coap.Message{Code: coap.CodeContent, Payload: data}
+	case "liveness":
+		data, err := json.Marshal(f.gw.Liveness())
+		if err != nil {
+			return &coap.Message{Code: coap.CodeInternal}
+		}
+		return &coap.Message{Code: coap.CodeContent, Payload: data}
 	default:
 		return &coap.Message{Code: coap.CodeNotFound}
 	}
@@ -115,6 +155,16 @@ func NewAgent(addr string) (*Agent, error) {
 	}
 	return &Agent{cli: cli, BatchSize: 16, Timeout: 5 * time.Second}, nil
 }
+
+// NewAgentConn builds an agent over an existing connected datagram conn —
+// e.g. a chaos-wrapped one — and takes ownership of it.
+func NewAgentConn(conn net.Conn) *Agent {
+	return &Agent{cli: coap.NewClient(conn), BatchSize: 16, Timeout: 5 * time.Second}
+}
+
+// Client exposes the underlying CoAP client so callers can tune its
+// retransmission parameters.
+func (a *Agent) Client() *coap.Client { return a.cli }
 
 // Close flushes pending readings and releases the socket.
 func (a *Agent) Close() error {

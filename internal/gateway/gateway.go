@@ -7,6 +7,7 @@ package gateway
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,6 +35,11 @@ type Stats struct {
 	Violations    int64
 	Alerts        int64
 	AlertsDropped int64
+	// LivenessAlerts counts fail-stop alerts raised by the silence
+	// tracker; DarkDevices is the number of devices currently past the
+	// silence threshold (a gauge, snapshotted by Stats()).
+	LivenessAlerts int64
+	DarkDevices    int64
 }
 
 // Gateway runs DICE over a live event stream. Events must be ingested in
@@ -47,6 +53,14 @@ type Gateway struct {
 	alerts  chan Alert
 	stats   Stats
 	horizon time.Duration
+
+	// Liveness tracking: stream time each device last reported at, the
+	// devices currently past the silence threshold, and the furthest
+	// stream time observed (events may run ahead of the /advance horizon).
+	liveThreshold time.Duration
+	lastSeen      map[device.ID]time.Duration
+	dark          map[device.ID]bool
+	streamNow     time.Duration
 }
 
 // New builds a gateway around a trained context.
@@ -56,11 +70,24 @@ func New(ctx *core.Context, cfg core.Config) (*Gateway, error) {
 		return nil, err
 	}
 	return &Gateway{
-		det:     det,
-		builder: window.NewBuilder(ctx.Layout(), ctx.Duration()),
-		reg:     ctx.Layout().Registry(),
-		alerts:  make(chan Alert, 64),
+		det:      det,
+		builder:  window.NewBuilder(ctx.Layout(), ctx.Duration()),
+		reg:      ctx.Layout().Registry(),
+		alerts:   make(chan Alert, 64),
+		lastSeen: make(map[device.ID]time.Duration),
+		dark:     make(map[device.ID]bool),
 	}, nil
+}
+
+// SetLiveness enables fail-stop (outage) alerts for devices that have
+// reported at least once and then stay silent longer than threshold; zero
+// disables the tracker. A sparsely firing sensor is silent for hours of
+// normal life, so thresholds should be generous — liveness catches the
+// device that went dark, the window checks catch the one that lies.
+func (g *Gateway) SetLiveness(threshold time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.liveThreshold = threshold
 }
 
 // Alerts returns the alert channel. It is never closed; buffer overruns
@@ -71,7 +98,33 @@ func (g *Gateway) Alerts() <-chan Alert { return g.alerts }
 func (g *Gateway) Stats() Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.stats
+	st := g.stats
+	st.DarkDevices = int64(len(g.dark))
+	return st
+}
+
+// DeviceLiveness is one device's silence-tracker state.
+type DeviceLiveness struct {
+	Device   device.ID     `json:"device"`
+	Name     string        `json:"name"`
+	LastSeen time.Duration `json:"last_seen"`
+	Dark     bool          `json:"dark"`
+}
+
+// Liveness snapshots the silence tracker, ascending by device ID. Only
+// devices that have reported at least once appear.
+func (g *Gateway) Liveness() []DeviceLiveness {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]DeviceLiveness, 0, len(g.lastSeen))
+	for _, id := range sortedIDs(g.lastSeen) {
+		dl := DeviceLiveness{Device: id, LastSeen: g.lastSeen[id], Dark: g.dark[id]}
+		if dev, err := g.reg.Get(id); err == nil {
+			dl.Name = dev.Name
+		}
+		out = append(out, dl)
+	}
+	return out
 }
 
 // Ingest feeds one event. Completed windows are run through the detector
@@ -83,11 +136,20 @@ func (g *Gateway) Ingest(e event.Event) error {
 		return fmt.Errorf("gateway: event at %s regresses behind %s", e.At, g.horizon)
 	}
 	g.stats.Events++
+	g.lastSeen[e.Device] = e.At
+	delete(g.dark, e.Device) // a dark device that reports again has recovered
+	if e.At > g.streamNow {
+		g.streamNow = e.At
+	}
 	done, err := g.builder.Add(e)
 	if err != nil {
 		return err
 	}
-	return g.processLocked(done)
+	if err := g.processLocked(done); err != nil {
+		return err
+	}
+	g.checkLivenessLocked()
+	return nil
 }
 
 // AdvanceTo declares that stream time has reached t, closing any windows
@@ -100,11 +162,59 @@ func (g *Gateway) AdvanceTo(t time.Duration) error {
 		return nil
 	}
 	g.horizon = t
+	if t > g.streamNow {
+		g.streamNow = t
+	}
 	done, err := g.builder.AdvanceTo(t)
 	if err != nil {
 		return err
 	}
-	return g.processLocked(done)
+	if err := g.processLocked(done); err != nil {
+		return err
+	}
+	g.checkLivenessLocked()
+	return nil
+}
+
+// checkLivenessLocked raises one fail-stop alert per device whose silence
+// exceeds the threshold; the device stays marked dark (no re-alerting)
+// until it reports again. Devices are visited in ID order so alert order
+// is deterministic.
+func (g *Gateway) checkLivenessLocked() {
+	if g.liveThreshold <= 0 {
+		return
+	}
+	for _, id := range sortedIDs(g.lastSeen) {
+		last := g.lastSeen[id]
+		if g.dark[id] || g.streamNow-last <= g.liveThreshold {
+			continue
+		}
+		g.dark[id] = true
+		g.stats.LivenessAlerts++
+		out := Alert{
+			Cause:      core.CheckLiveness,
+			DetectedAt: last + g.liveThreshold,
+			ReportedAt: g.streamNow,
+		}
+		if dev, err := g.reg.Get(id); err == nil {
+			out.Devices = append(out.Devices, dev)
+		}
+		select {
+		case g.alerts <- out:
+			g.stats.Alerts++
+		default:
+			g.stats.AlertsDropped++
+		}
+	}
+}
+
+func sortedIDs(m map[device.ID]time.Duration) []device.ID {
+	out := make([]device.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // processLocked runs completed windows through the detector.

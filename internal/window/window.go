@@ -224,6 +224,55 @@ func (b *Builder) AdvanceTo(t time.Duration) ([]*Observation, error) {
 	return out, nil
 }
 
+// BuilderState is the JSON-serializable runtime state of a Builder: the
+// time floor, the partial in-progress observation, and the actuators
+// already counted in it. A gateway checkpoints it so the events of a
+// half-built window are not lost across a restart — losing them would make
+// the first post-restart window look half-empty and trip a spurious
+// correlation violation.
+type BuilderState struct {
+	Floor   int          `json:"floor"`
+	Cur     *Observation `json:"cur,omitempty"`
+	ActSeen []device.ID  `json:"act_seen,omitempty"`
+}
+
+// ExportState snapshots the builder's runtime state. The snapshot shares
+// nothing with the builder.
+func (b *Builder) ExportState() BuilderState {
+	st := BuilderState{Floor: b.floor}
+	if b.cur != nil {
+		st.Cur = b.cur.Clone()
+	}
+	for id := range b.actSeen {
+		st.ActSeen = insertSorted(st.ActSeen, id)
+	}
+	return st
+}
+
+// RestoreState replaces the builder's runtime state with a snapshot taken
+// by ExportState, validating the partial observation against the layout.
+func (b *Builder) RestoreState(st BuilderState) error {
+	if st.Cur != nil {
+		if len(st.Cur.Binary) != b.layout.NumBinary() || len(st.Cur.Numeric) != b.layout.NumNumeric() {
+			return fmt.Errorf("window: restored observation shaped %d/%d, layout wants %d/%d",
+				len(st.Cur.Binary), len(st.Cur.Numeric), b.layout.NumBinary(), b.layout.NumNumeric())
+		}
+		if st.Cur.Index < st.Floor {
+			return fmt.Errorf("window: restored observation index %d behind floor %d", st.Cur.Index, st.Floor)
+		}
+	}
+	b.floor = st.Floor
+	b.cur = nil
+	if st.Cur != nil {
+		b.cur = st.Cur.Clone()
+	}
+	b.actSeen = make(map[device.ID]bool, len(st.ActSeen))
+	for _, id := range st.ActSeen {
+		b.actSeen[id] = true
+	}
+	return nil
+}
+
 func (b *Builder) startWindow(idx int) {
 	b.cur = b.layout.NewObservation(idx)
 	b.floor = idx

@@ -1,6 +1,8 @@
 package window
 
 import (
+	"encoding/json"
+	"reflect"
 	"testing"
 	"time"
 
@@ -256,5 +258,90 @@ func BenchmarkBuilderAdd(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = bld.Add(event.Event{At: time.Duration(i) * time.Second, Device: 1, Value: 20})
+	}
+}
+
+func TestBuilderStateRoundTrip(t *testing.T) {
+	_, l := testDevices(t)
+	b := NewBuilder(l, time.Minute)
+	feed := []event.Event{
+		{At: 10 * time.Second, Device: 0, Value: 1},
+		{At: 70 * time.Second, Device: 2, Value: 1},  // actuator on, window 1
+		{At: 80 * time.Second, Device: 1, Value: 21}, // numeric sample
+	}
+	for _, e := range feed {
+		if _, err := b.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Snapshot mid-window, push through JSON like a real checkpoint, and
+	// restore into a fresh builder.
+	st := b.ExportState()
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BuilderState
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewBuilder(l, time.Minute)
+	if err := b2.RestoreState(back); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same continuation must produce identical windows from both.
+	tail := []event.Event{
+		{At: 90 * time.Second, Device: 2, Value: 1}, // dup actuator: must not double-count
+		{At: 130 * time.Second, Device: 3, Value: 1},
+	}
+	var got1, got2 []*Observation
+	for _, e := range tail {
+		o1, err := b.Add(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := b2.Add(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got1 = append(got1, o1...)
+		got2 = append(got2, o2...)
+	}
+	got1 = append(got1, b.Flush())
+	got2 = append(got2, b2.Flush())
+	if !reflect.DeepEqual(got1, got2) {
+		t.Errorf("diverged after restore:\n original: %+v\n restored: %+v", got1, got2)
+	}
+	if len(got1) != 2 || got1[0].Index != 1 || len(got1[0].Actuated) != 1 {
+		t.Errorf("window 1 actuations: %+v", got1[0])
+	}
+}
+
+func TestBuilderRestoreValidates(t *testing.T) {
+	_, l := testDevices(t)
+	b := NewBuilder(l, time.Minute)
+	bad := BuilderState{Cur: &Observation{Index: 0, Binary: make([]bool, 7)}}
+	if err := b.RestoreState(bad); err == nil {
+		t.Error("mis-shaped observation accepted")
+	}
+	bad2 := BuilderState{Floor: 5, Cur: &Observation{
+		Index:   2,
+		Binary:  make([]bool, l.NumBinary()),
+		Numeric: make([][]float64, l.NumNumeric()),
+	}}
+	if err := b.RestoreState(bad2); err == nil {
+		t.Error("observation behind floor accepted")
+	}
+	// Restoring an empty state onto a used builder resets it.
+	if _, err := b.Add(event.Event{At: time.Second, Device: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreState(BuilderState{Floor: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Add(event.Event{At: time.Second, Device: 0, Value: 1}); err == nil {
+		t.Error("pre-floor event accepted after restore")
 	}
 }
