@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-scan bench-eval
+.PHONY: check vet staticcheck build test race race-telemetry bench bench-scan bench-eval
 
-check: vet staticcheck build race
+check: vet staticcheck build race-telemetry race
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,11 @@ test:
 # The evaluation harness fans trials across goroutines; always race-check it.
 race:
 	$(GO) test -race ./...
+
+# Fast focused gate on the metrics registry: every pipeline stage hammers
+# these counters concurrently, so its race tests run first and by name.
+race-telemetry:
+	$(GO) test -race -count 2 ./internal/telemetry/
 
 # Full benchmark sweep (regenerates every table/figure on the scaled-down
 # protocol).

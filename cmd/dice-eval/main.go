@@ -11,9 +11,10 @@
 // `-trials 100` reproduces the paper-scale run (the default is 40 to keep
 // the full ten-dataset sweep under a minute on a laptop). `-workers` sizes
 // the evaluation worker pool (0 = GOMAXPROCS); results are bit-identical at
-// any worker count. `-benchjson` writes wall-clock and per-stage timings to
-// a JSON file (default BENCH_eval.json; empty disables) so the performance
-// trajectory is tracked across changes.
+// any worker count. `-benchjson` writes wall-clock and per-stage timings plus
+// a telemetry snapshot (the same dice_* series a live gateway serves on
+// /metrics) to a JSON file (default BENCH_eval.json; empty disables) so the
+// performance trajectory is tracked across changes.
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/report"
 	"repro/internal/simhome"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -54,6 +56,10 @@ func run() error {
 	proto := eval.DefaultProtocol()
 	proto.Trials = *trials
 	proto.Seed = *seed
+	// One shared registry across all datasets and workers; its snapshot
+	// lands in the benchjson file next to the timings.
+	tel := telemetry.NewRegistry()
+	proto.Telemetry = tel
 
 	emit := func(t *report.Table) error {
 		if *csv {
@@ -76,7 +82,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := writeBenchJSON(*benchJSON, results, *workers, time.Since(wallStart)); err != nil {
+		if err := writeBenchJSON(*benchJSON, results, *workers, time.Since(wallStart), tel); err != nil {
 			return err
 		}
 		tables := map[string]*report.Table{
@@ -147,6 +153,10 @@ type benchJSON struct {
 	Workers     int                `json:"workers"`
 	WallClockMS float64            `json:"wall_clock_ms"`
 	Datasets    []datasetBenchJSON `json:"datasets"`
+	// Metrics is the telemetry registry snapshot aggregated across every
+	// dataset and worker: the same dice_* series a live gateway serves on
+	// /metrics, here as a flat name -> value map.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type datasetBenchJSON struct {
@@ -161,7 +171,7 @@ type datasetBenchJSON struct {
 	IdentifyNS    float64 `json:"identify_ns_per_window"`
 }
 
-func writeBenchJSON(path string, results []*eval.DatasetResult, workers int, wall time.Duration) error {
+func writeBenchJSON(path string, results []*eval.DatasetResult, workers int, wall time.Duration, tel *telemetry.Registry) error {
 	if path == "" {
 		return nil
 	}
@@ -169,6 +179,7 @@ func writeBenchJSON(path string, results []*eval.DatasetResult, workers int, wal
 		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 		Workers:     workers,
 		WallClockMS: float64(wall.Microseconds()) / 1000,
+		Metrics:     tel.SnapshotMap(),
 	}
 	for _, r := range results {
 		out.Datasets = append(out.Datasets, datasetBenchJSON{

@@ -49,6 +49,7 @@ func run() error {
 	ckptPath := flag.String("checkpoint", "", "checkpoint file; resume from it if present, persist to it on an interval and on shutdown")
 	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often to persist the checkpoint")
 	liveness := flag.Duration("liveness", 0, "silence threshold for fail-stop device alerts (0 disables)")
+	httpAddr := flag.String("http", "", "TCP address for the observability endpoint (/metrics, /alerts/last, /debug/pprof); empty disables")
 	flag.Parse()
 
 	if *dataDir == "" {
@@ -67,16 +68,26 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	gw, err := gateway.New(ctx, core.Config{})
+	gw, err := gateway.New(ctx,
+		gateway.WithConfig(core.Config{}),
+		gateway.WithLiveness(*liveness))
 	if err != nil {
 		return err
 	}
-	gw.SetLiveness(*liveness)
 	front, err := gateway.ServeCoAP(gw, *listen)
 	if err != nil {
 		return err
 	}
 	defer front.Close()
+
+	if *httpAddr != "" {
+		obs, err := gateway.ServeHTTP(gw, *httpAddr)
+		if err != nil {
+			return err
+		}
+		defer obs.Close()
+		fmt.Printf("observability on http://%s/metrics\n", obs.Addr())
+	}
 
 	if *ckptPath != "" {
 		cp, err := gateway.ReadCheckpoint(*ckptPath)

@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 )
 
@@ -108,6 +109,17 @@ type (
 	Alert = core.Alert
 	// CheckKind names which check flagged a window.
 	CheckKind = core.CheckKind
+	// Cause is the canonical name for CheckKind in new code.
+	Cause = core.Cause
+	// Explain is the decision trace attached to each alert.
+	Explain = core.Explain
+	// ExplainStep is one informative window within an Explain trace.
+	ExplainStep = core.ExplainStep
+	// Option configures a Detector at construction (see New).
+	Option = core.Option
+	// Telemetry is the zero-dependency metrics registry detectors and
+	// gateways report into; its WriteText emits Prometheus text format.
+	Telemetry = telemetry.Registry
 )
 
 // Violation causes.
@@ -117,6 +129,7 @@ const (
 	CheckG2G         = core.CheckG2G
 	CheckG2A         = core.CheckG2A
 	CheckA2G         = core.CheckA2G
+	CheckLiveness    = core.CheckLiveness
 )
 
 // DefaultDuration is the paper's empirically optimal window length.
@@ -143,10 +156,33 @@ func TrainWindows(layout *Layout, duration time.Duration, obs []*Observation) (*
 	return core.TrainWindows(layout, duration, obs)
 }
 
-// NewDetector builds a real-time detector over a trained context.
-func NewDetector(ctx *Context, cfg Config) (*Detector, error) {
-	return core.NewDetector(ctx, cfg)
+// New builds a real-time detector over a trained context with functional
+// options (WithConfig, WithTelemetry, WithMaxFaults, ...).
+func New(ctx *Context, opts ...Option) (*Detector, error) {
+	return core.New(ctx, opts...)
 }
+
+// NewDetector builds a real-time detector from a config struct.
+//
+// Deprecated: use New with options; extra options may be appended here
+// for a gradual migration.
+func NewDetector(ctx *Context, cfg Config, opts ...Option) (*Detector, error) {
+	return core.NewDetector(ctx, cfg, opts...)
+}
+
+// NewTelemetry returns an empty metrics registry to pass to WithTelemetry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// Detector options, re-exported from internal/core.
+var (
+	WithConfig            = core.WithConfig
+	WithDuration          = core.WithDuration
+	WithMaxFaults         = core.WithMaxFaults
+	WithCandidateDistance = core.WithCandidateDistance
+	WithWeights           = core.WithWeights
+	WithAttest            = core.WithAttest
+	WithTelemetry         = core.WithTelemetry
+)
 
 // LoadContext reads a context saved with Context.Save and binds it to the
 // layout.

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Handler processes an incoming request and returns the response message
@@ -44,7 +46,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	return c
 }
 
-// ServerStats counts server activity; all fields are cumulative.
+// ServerStats counts server activity; all fields are cumulative. It is a
+// snapshot view over the server's telemetry counters, so the same numbers
+// appear here and on a /metrics exposition of the shared registry.
 type ServerStats struct {
 	// Received counts well-formed requests read off the socket.
 	Received int64
@@ -57,6 +61,43 @@ type ServerStats struct {
 	Dropped int64
 	// Malformed counts datagrams that failed to parse.
 	Malformed int64
+}
+
+// CoAP-stage metric names. Registered against the gateway's registry when
+// the server is built with WithTelemetry; against a private registry
+// otherwise, so ServerStats always has a backing store.
+const (
+	metricCoAPReceived   = "dice_coap_received_total"
+	metricCoAPHandled    = "dice_coap_handled_total"
+	metricCoAPDeduped    = "dice_coap_deduped_total"
+	metricCoAPDropped    = "dice_coap_dropped_total"
+	metricCoAPMalformed  = "dice_coap_malformed_total"
+	metricCoAPQueueDepth = "dice_coap_queue_depth"
+)
+
+// srvMetrics is the telemetry backing of ServerStats plus the worker-pool
+// queue gauge.
+type srvMetrics struct {
+	received   *telemetry.Counter
+	handled    *telemetry.Counter
+	deduped    *telemetry.Counter
+	dropped    *telemetry.Counter
+	malformed  *telemetry.Counter
+	queueDepth *telemetry.Gauge
+}
+
+func newSrvMetrics(reg *telemetry.Registry) srvMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return srvMetrics{
+		received:   reg.Counter(metricCoAPReceived, "Well-formed CoAP requests read off the socket."),
+		handled:    reg.Counter(metricCoAPHandled, "Handler invocations (each exchange exactly once)."),
+		deduped:    reg.Counter(metricCoAPDeduped, "Retransmissions absorbed by the RFC 7252 exchange cache."),
+		dropped:    reg.Counter(metricCoAPDropped, "Requests shed because the worker queue was full."),
+		malformed:  reg.Counter(metricCoAPMalformed, "Datagrams that failed to parse."),
+		queueDepth: reg.Gauge(metricCoAPQueueDepth, "Requests currently waiting for or held by a worker."),
+	}
 }
 
 // dedupKey identifies one exchange per RFC 7252 §4.5: the source endpoint
@@ -91,21 +132,55 @@ type Server struct {
 	cfg     ServerConfig
 	queue   chan job
 
-	mu     sync.Mutex // guards closed, dedup, order, stats
+	mu     sync.Mutex // guards closed, dedup, order
 	closed bool
 	dedup  map[dedupKey]*exchange
 	order  []dedupKey // insertion order, for expiry
 
-	stats ServerStats
+	met srvMetrics
 
 	serveWG  sync.WaitGroup
 	workerWG sync.WaitGroup
 }
 
-// ListenAndServe starts a server on addr (e.g. "127.0.0.1:5683") with the
-// default config; pass port 0 to pick a free port. The returned server is
-// already serving.
-func ListenAndServe(addr string, handler Handler) (*Server, error) {
+// ServerOption configures a Server at construction.
+type ServerOption func(*srvOptions)
+
+type srvOptions struct {
+	cfg ServerConfig
+	tel *telemetry.Registry
+}
+
+// WithServerConfig replaces the whole tuning config.
+func WithServerConfig(cfg ServerConfig) ServerOption {
+	return func(o *srvOptions) { o.cfg = cfg }
+}
+
+// WithWorkers sets the handler goroutine count.
+func WithWorkers(n int) ServerOption {
+	return func(o *srvOptions) { o.cfg.Workers = n }
+}
+
+// WithQueueDepth bounds requests waiting for a free worker.
+func WithQueueDepth(n int) ServerOption {
+	return func(o *srvOptions) { o.cfg.QueueDepth = n }
+}
+
+// WithExchangeLifetime sets the dedup-cache entry lifetime.
+func WithExchangeLifetime(d time.Duration) ServerOption {
+	return func(o *srvOptions) { o.cfg.ExchangeLifetime = d }
+}
+
+// WithTelemetry registers the server's counters against a shared registry
+// (typically the gateway's) instead of a private one, so they appear on
+// the /metrics exposition.
+func WithTelemetry(reg *telemetry.Registry) ServerOption {
+	return func(o *srvOptions) { o.tel = reg }
+}
+
+// ListenAndServe starts a server on addr (e.g. "127.0.0.1:5683"); pass
+// port 0 to pick a free port. The returned server is already serving.
+func ListenAndServe(addr string, handler Handler, opts ...ServerOption) (*Server, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("coap: resolve %q: %w", addr, err)
@@ -114,7 +189,7 @@ func ListenAndServe(addr string, handler Handler) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("coap: listen: %w", err)
 	}
-	s, err := NewServer(conn, handler, ServerConfig{})
+	s, err := Serve(conn, handler, opts...)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -122,23 +197,35 @@ func ListenAndServe(addr string, handler Handler) (*Server, error) {
 	return s, nil
 }
 
-// NewServer serves CoAP on an existing packet conn (which may be a
-// fault-injecting wrapper) and takes ownership of it. The returned server
-// is already serving.
+// NewServer serves CoAP on an existing packet conn with a config struct.
+//
+// Deprecated: use Serve with options; this shim forwards to it.
 func NewServer(conn net.PacketConn, handler Handler, cfg ServerConfig) (*Server, error) {
+	return Serve(conn, handler, WithServerConfig(cfg))
+}
+
+// Serve is the canonical constructor: it serves CoAP on an existing packet
+// conn (which may be a fault-injecting wrapper) and takes ownership of it.
+// The returned server is already serving.
+func Serve(conn net.PacketConn, handler Handler, opts ...ServerOption) (*Server, error) {
 	if handler == nil {
 		return nil, errors.New("coap: nil handler")
 	}
 	if conn == nil {
 		return nil, errors.New("coap: nil conn")
 	}
-	cfg = cfg.withDefaults()
+	var o srvOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := o.cfg.withDefaults()
 	s := &Server{
 		conn:    conn,
 		handler: handler,
 		cfg:     cfg,
 		queue:   make(chan job, cfg.QueueDepth),
 		dedup:   make(map[dedupKey]*exchange),
+		met:     newSrvMetrics(o.tel),
 	}
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -156,9 +243,13 @@ func (s *Server) Addr() net.Addr {
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() ServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return ServerStats{
+		Received:  s.met.received.Value(),
+		Handled:   s.met.handled.Value(),
+		Deduped:   s.met.deduped.Value(),
+		Dropped:   s.met.dropped.Value(),
+		Malformed: s.met.malformed.Value(),
+	}
 }
 
 // Close stops the server and waits for the read loop and workers to exit.
@@ -187,9 +278,7 @@ func (s *Server) serve() {
 		}
 		req, err := Unmarshal(buf[:n])
 		if err != nil {
-			s.mu.Lock()
-			s.stats.Malformed++
-			s.mu.Unlock()
+			s.met.malformed.Inc()
 			continue // drop malformed datagrams
 		}
 		if req.Type != Confirmable && req.Type != NonConfirmable {
@@ -197,15 +286,15 @@ func (s *Server) serve() {
 		}
 		key := dedupKey{peer: peer.String(), mid: req.MessageID}
 
+		s.met.received.Inc()
 		s.mu.Lock()
-		s.stats.Received++
 		s.purgeLocked(time.Now())
 		if e, ok := s.dedup[key]; ok {
 			// RFC 7252 §4.5: a retransmitted exchange must not reach the
 			// handler again. Replay the cached piggybacked ACK for a
 			// Confirmable retransmission; while the original is still in
 			// flight (resp == nil), or for a NON duplicate, stay silent.
-			s.stats.Deduped++
+			s.met.deduped.Inc()
 			resp := e.resp
 			s.mu.Unlock()
 			if resp != nil && req.Type == Confirmable {
@@ -219,13 +308,14 @@ func (s *Server) serve() {
 
 		select {
 		case s.queue <- job{req: req, peer: peer, key: key, con: req.Type == Confirmable}:
+			s.met.queueDepth.Add(1)
 		default:
 			// Queue full: shed the request. Forget the exchange so the
 			// sender's retransmission gets a fresh chance at a worker.
 			s.mu.Lock()
 			delete(s.dedup, key)
-			s.stats.Dropped++
 			s.mu.Unlock()
+			s.met.dropped.Inc()
 		}
 	}
 }
@@ -253,6 +343,7 @@ func (s *Server) purgeLocked(now time.Time) {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for jb := range s.queue {
+		s.met.queueDepth.Add(-1)
 		resp := s.handler(jb.req)
 		if resp == nil {
 			resp = &Message{Code: CodeNotFound}
@@ -267,8 +358,8 @@ func (s *Server) worker() {
 		resp.Token = jb.req.Token
 		data, err := resp.Marshal()
 
+		s.met.handled.Inc()
 		s.mu.Lock()
-		s.stats.Handled++
 		if err == nil {
 			if e, ok := s.dedup[jb.key]; ok {
 				e.resp = data

@@ -34,6 +34,10 @@ type EpisodeState struct {
 	OpeningActs    []device.ID `json:"opening_acts,omitempty"`
 	OpeningPrev    int         `json:"opening_prev"`
 	FiredActs      []device.ID `json:"fired_acts,omitempty"`
+	// Trace carries the episode's decision trace across restarts, so an
+	// alert concluded after a restore explains itself identically to one
+	// from an uninterrupted run. Absent in pre-trace checkpoints.
+	Trace *Explain `json:"trace,omitempty"`
 }
 
 // ExportState snapshots the detector's runtime state. The snapshot shares
@@ -62,6 +66,7 @@ func (d *Detector) ExportState() DetectorState {
 			OpeningActs:    setToSlice(ep.openingActs),
 			OpeningPrev:    ep.openingPrev,
 			FiredActs:      setToSlice(ep.firedActs),
+			Trace:          ep.trace.Clone(),
 		}
 	}
 	return st
@@ -98,6 +103,7 @@ func (d *Detector) RestoreState(st DetectorState) error {
 			openingActs:    toSet(eps.OpeningActs),
 			openingPrev:    eps.OpeningPrev,
 			firedActs:      toSet(eps.FiredActs),
+			trace:          eps.Trace.Clone(),
 		}
 	}
 	return nil

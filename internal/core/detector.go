@@ -81,6 +81,10 @@ type Alert struct {
 	// EarlyWeight is true when a device weight (§VI) forced an early
 	// report.
 	EarlyWeight bool
+	// Explain is the decision trace behind the alert: the opening window,
+	// matched/probable groups, violated transition, and intersection
+	// history. Nil only for episodes restored from a pre-trace checkpoint.
+	Explain *Explain `json:"explain,omitempty"`
 }
 
 // Result describes what the detector concluded about one window.
@@ -129,6 +133,8 @@ type episode struct {
 	// (including the opening window); a silent-but-expected actuator whose
 	// effect sensors make up the suspect set gets the blame.
 	firedActs map[device.ID]bool
+	// trace accumulates the Explain record reported with the alert.
+	trace *Explain
 }
 
 // Detector runs the real-time phase against a trained context. It is not
@@ -159,6 +165,10 @@ type Detector struct {
 	// present-but-unexpected bits.
 	lastDiffMissingOnly bool
 	lastDiffSurplusOnly bool
+
+	// met holds the telemetry instruments (all nil when uninstrumented;
+	// every update below is nil-safe and allocation-free).
+	met detMetrics
 }
 
 // recentActWindows is how far back an actuator firing still counts as "the
@@ -166,7 +176,16 @@ type Detector struct {
 const recentActWindows = 15
 
 // NewDetector builds a detector over a trained context.
-func NewDetector(ctx *Context, cfg Config) (*Detector, error) {
+//
+// Deprecated: use New with options; this shim forwards to
+// New(ctx, WithConfig(cfg), opts...) and exists so older config-struct
+// call sites keep compiling.
+func NewDetector(ctx *Context, cfg Config, opts ...Option) (*Detector, error) {
+	return New(ctx, append([]Option{WithConfig(cfg)}, opts...)...)
+}
+
+// newDetector is the single construction path behind New/NewDetector.
+func newDetector(ctx *Context, o detOptions) (*Detector, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("core: nil context")
 	}
@@ -178,12 +197,13 @@ func NewDetector(ctx *Context, cfg Config) (*Detector, error) {
 		return nil, err
 	}
 	return &Detector{
-		cfg:        cfg.Normalize(),
+		cfg:        o.cfg.Normalize(),
 		ctx:        ctx,
 		bin:        bin,
 		prevGroup:  NoGroup,
 		stateVec:   bitvec.New(bin.NumBits()),
 		recentActs: make(map[device.ID]int),
+		met:        newDetMetrics(o.tel),
 	}, nil
 }
 
@@ -219,6 +239,17 @@ func (d *Detector) Process(o *window.Observation) (Result, error) {
 	res.Timing.Correlation = time.Since(t1)
 	res.MainGroup = cands.Main
 
+	d.met.windows.Inc()
+	d.met.scanSeconds.ObserveDuration(res.Timing.Correlation)
+	if cands.Main != NoGroup {
+		d.met.scanExact.Inc()
+	} else {
+		d.met.scanBucket.Inc()
+		if cands.MinDistance != NoDistance {
+			d.met.scanDistance.Observe(float64(cands.MinDistance))
+		}
+	}
+
 	if d.ep != nil {
 		// §3.4: during the repetition, skip the checks and go straight to
 		// identification.
@@ -243,6 +274,7 @@ func (d *Detector) Process(o *window.Observation) (Result, error) {
 	}
 
 	if cause != CheckNone {
+		d.met.violation(cause)
 		res.Violation = cause
 		res.Detected = true
 		res.Identifying = true
@@ -261,8 +293,22 @@ func (d *Detector) Process(o *window.Observation) (Result, error) {
 			openingActs:    toSet(o.Actuated),
 			openingPrev:    d.prevGroup,
 			firedActs:      fired,
+			trace: &Explain{
+				Cause:          cause,
+				DetectedWindow: o.Index,
+				PrevGroup:      d.prevGroup,
+				MainGroup:      cands.Main,
+				ProbableGroups: append([]int(nil), cands.Probable...),
+				MinDistance:    cands.MinDistance,
+			},
 		}
 		res.Probable = setToSlice(d.ep.intersection)
+		d.ep.trace.addStep(ExplainStep{
+			Window:       o.Index,
+			Violation:    cause,
+			Suspects:     suspects,
+			Intersection: res.Probable,
+		})
 		d.maybeConclude(&res)
 	}
 
@@ -413,6 +459,7 @@ func (d *Detector) identifyStep(v *bitvec.Vec, cands Candidates, o *window.Obser
 	res.Violation = probeCause
 
 	if informative {
+		d.met.violation(probeCause)
 		d.ep.normalStreak = 0
 		next := intersect(d.ep.intersection, toSet(suspects))
 		if len(next) == 0 {
@@ -426,6 +473,14 @@ func (d *Detector) identifyStep(v *bitvec.Vec, cands Candidates, o *window.Obser
 		d.ep.normalStreak++
 	}
 	res.Probable = setToSlice(d.ep.intersection)
+	if informative {
+		d.ep.trace.addStep(ExplainStep{
+			Window:       o.Index,
+			Violation:    probeCause,
+			Suspects:     suspects,
+			Intersection: res.Probable,
+		})
+	}
 	d.maybeConclude(res)
 }
 
@@ -477,9 +532,16 @@ func (d *Detector) maybeConclude(res *Result) {
 		if len(devices) == 0 {
 			// Every probable device attested healthy: dismiss the episode
 			// without an alert.
+			d.met.episodes.Inc()
+			d.met.episodeLen.Observe(float64(res.WindowIndex - ep.detectedWindow + 1))
+			d.met.suspects.Observe(float64(size))
 			d.ep = nil
 			return
 		}
+	}
+	trace := ep.trace
+	if trace != nil {
+		trace.ReportedWindow = res.WindowIndex
 	}
 	res.Alert = &Alert{
 		Devices:        devices,
@@ -487,7 +549,12 @@ func (d *Detector) maybeConclude(res *Result) {
 		DetectedWindow: ep.detectedWindow,
 		ReportedWindow: res.WindowIndex,
 		EarlyWeight:    early && size > d.cfg.MaxFaults,
+		Explain:        trace,
 	}
+	d.met.episodes.Inc()
+	d.met.episodeLen.Observe(float64(res.WindowIndex - ep.detectedWindow + 1))
+	d.met.suspects.Observe(float64(size))
+	d.met.named.Add(int64(len(devices)))
 	d.ep = nil
 }
 

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/telemetry"
+)
+
+// Option configures a Detector at construction. Options are applied in
+// order, so a WithConfig followed by field options yields the config with
+// those fields overridden.
+type Option func(*detOptions)
+
+type detOptions struct {
+	cfg Config
+	tel *telemetry.Registry
+}
+
+// WithConfig replaces the whole detector configuration.
+func WithConfig(cfg Config) Option {
+	return func(o *detOptions) { o.cfg = cfg }
+}
+
+// WithDuration sets the state-set window length.
+func WithDuration(d time.Duration) Option {
+	return func(o *detOptions) { o.cfg.Duration = d }
+}
+
+// WithMaxFaults sets numThre, the simultaneous-fault bound.
+func WithMaxFaults(n int) Option {
+	return func(o *detOptions) { o.cfg.MaxFaults = n }
+}
+
+// WithCandidateDistance sets the probable-group Hamming radius.
+func WithCandidateDistance(n int) Option {
+	return func(o *detOptions) { o.cfg.CandidateDistance = n }
+}
+
+// WithWeights sets the §VI device weights and the early-alert threshold.
+func WithWeights(weights map[device.ID]float64, alarm float64) Option {
+	return func(o *detOptions) {
+		o.cfg.Weights = weights
+		o.cfg.WeightAlarm = alarm
+	}
+}
+
+// WithAttest installs the optional attestation step of §3.4.
+func WithAttest(attest func(devices []device.ID) []device.ID) Option {
+	return func(o *detOptions) { o.cfg.Attest = attest }
+}
+
+// WithTelemetry instruments the detector against the registry: scan
+// outcomes and latency, violations by cause, and identification episode
+// shape. A nil registry leaves the detector uninstrumented (every
+// instrument is nil-safe, so this is free on the hot path).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(o *detOptions) { o.tel = reg }
+}
+
+// New builds a detector over a trained context with functional options.
+// It is the canonical constructor; NewDetector remains as a shim for the
+// older config-struct call sites.
+func New(ctx *Context, opts ...Option) (*Detector, error) {
+	var o detOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return newDetector(ctx, o)
+}
+
+// Detector-stage metric names, shared by the gateway's /metrics endpoint
+// and dice-eval's BENCH_eval.json dump. Scan metrics split the exact-hash
+// short-circuit from bucketed scans; identification metrics capture the
+// episode shape the paper's Fig 5.2/latency discussion is about.
+const (
+	metricWindows      = "dice_detector_windows_total"
+	metricScanExact    = "dice_scan_exact_hit_total"
+	metricScanBucket   = "dice_scan_bucket_scan_total"
+	metricScanSeconds  = "dice_scan_seconds"
+	metricScanDistance = "dice_scan_min_distance"
+	metricViolations   = "dice_violations_total"
+	metricEpisodes     = "dice_identify_episodes_total"
+	metricEpisodeLen   = "dice_identify_episode_windows"
+	metricSuspects     = "dice_identify_suspects_at_close"
+	metricNamed        = "dice_identify_devices_named_total"
+)
+
+// detMetrics holds the detector's instruments. The zero value (all nil)
+// is a valid "telemetry disabled" state: every instrument method is
+// nil-safe, and the violations vector is guarded at its one index site.
+type detMetrics struct {
+	windows      *telemetry.Counter
+	scanExact    *telemetry.Counter
+	scanBucket   *telemetry.Counter
+	scanSeconds  *telemetry.Histogram
+	scanDistance *telemetry.Histogram
+	violations   []*telemetry.Counter // indexed by int(cause) - 1
+	episodes     *telemetry.Counter
+	episodeLen   *telemetry.Histogram
+	suspects     *telemetry.Histogram
+	named        *telemetry.Counter
+}
+
+func newDetMetrics(reg *telemetry.Registry) detMetrics {
+	if reg == nil {
+		return detMetrics{}
+	}
+	return detMetrics{
+		windows:      reg.Counter(metricWindows, "Windows processed by the real-time detector."),
+		scanExact:    reg.Counter(metricScanExact, "Correlation scans resolved by the exact-hash short-circuit."),
+		scanBucket:   reg.Counter(metricScanBucket, "Correlation scans that walked the popcount buckets (no exact match)."),
+		scanSeconds:  reg.Histogram(metricScanSeconds, "Correlation scan latency in seconds.", telemetry.ExpBuckets(1e-7, 4, 10)),
+		scanDistance: reg.Histogram(metricScanDistance, "Hamming distance to the nearest group on non-exact scans.", telemetry.LinearBuckets(1, 1, 8)),
+		violations:   reg.CounterVec(metricViolations, "Detected violations by cause.", "cause", CauseNames()),
+		episodes:     reg.Counter(metricEpisodes, "Identification episodes concluded."),
+		episodeLen:   reg.Histogram(metricEpisodeLen, "Identification episode length in windows.", telemetry.ExpBuckets(1, 2, 10)),
+		suspects:     reg.Histogram(metricSuspects, "Probable-set size when an episode closed.", telemetry.LinearBuckets(1, 1, 8)),
+		named:        reg.Counter(metricNamed, "Devices named by concluded alerts."),
+	}
+}
+
+// violation counts one detected violation by cause.
+func (m *detMetrics) violation(cause CheckKind) {
+	if m.violations == nil || cause == CheckNone {
+		return
+	}
+	if i := int(cause) - 1; i >= 0 && i < len(m.violations) {
+		m.violations[i].Inc()
+	}
+}

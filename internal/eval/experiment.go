@@ -3,6 +3,7 @@ package eval
 import (
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/simhome"
 )
@@ -166,7 +167,7 @@ func EvaluateTrainedWorkers(t *Trained, workers int) (*DatasetResult, error) {
 
 	var detLatency, identLatency MeanAccumulator
 	latencyByCheck := map[string]*MeanAccumulator{
-		"correlation": {}, "transition": {},
+		core.FamilyCorrelation: {}, core.FamilyTransition: {},
 	}
 	minutesPerWindow := float64(proto.WindowsPerAggregate)
 	for trial := 0; trial < proto.Trials; trial++ {
@@ -187,13 +188,10 @@ func EvaluateTrainedWorkers(t *Trained, workers int) (*DatasetResult, error) {
 				lat = 0
 			}
 			detLatency.Add(lat)
-			family := "correlation"
-			if out.Cause.IsTransition() {
-				family = "transition"
-			}
+			family := out.Cause.Family()
 			latencyByCheck[family].Add(lat)
 			cnt := r.DetectByType[typeName]
-			if family == "correlation" {
+			if family == core.FamilyCorrelation {
 				cnt[0]++
 			} else {
 				cnt[1]++

@@ -11,6 +11,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/faults"
 	"repro/internal/simhome"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 )
 
@@ -42,6 +43,12 @@ type Protocol struct {
 	WindowsPerAggregate int
 	// Seed drives fault placement.
 	Seed int64
+	// Telemetry, when non-nil, instruments every segment's detector
+	// against one shared registry. Instruments are get-or-create, so the
+	// parallel worker pool aggregates into the same series without
+	// coordination; counters are commutative, so the aggregate is
+	// deterministic for a fixed protocol (timing histograms excepted).
+	Telemetry *telemetry.Registry
 }
 
 // DefaultProtocol returns the paper's settings.
@@ -266,7 +273,9 @@ func (t *Trained) RunSegment(seg int, inj *faults.Injector) (SegmentOutcome, err
 			ignoreBefore = first
 		}
 	}
-	det, err := core.NewDetector(t.Context, t.Protocol.Config)
+	det, err := core.New(t.Context,
+		core.WithConfig(t.Protocol.Config),
+		core.WithTelemetry(t.Protocol.Telemetry))
 	if err != nil {
 		return out, err
 	}

@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// countersOnly filters a registry snapshot down to the deterministic series:
+// counts and value histograms, excluding wall-clock timing histograms (any
+// series whose name carries a "seconds" unit varies run to run by design).
+func countersOnly(reg *telemetry.Registry) map[string]float64 {
+	out := make(map[string]float64)
+	for name, v := range reg.SnapshotMap() {
+		if strings.Contains(name, "seconds") {
+			continue
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// TestEvalTelemetryDeterministic: two identical evaluation runs over the
+// same trained context must land the exact same counter values, even with a
+// worker pool — every increment is a pure function of (seed, trial index),
+// and counter aggregation is commutative across workers.
+func TestEvalTelemetryDeterministic(t *testing.T) {
+	tr := trainFast(t)
+	run := func() map[string]float64 {
+		reg := telemetry.NewRegistry()
+		tr.Protocol.Telemetry = reg
+		if _, err := EvaluateTrainedWorkers(tr, 4); err != nil {
+			t.Fatal(err)
+		}
+		return countersOnly(reg)
+	}
+	a := run()
+	b := run()
+	if len(a) == 0 {
+		t.Fatal("evaluation registered no metrics")
+	}
+	if a["dice_detector_windows_total"] == 0 {
+		t.Error("dice_detector_windows_total = 0 after a full evaluation")
+	}
+	if len(a) != len(b) {
+		t.Errorf("snapshots differ in size: %d vs %d", len(a), len(b))
+	}
+	for name, av := range a {
+		if bv, ok := b[name]; !ok {
+			t.Errorf("second run is missing %s", name)
+		} else if av != bv {
+			t.Errorf("%s: run1 %g, run2 %g", name, av, bv)
+		}
+	}
+}

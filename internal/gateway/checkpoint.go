@@ -50,7 +50,7 @@ func (g *Gateway) ExportCheckpoint() *Checkpoint {
 		SavedAtUnix: time.Now().Unix(),
 		HorizonMS:   g.horizon.Milliseconds(),
 		StreamNowMS: g.streamNow.Milliseconds(),
-		Stats:       g.stats,
+		Stats:       g.statsLocked(),
 		Detector:    g.det.ExportState(),
 		Builder:     g.builder.ExportState(),
 	}
@@ -86,7 +86,15 @@ func (g *Gateway) RestoreCheckpoint(cp *Checkpoint) error {
 	if err := g.builder.RestoreState(cp.Builder); err != nil {
 		return err
 	}
-	g.stats = cp.Stats
+	// Counter.Store exists exactly for this path: the restored process
+	// resumes the cumulative series where the crashed one left off.
+	// DarkDevices is derived from the dark set below, not restored.
+	g.met.events.Store(cp.Stats.Events)
+	g.met.windows.Store(cp.Stats.Windows)
+	g.met.violations.Store(cp.Stats.Violations)
+	g.met.alerts.Store(cp.Stats.Alerts)
+	g.met.alertsDropped.Store(cp.Stats.AlertsDropped)
+	g.met.liveness.Store(cp.Stats.LivenessAlerts)
 	g.horizon = time.Duration(cp.HorizonMS) * time.Millisecond
 	g.streamNow = time.Duration(cp.StreamNowMS) * time.Millisecond
 	g.lastSeen = make(map[device.ID]time.Duration, len(cp.LastSeenMS))
@@ -97,6 +105,7 @@ func (g *Gateway) RestoreCheckpoint(cp *Checkpoint) error {
 	for _, id := range cp.Dark {
 		g.dark[id] = true
 	}
+	g.met.dark.Set(int64(len(g.dark)))
 	return nil
 }
 

@@ -40,9 +40,12 @@ type Front struct {
 }
 
 // ServeCoAP starts the CoAP front end on addr (":0" picks a free port).
-func ServeCoAP(gw *Gateway, addr string) (*Front, error) {
+// The server's transport counters register against the gateway's registry,
+// so they ride along on /metrics.
+func ServeCoAP(gw *Gateway, addr string, opts ...coap.ServerOption) (*Front, error) {
 	f := &Front{gw: gw}
-	srv, err := coap.ListenAndServe(addr, f.handle)
+	srv, err := coap.ListenAndServe(addr, f.handle,
+		append([]coap.ServerOption{coap.WithTelemetry(gw.Telemetry())}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +57,8 @@ func ServeCoAP(gw *Gateway, addr string) (*Front, error) {
 // chaos-wrapped one — and takes ownership of it.
 func ServeCoAPConn(gw *Gateway, conn net.PacketConn, cfg coap.ServerConfig) (*Front, error) {
 	f := &Front{gw: gw}
-	srv, err := coap.NewServer(conn, f.handle, cfg)
+	srv, err := coap.Serve(conn, f.handle,
+		coap.WithServerConfig(cfg), coap.WithTelemetry(gw.Telemetry()))
 	if err != nil {
 		return nil, err
 	}

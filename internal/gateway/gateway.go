@@ -14,21 +14,28 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/event"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 )
 
 // Alert is a detector alert enriched with gateway metadata.
 type Alert struct {
 	// Devices are the probable faulty devices, resolved to full records.
-	Devices []device.Device
+	Devices []device.Device `json:"devices"`
 	// Cause is the check that detected the underlying violation.
-	Cause core.CheckKind
+	Cause core.CheckKind `json:"cause"`
 	// DetectedAt / ReportedAt are stream times (offsets from stream start).
-	DetectedAt time.Duration
-	ReportedAt time.Duration
+	DetectedAt time.Duration `json:"detected_at"`
+	ReportedAt time.Duration `json:"reported_at"`
+	// Explain is the decision trace: the detector's episode trace for
+	// violation alerts, a single-step silence trace for liveness alerts.
+	// Nil only for episodes restored from a pre-trace checkpoint.
+	Explain *core.Explain `json:"explain,omitempty"`
 }
 
-// Stats counts gateway activity.
+// Stats counts gateway activity. It is a snapshot view over the gateway's
+// telemetry counters — the same numbers /metrics exposes, under one naming
+// scheme (see the dice_gateway_* series).
 type Stats struct {
 	Events        int64
 	Windows       int64
@@ -42,6 +49,44 @@ type Stats struct {
 	DarkDevices    int64
 }
 
+// Gateway-stage metric names.
+const (
+	metricGwEvents        = "dice_gateway_events_total"
+	metricGwWindows       = "dice_gateway_windows_total"
+	metricGwViolations    = "dice_gateway_violations_total"
+	metricGwAlerts        = "dice_gateway_alerts_total"
+	metricGwAlertsDropped = "dice_gateway_alerts_dropped_total"
+	metricGwLiveness      = "dice_gateway_liveness_alerts_total"
+	metricGwDark          = "dice_gateway_dark_devices"
+	metricGwAlertLatency  = "dice_gateway_alert_latency_seconds"
+)
+
+// gwMetrics is the telemetry backing of Stats plus the alert-latency
+// histogram (stream-time lag between detection and report).
+type gwMetrics struct {
+	events        *telemetry.Counter
+	windows       *telemetry.Counter
+	violations    *telemetry.Counter
+	alerts        *telemetry.Counter
+	alertsDropped *telemetry.Counter
+	liveness      *telemetry.Counter
+	dark          *telemetry.Gauge
+	alertLatency  *telemetry.Histogram
+}
+
+func newGwMetrics(reg *telemetry.Registry) gwMetrics {
+	return gwMetrics{
+		events:        reg.Counter(metricGwEvents, "Events ingested by the gateway."),
+		windows:       reg.Counter(metricGwWindows, "Windows run through the online detector."),
+		violations:    reg.Counter(metricGwViolations, "Windows on which a check fired."),
+		alerts:        reg.Counter(metricGwAlerts, "Alerts delivered to the alert channel."),
+		alertsDropped: reg.Counter(metricGwAlertsDropped, "Alerts dropped because the channel buffer was full."),
+		liveness:      reg.Counter(metricGwLiveness, "Fail-stop alerts raised by the silence tracker."),
+		dark:          reg.Gauge(metricGwDark, "Devices currently past the silence threshold."),
+		alertLatency:  reg.Histogram(metricGwAlertLatency, "Stream-time lag between detection and report, in seconds.", telemetry.ExpBuckets(60, 2, 8)),
+	}
+}
+
 // Gateway runs DICE over a live event stream. Events must be ingested in
 // non-decreasing time order (the CoAP front end enforces this per device
 // and tolerates cross-device skew up to the window duration).
@@ -51,8 +96,13 @@ type Gateway struct {
 	builder *window.Builder
 	reg     *device.Registry
 	alerts  chan Alert
-	stats   Stats
+	tel     *telemetry.Registry
+	met     gwMetrics
 	horizon time.Duration
+
+	// lastAlert is the most recent alert emitted (delivered or dropped),
+	// kept for the /alerts/last explain endpoint.
+	lastAlert *Alert
 
 	// Liveness tracking: stream time each device last reported at, the
 	// devices currently past the silence threshold, and the furthest
@@ -63,27 +113,105 @@ type Gateway struct {
 	streamNow     time.Duration
 }
 
-// New builds a gateway around a trained context.
-func New(ctx *core.Context, cfg core.Config) (*Gateway, error) {
-	det, err := core.NewDetector(ctx, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Gateway{
-		det:      det,
-		builder:  window.NewBuilder(ctx.Layout(), ctx.Duration()),
-		reg:      ctx.Layout().Registry(),
-		alerts:   make(chan Alert, 64),
-		lastSeen: make(map[device.ID]time.Duration),
-		dark:     make(map[device.ID]bool),
-	}, nil
+// Option configures a Gateway at construction.
+type Option func(*gwOptions)
+
+type gwOptions struct {
+	cfg      core.Config
+	detOpts  []core.Option
+	liveness time.Duration
+	tel      *telemetry.Registry
+	alertBuf int
+	cp       *Checkpoint
 }
 
-// SetLiveness enables fail-stop (outage) alerts for devices that have
+// WithConfig sets the detector configuration.
+func WithConfig(cfg core.Config) Option {
+	return func(o *gwOptions) { o.cfg = cfg }
+}
+
+// WithDetectorOptions appends raw detector options (applied after the
+// config, so they can override individual fields).
+func WithDetectorOptions(opts ...core.Option) Option {
+	return func(o *gwOptions) { o.detOpts = append(o.detOpts, opts...) }
+}
+
+// WithLiveness enables fail-stop (outage) alerts for devices that have
 // reported at least once and then stay silent longer than threshold; zero
 // disables the tracker. A sparsely firing sensor is silent for hours of
 // normal life, so thresholds should be generous — liveness catches the
 // device that went dark, the window checks catch the one that lies.
+func WithLiveness(threshold time.Duration) Option {
+	return func(o *gwOptions) { o.liveness = threshold }
+}
+
+// WithTelemetry makes the gateway register its instruments (and the
+// detector's and window builder's) against a caller-owned registry instead
+// of a fresh private one. Multiple gateways sharing one registry aggregate.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(o *gwOptions) { o.tel = reg }
+}
+
+// WithAlertBuffer sets the alert channel capacity (default 64). A full
+// buffer drops alerts (counted) rather than blocking detection.
+func WithAlertBuffer(n int) Option {
+	return func(o *gwOptions) { o.alertBuf = n }
+}
+
+// WithCheckpoint restores the gateway from a checkpoint at construction —
+// equivalent to New followed by RestoreCheckpoint, but in one step.
+func WithCheckpoint(cp *Checkpoint) Option {
+	return func(o *gwOptions) { o.cp = cp }
+}
+
+// New builds a gateway around a trained context with functional options.
+func New(ctx *core.Context, opts ...Option) (*Gateway, error) {
+	var o gwOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.alertBuf <= 0 {
+		o.alertBuf = 64
+	}
+	tel := o.tel
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
+	detOpts := append([]core.Option{core.WithConfig(o.cfg), core.WithTelemetry(tel)}, o.detOpts...)
+	det, err := core.New(ctx, detOpts...)
+	if err != nil {
+		return nil, err
+	}
+	builder := window.NewBuilder(ctx.Layout(), ctx.Duration())
+	builder.Instrument(tel)
+	g := &Gateway{
+		det:           det,
+		builder:       builder,
+		reg:           ctx.Layout().Registry(),
+		alerts:        make(chan Alert, o.alertBuf),
+		tel:           tel,
+		met:           newGwMetrics(tel),
+		liveThreshold: o.liveness,
+		lastSeen:      make(map[device.ID]time.Duration),
+		dark:          make(map[device.ID]bool),
+	}
+	if o.cp != nil {
+		if err := g.RestoreCheckpoint(o.cp); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Telemetry returns the gateway's metric registry: its own series plus the
+// detector's, the window builder's, and (once ServeCoAP attaches one) the
+// CoAP server's. This is what /metrics exposes.
+func (g *Gateway) Telemetry() *telemetry.Registry { return g.tel }
+
+// SetLiveness sets the silence threshold at runtime.
+//
+// Deprecated: prefer WithLiveness at construction; this remains for
+// callers that toggle the tracker on a running gateway.
 func (g *Gateway) SetLiveness(threshold time.Duration) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -94,13 +222,39 @@ func (g *Gateway) SetLiveness(threshold time.Duration) {
 // increment Stats.AlertsDropped rather than blocking detection.
 func (g *Gateway) Alerts() <-chan Alert { return g.alerts }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, read from the telemetry
+// registry so this view and /metrics can never disagree.
 func (g *Gateway) Stats() Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	st := g.stats
-	st.DarkDevices = int64(len(g.dark))
-	return st
+	return g.statsLocked()
+}
+
+func (g *Gateway) statsLocked() Stats {
+	return Stats{
+		Events:         g.met.events.Value(),
+		Windows:        g.met.windows.Value(),
+		Violations:     g.met.violations.Value(),
+		Alerts:         g.met.alerts.Value(),
+		AlertsDropped:  g.met.alertsDropped.Value(),
+		LivenessAlerts: g.met.liveness.Value(),
+		DarkDevices:    int64(len(g.dark)),
+	}
+}
+
+// LastAlert returns a copy of the most recent alert (delivered or
+// dropped) and whether one has been emitted yet. This backs the
+// /alerts/last endpoint, whose point is the attached Explain trace.
+func (g *Gateway) LastAlert() (Alert, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.lastAlert == nil {
+		return Alert{}, false
+	}
+	a := *g.lastAlert
+	a.Devices = append([]device.Device(nil), g.lastAlert.Devices...)
+	a.Explain = g.lastAlert.Explain.Clone()
+	return a, true
 }
 
 // DeviceLiveness is one device's silence-tracker state.
@@ -135,9 +289,12 @@ func (g *Gateway) Ingest(e event.Event) error {
 	if e.At < g.horizon {
 		return fmt.Errorf("gateway: event at %s regresses behind %s", e.At, g.horizon)
 	}
-	g.stats.Events++
+	g.met.events.Inc()
 	g.lastSeen[e.Device] = e.At
-	delete(g.dark, e.Device) // a dark device that reports again has recovered
+	if g.dark[e.Device] {
+		delete(g.dark, e.Device) // a dark device that reports again has recovered
+		g.met.dark.Set(int64(len(g.dark)))
+	}
 	if e.At > g.streamNow {
 		g.streamNow = e.At
 	}
@@ -190,7 +347,8 @@ func (g *Gateway) checkLivenessLocked() {
 			continue
 		}
 		g.dark[id] = true
-		g.stats.LivenessAlerts++
+		g.met.dark.Set(int64(len(g.dark)))
+		g.met.liveness.Inc()
 		out := Alert{
 			Cause:      core.CheckLiveness,
 			DetectedAt: last + g.liveThreshold,
@@ -199,12 +357,24 @@ func (g *Gateway) checkLivenessLocked() {
 		if dev, err := g.reg.Get(id); err == nil {
 			out.Devices = append(out.Devices, dev)
 		}
-		select {
-		case g.alerts <- out:
-			g.stats.Alerts++
-		default:
-			g.stats.AlertsDropped++
+		// Liveness alerts have no detector episode; synthesize the trace so
+		// every alert on /alerts/last is explainable. Groups and distance
+		// carry their not-applicable sentinels.
+		dur := g.builder.Duration()
+		out.Explain = &core.Explain{
+			Cause:          core.CheckLiveness,
+			DetectedWindow: int(out.DetectedAt / dur),
+			ReportedWindow: int(out.ReportedAt / dur),
+			PrevGroup:      core.NoGroup,
+			MainGroup:      core.NoGroup,
+			MinDistance:    core.NoDistance,
+			Steps: []core.ExplainStep{{
+				Window:    int(out.ReportedAt / dur),
+				Violation: core.CheckLiveness,
+				Suspects:  []device.ID{id},
+			}},
 		}
+		g.deliverLocked(out)
 	}
 }
 
@@ -225,9 +395,9 @@ func (g *Gateway) processLocked(obs []*window.Observation) error {
 		if err != nil {
 			return err
 		}
-		g.stats.Windows++
+		g.met.windows.Inc()
 		if res.Detected {
-			g.stats.Violations++
+			g.met.violations.Inc()
 		}
 		if res.Alert != nil {
 			g.emit(res.Alert, d)
@@ -241,16 +411,26 @@ func (g *Gateway) emit(a *core.Alert, d time.Duration) {
 		Cause:      a.Cause,
 		DetectedAt: time.Duration(a.DetectedWindow) * d,
 		ReportedAt: time.Duration(a.ReportedWindow) * d,
+		Explain:    a.Explain,
 	}
 	for _, id := range a.Devices {
 		if dev, err := g.reg.Get(id); err == nil {
 			out.Devices = append(out.Devices, dev)
 		}
 	}
+	g.met.alertLatency.Observe((out.ReportedAt - out.DetectedAt).Seconds())
+	g.deliverLocked(out)
+}
+
+// deliverLocked records the alert as the last one emitted and hands it to
+// the channel, counting a drop instead of blocking when the buffer is full.
+func (g *Gateway) deliverLocked(out Alert) {
+	last := out
+	g.lastAlert = &last
 	select {
 	case g.alerts <- out:
-		g.stats.Alerts++
+		g.met.alerts.Inc()
 	default:
-		g.stats.AlertsDropped++
+		g.met.alertsDropped.Inc()
 	}
 }

@@ -45,7 +45,7 @@ func trainedHome(t testing.TB) (*simhome.Home, *core.Context) {
 
 func TestGatewayCleanStream(t *testing.T) {
 	h, ctx := trainedHome(t)
-	gw, err := New(ctx, core.Config{})
+	gw, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestGatewayCleanStream(t *testing.T) {
 
 func TestGatewayDetectsInjectedFault(t *testing.T) {
 	h, ctx := trainedHome(t)
-	gw, err := New(ctx, core.Config{})
+	gw, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestGatewayDetectsInjectedFault(t *testing.T) {
 
 func TestGatewayRejectsRegression(t *testing.T) {
 	_, ctx := trainedHome(t)
-	gw, err := New(ctx, core.Config{})
+	gw, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestGatewayRejectsRegression(t *testing.T) {
 
 func TestGatewayAdvanceIdempotent(t *testing.T) {
 	_, ctx := trainedHome(t)
-	gw, err := New(ctx, core.Config{})
+	gw, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestGatewayAdvanceIdempotent(t *testing.T) {
 
 func TestCoAPFrontEndToEnd(t *testing.T) {
 	h, ctx := trainedHome(t)
-	gw, err := New(ctx, core.Config{})
+	gw, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestGatewayWithActuatorFaultView(t *testing.T) {
 		Seed:       3,
 		FromMinute: start,
 	})
-	gw, err := New(ctx, core.Config{})
+	gw, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,82 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// HTTPHandler returns the gateway's observability mux:
+//
+//	GET /metrics       Prometheus text exposition of every pipeline series
+//	GET /alerts/last   the most recent alert with its Explain trace
+//	GET /stats         the Stats snapshot as JSON
+//	GET /liveness      the silence tracker as JSON
+//	GET /healthz       200 ok
+//	GET /debug/pprof/  the standard pprof index (profile, heap, trace, ...)
+//
+// The mux is standalone so callers can mount it on an existing server; a
+// private mux (not http.DefaultServeMux) keeps pprof off any other server
+// the process happens to run.
+func (g *Gateway) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		g.tel.WriteText(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/alerts/last", func(w http.ResponseWriter, r *http.Request) {
+		a, ok := g.LastAlert()
+		if !ok {
+			http.Error(w, "no alerts yet", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, a)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, g.Stats())
+	})
+	mux.HandleFunc("/liveness", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, g.Liveness())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n")) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+// HTTPServer is a running observability endpoint.
+type HTTPServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeHTTP starts the observability endpoint on addr (":0" picks a free
+// port). The returned server is already serving.
+func ServeHTTP(gw *Gateway, addr string) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &HTTPServer{srv: &http.Server{Handler: gw.HTTPHandler()}, ln: ln}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound TCP address string.
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

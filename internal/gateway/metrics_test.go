@@ -1,0 +1,240 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Prometheus text-format grammar (0.0.4). Deliberately a fresh copy of the
+// regexes in internal/telemetry's tests: the format is the contract between
+// the gateway and a real scraper, so this test must not share the
+// implementation package's notion of validity.
+var (
+	promHelpRE   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	promTypeRE   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	promSampleRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[-+]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+)
+
+// scrapeMetrics GETs /metrics off the gateway's observability mux and
+// validates every line against the text-format grammar, returning the set
+// of distinct series (sample names without labels).
+func scrapeMetrics(t *testing.T, gw *Gateway) map[string]int {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	gw.HTTPHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	names := make(map[string]int)
+	for _, line := range strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !promHelpRE.MatchString(line) {
+				t.Errorf("bad HELP line: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			if !promTypeRE.MatchString(line) {
+				t.Errorf("bad TYPE line: %q", line)
+			}
+		default:
+			if !promSampleRE.MatchString(line) {
+				t.Errorf("bad sample line: %q", line)
+				continue
+			}
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			names[name]++
+		}
+	}
+	return names
+}
+
+// TestMetricsEndpoint drives a faulty stream through a gateway with a CoAP
+// front attached and scrapes /metrics: the exposition must be grammatical
+// and cover every pipeline stage — window building, correlation scan,
+// transition check, identification, gateway bookkeeping, CoAP transport.
+func TestMetricsEndpoint(t *testing.T) {
+	h, ctx := trainedHome(t)
+	gw, err := New(ctx, WithConfig(core.Config{}), WithLiveness(40*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := ServeCoAP(gw, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	// Reports over CoAP so the transport series move, then the same dead
+	// kitchen light fault as TestGatewayDetectsInjectedFault, in-process.
+	agent, err := NewAgent(front.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, ok := h.Registry().Lookup("light-kitchen")
+	if !ok {
+		t.Fatal("no kitchen light")
+	}
+	start := 3*24*60 + 12*60
+	evts := h.Events(start, start+6*60)
+	for i, e := range evts {
+		e.At -= time.Duration(start) * time.Minute
+		if e.Device == target && e.At >= 30*time.Minute {
+			continue
+		}
+		if i < 64 {
+			if err := agent.Report(e); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if i == 64 {
+			if err := agent.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := gw.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := agent.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.AdvanceTo(6 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	names := scrapeMetrics(t, gw)
+	if len(names) < 15 {
+		t.Errorf("exposition has %d series, want >= 15", len(names))
+	}
+	stageRep := []string{
+		"dice_window_built_total",         // window builder
+		"dice_scan_exact_hit_total",       // correlation scan
+		"dice_scan_seconds_count",         // scan latency histogram
+		"dice_violations_total",           // transition/correlation violations
+		"dice_identify_episodes_total",    // identification
+		"dice_gateway_events_total",       // gateway ingest
+		"dice_gateway_alert_latency_seconds_count",
+		"dice_coap_received_total", // CoAP transport
+		"dice_coap_queue_depth",
+	}
+	for _, want := range stageRep {
+		if names[want] == 0 {
+			t.Errorf("exposition is missing %s", want)
+		}
+	}
+
+	// The exposition must agree with the Stats views over the same counters.
+	rec := httptest.NewRecorder()
+	gw.HTTPHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var st Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	if st.Events != gw.Stats().Events || st.Events == 0 {
+		t.Errorf("/stats events = %d, Stats() = %d", st.Events, gw.Stats().Events)
+	}
+	if cs := front.ServerStats(); cs.Received == 0 || cs.Handled == 0 {
+		t.Errorf("CoAP stats view empty after traffic: %+v", cs)
+	}
+
+	// /healthz responds.
+	rec = httptest.NewRecorder()
+	gw.HTTPHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("GET /healthz = %d", rec.Code)
+	}
+
+	// pprof index is mounted.
+	rec = httptest.NewRecorder()
+	gw.HTTPHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Errorf("GET /debug/pprof/ = %d", rec.Code)
+	}
+}
+
+// TestAlertsLastEndpoint: 404 before any alert; afterwards the JSON carries
+// the Explain trace that names the violated transition.
+func TestAlertsLastEndpoint(t *testing.T) {
+	h, ctx := trainedHome(t)
+	gw, err := New(ctx, WithConfig(core.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	gw.HTTPHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/alerts/last", nil))
+	if rec.Code != 404 {
+		t.Fatalf("GET /alerts/last before alerts = %d, want 404", rec.Code)
+	}
+
+	target, ok := h.Registry().Lookup("light-kitchen")
+	if !ok {
+		t.Fatal("no kitchen light")
+	}
+	start := 3*24*60 + 12*60
+	for _, e := range h.Events(start, start+6*60) {
+		e.At -= time.Duration(start) * time.Minute
+		if e.Device == target && e.At >= 30*time.Minute {
+			continue
+		}
+		if err := gw.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.AdvanceTo(6 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if gw.Stats().Alerts == 0 {
+		t.Fatal("fault raised no alert")
+	}
+
+	rec = httptest.NewRecorder()
+	gw.HTTPHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/alerts/last", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /alerts/last = %d", rec.Code)
+	}
+	var got struct {
+		Cause   string        `json:"cause"`
+		Explain *core.Explain `json:"explain"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad /alerts/last payload: %v\n%s", err, rec.Body.String())
+	}
+	if _, err := core.ParseCheckKind(got.Cause); err != nil {
+		t.Errorf("cause %q is not a known check", got.Cause)
+	}
+	if got.Explain == nil {
+		t.Fatal("/alerts/last has no explain trace")
+	}
+	if len(got.Explain.Steps) == 0 {
+		t.Error("explain trace has no steps")
+	}
+	if got.Explain.Cause.String() != got.Cause {
+		t.Errorf("trace cause %s, alert cause %s", got.Explain.Cause, got.Cause)
+	}
+
+	// LastAlert returns a copy: mutating it must not corrupt the stored one.
+	a, ok := gw.LastAlert()
+	if !ok {
+		t.Fatal("LastAlert empty after an alert")
+	}
+	if a.Explain != nil && len(a.Explain.Steps) > 0 {
+		a.Explain.Steps[0].Window = -99
+		b, _ := gw.LastAlert()
+		if b.Explain.Steps[0].Window == -99 {
+			t.Error("LastAlert aliases internal state")
+		}
+	}
+}

@@ -54,7 +54,7 @@ func drainAlerts(gw *Gateway) []Alert {
 // detector produced.
 func replayThroughCoAP(t *testing.T, ctx *core.Context, evts []event.Event, cfg chaos.Config) (Stats, []Alert, coap.ServerStats, chaos.Stats) {
 	t.Helper()
-	gw, err := New(ctx, core.Config{})
+	gw, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestGatewayCheckpointRestartResume(t *testing.T) {
 	evts := faultyAfternoon(t, h, 4)
 
 	// Reference: one uninterrupted gateway.
-	ref, err := New(ctx, core.Config{})
+	ref, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestGatewayCheckpointRestartResume(t *testing.T) {
 
 	// Split run: crash mid-window at 2h30m30s, checkpoint to disk, restore.
 	cut := 2*time.Hour + 30*time.Minute + 30*time.Second
-	gw1, err := New(ctx, core.Config{})
+	gw1, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestGatewayCheckpointRestartResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw2, err := New(ctx, core.Config{})
+	gw2, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestGatewayCheckpointRestartResume(t *testing.T) {
 // must survive a JSON round trip and refuse a future version.
 func TestGatewayCheckpointVersioned(t *testing.T) {
 	_, ctx := trainedHome(t)
-	gw, err := New(ctx, core.Config{})
+	gw, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestGatewayCheckpointVersioned(t *testing.T) {
 		t.Fatal(err)
 	}
 	back.Version = CheckpointVersion + 1
-	gw2, err := New(ctx, core.Config{})
+	gw2, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestGatewayCheckpointVersioned(t *testing.T) {
 
 func TestGatewayLiveness(t *testing.T) {
 	h, ctx := trainedHome(t)
-	gw, err := New(ctx, core.Config{})
+	gw, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,6 +287,11 @@ func TestGatewayLiveness(t *testing.T) {
 		if a.DetectedAt > a.ReportedAt {
 			t.Errorf("alert detected at %s after reported at %s", a.DetectedAt, a.ReportedAt)
 		}
+		if a.Explain == nil || a.Explain.Cause != core.CheckLiveness ||
+			len(a.Explain.Steps) != 1 || len(a.Explain.Steps[0].Suspects) != 1 ||
+			a.Explain.Steps[0].Suspects[0] != a.Devices[0].ID {
+			t.Errorf("liveness alert lacks a silence trace: %+v", a.Explain)
+		}
 	}
 	// Advancing further must not re-alert for already-dark devices.
 	if err := gw.AdvanceTo(80 * time.Minute); err != nil {
@@ -327,7 +332,7 @@ func TestGatewayLiveness(t *testing.T) {
 // before it reaches ingestion.
 func TestReportIdempotence(t *testing.T) {
 	h, ctx := trainedHome(t)
-	gw, err := New(ctx, core.Config{})
+	gw, err := New(ctx, WithConfig(core.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}

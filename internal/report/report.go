@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/eval"
 	"repro/internal/simhome"
@@ -160,8 +161,8 @@ func CheckLatency(results []*eval.DatasetResult) *Table {
 		Headers: []string{"dataset", "correlation-check", "transition-check"},
 	}
 	for _, r := range results {
-		c, hasC := r.DetectMinutesByCheck["correlation"]
-		tr, hasT := r.DetectMinutesByCheck["transition"]
+		c, hasC := r.DetectMinutesByCheck[core.FamilyCorrelation]
+		tr, hasT := r.DetectMinutesByCheck[core.FamilyTransition]
 		cs, ts := "-", "-"
 		if hasC {
 			cs = fmt.Sprintf("%.1f", c)

@@ -1,0 +1,430 @@
+// Package telemetry is the repo's zero-dependency observability substrate:
+// a metrics registry of atomic counters, gauges, and fixed-bucket
+// histograms with Prometheus text-format exposition.
+//
+// Design constraints, in order:
+//
+//   - Hot-path updates must be allocation-free and lock-free: every
+//     instrument is a fixed-size struct updated with atomics, resolved to a
+//     pointer once at construction time. No maps, no label parsing, and no
+//     interface dispatch on the Process path.
+//   - Instruments are nil-safe: calling Inc/Observe/Set on a nil instrument
+//     is a no-op, so uninstrumented components skip telemetry without
+//     guard branches at every site.
+//   - One registry serves both the live gateway (scraped via GET /metrics)
+//     and the offline evaluation harness (dumped into BENCH_eval.json), so
+//     online and offline runs share a single metric namespace.
+//
+// Registration is get-or-create: asking for an existing name returns the
+// existing instrument, which lets many detectors (e.g. the parallel eval
+// pool) share one registry without coordination.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready;
+// a nil *Counter no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be >= 0 for the Prometheus counter contract; this is
+// not enforced so checkpoint restore can rebuild arbitrary states).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Store overwrites the counter. It exists only for checkpoint restore —
+// a restarted gateway resumes its cumulative counters rather than
+// restarting them from zero — and must not be used on a live hot path.
+func (c *Counter) Store(n int64) {
+	if c != nil {
+		c.v.Store(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready; a
+// nil *Gauge no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are upper
+// bounds (le), with an implicit +Inf bucket; Observe is lock-free and
+// allocation-free. A nil *Histogram no-ops.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe folds one sample in.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v; falls through to +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds, the Prometheus base unit for time.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// LinearBuckets returns n upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n upper bounds start, start*factor, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// kinds of metric family, in Prometheus TYPE vocabulary.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// child is one series within a family: a label suffix (`{k="v"}` or empty)
+// plus exactly one backing instrument.
+type child struct {
+	labels string // rendered label block, "" for unlabelled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name     string
+	help     string
+	kind     string
+	children []*child
+}
+
+func (f *family) find(labels string) *child {
+	for _, ch := range f.children {
+		if ch.labels == labels {
+			return ch
+		}
+	}
+	return nil
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. Registration takes a mutex; updates to the returned instruments
+// are lock-free. The zero value is not usable — call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// getFamily returns the family, creating it if absent and panicking on a
+// kind clash — two components disagreeing about a metric's type is a
+// programming error that would silently corrupt the exposition.
+func (r *Registry) getFamily(name, help, kind string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. A nil registry returns nil (a no-op counter).
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.LabeledCounter(name, help, "", "")
+}
+
+// LabeledCounter returns the counter for one (label, value) pair of the
+// family, e.g. dice_violations_total{cause="g2g"}. Empty label means the
+// bare series.
+func (r *Registry) LabeledCounter(name, help, label, value string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindCounter)
+	ls := renderLabels(label, value)
+	if ch := f.find(ls); ch != nil {
+		return ch.c
+	}
+	ch := &child{labels: ls, c: new(Counter)}
+	f.children = append(f.children, ch)
+	return ch.c
+}
+
+// CounterVec registers one counter per label value and returns them in
+// order, so hot paths index by enum value instead of formatting labels.
+func (r *Registry) CounterVec(name, help, label string, values []string) []*Counter {
+	out := make([]*Counter, len(values))
+	for i, v := range values {
+		out[i] = r.LabeledCounter(name, help, label, v)
+	}
+	return out
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindGauge)
+	if ch := f.find(""); ch != nil {
+		return ch.g
+	}
+	ch := &child{g: new(Gauge)}
+	f.children = append(f.children, ch)
+	return ch.g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given upper bounds if needed (bounds must be sorted ascending; the
+// +Inf bucket is implicit). Re-registration returns the existing histogram
+// and ignores the bounds argument.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindHistogram)
+	if ch := f.find(""); ch != nil {
+		return ch.h
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	ch := &child{h: h}
+	f.children = append(f.children, ch)
+	return h
+}
+
+// renderLabels renders one (label, value) pair as a Prometheus label
+// block, escaping backslash, quote, and newline per the text format.
+func renderLabels(label, value string) string {
+	if label == "" {
+		return ""
+	}
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(value)
+	return `{` + label + `="` + esc + `"}`
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the registry in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, each with # HELP and # TYPE
+// lines, histograms expanded to _bucket/_sum/_count series.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		// Children are rendered sorted by label block for a stable scrape.
+		children := append([]*child(nil), f.children...)
+		sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
+		for _, ch := range children {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ch.labels, ch.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ch.labels, ch.g.Value())
+			case kindHistogram:
+				h := ch.h
+				cum := int64(0)
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", f.name, formatFloat(bound), cum)
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
+				fmt.Fprintf(&b, "%s_sum %s\n", f.name, formatFloat(h.Sum()))
+				fmt.Fprintf(&b, "%s_count %d\n", f.name, h.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Sample is one flattened series value from a Snapshot.
+type Sample struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot flattens every series (histograms as cumulative _bucket plus
+// _sum/_count) into name-sorted samples. Used for BENCH_eval.json embeds
+// and determinism tests.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+
+	var out []Sample
+	for _, f := range fams {
+		for _, ch := range f.children {
+			switch f.kind {
+			case kindCounter:
+				out = append(out, Sample{f.name + ch.labels, float64(ch.c.Value())})
+			case kindGauge:
+				out = append(out, Sample{f.name + ch.labels, float64(ch.g.Value())})
+			case kindHistogram:
+				h := ch.h
+				cum := int64(0)
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					out = append(out, Sample{
+						fmt.Sprintf("%s_bucket{le=%q}", f.name, formatFloat(bound)), float64(cum)})
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				out = append(out, Sample{f.name + `_bucket{le="+Inf"}`, float64(cum)})
+				out = append(out, Sample{f.name + "_sum", h.Sum()})
+				out = append(out, Sample{f.name + "_count", float64(h.Count())})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SnapshotMap returns Snapshot as a name -> value map.
+func (r *Registry) SnapshotMap() map[string]float64 {
+	samples := r.Snapshot()
+	if samples == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		out[s.Name] = s.Value
+	}
+	return out
+}

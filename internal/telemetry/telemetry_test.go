@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("x_total", "a counter"); again != c {
+		t.Error("re-registration returned a different counter")
+	}
+	g := r.Gauge("depth", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments reported nonzero values")
+	}
+	if r.Counter("x", "h") != nil || r.Gauge("y", "h") != nil || r.Histogram("z", "h", nil) != nil {
+		t.Error("nil registry handed out instruments")
+	}
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+	if r.Snapshot() != nil || r.SnapshotMap() != nil {
+		t.Error("nil registry produced a snapshot")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-106) > 1e-9 {
+		t.Errorf("sum = %g, want 106", h.Sum())
+	}
+	snap := r.SnapshotMap()
+	// Cumulative: le=1 -> {0.5, 1}, le=2 -> +{1.5}, le=4 -> +{3}, +Inf -> +{100}.
+	for name, want := range map[string]float64{
+		`lat_bucket{le="1"}`:    2,
+		`lat_bucket{le="2"}`:    3,
+		`lat_bucket{le="4"}`:    4,
+		`lat_bucket{le="+Inf"}`: 5,
+		"lat_count":             5,
+	} {
+		if got := snap[name]; got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+}
+
+func TestCounterVecIndexing(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("causes_total", "by cause", "cause", []string{"a", "b"})
+	vec[1].Add(3)
+	snap := r.SnapshotMap()
+	if snap[`causes_total{cause="a"}`] != 0 || snap[`causes_total{cause="b"}`] != 3 {
+		t.Errorf("vec snapshot wrong: %v", snap)
+	}
+	// get-or-create: same values return the same counters.
+	again := r.CounterVec("causes_total", "by cause", "cause", []string{"a", "b"})
+	if again[1] != vec[1] {
+		t.Error("CounterVec re-registration returned different counters")
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge registration over a counter name did not panic")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+// Text-format grammar, shared with the gateway scraper test via the same
+// regular expressions: every non-comment line must be `name[{labels}] value`.
+var (
+	helpRE   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	typeRE   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	sampleRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[-+]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+)
+
+// ValidatePromText checks every line of a text exposition against the
+// grammar and returns the sample names seen. Exported to the package tests
+// only (lower-case callers live in gateway's scraper test via copy of the
+// regexps — the format is the contract, not this helper).
+func validatePromText(t *testing.T, text string) map[string]int {
+	t.Helper()
+	names := make(map[string]int)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpRE.MatchString(line) {
+				t.Errorf("bad HELP line: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			if !typeRE.MatchString(line) {
+				t.Errorf("bad TYPE line: %q", line)
+			}
+		default:
+			if !sampleRE.MatchString(line) {
+				t.Errorf("bad sample line: %q", line)
+				continue
+			}
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			names[name]++
+		}
+	}
+	return names
+}
+
+func TestWriteTextGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counter with\nnewline help").Add(2)
+	r.LabeledCounter("b_total", "labelled", "cause", `we"ird\value`).Inc()
+	r.Gauge("c", "gauge").Set(-4)
+	r.Histogram("d_seconds", "hist", ExpBuckets(0.001, 4, 4)).Observe(0.05)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	names := validatePromText(t, sb.String())
+	for _, want := range []string{"a_total", "b_total", "c", "d_seconds_bucket", "d_seconds_sum", "d_seconds_count"} {
+		if names[want] == 0 {
+			t.Errorf("exposition is missing %s:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestConcurrentUpdates exercises the lock-free paths under the race
+// detector: concurrent Inc/Observe against shared instruments plus
+// concurrent get-or-create registration.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, iters = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total", "h")
+			h := r.Histogram("shared_seconds", "h", []float64{0.5, 1})
+			g := r.Gauge("shared_depth", "h")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(0.25)
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "h").Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	h := r.Histogram("shared_seconds", "h", nil)
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if math.Abs(h.Sum()-0.25*workers*iters) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), 0.25*workers*iters)
+	}
+}
+
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("h_seconds", "h", ExpBuckets(1e-6, 4, 8))
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(1e-4)
+	})
+	if allocs != 0 {
+		t.Errorf("instrument updates allocate %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("z_total", "h").Add(1)
+		r.Counter("a_total", "h").Add(2)
+		r.Histogram("m_dist", "h", []float64{1, 2}).Observe(1.5)
+		return r
+	}
+	a, b := build().Snapshot(), build().Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("snapshot[%d] differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

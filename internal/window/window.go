@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/event"
+	"repro/internal/telemetry"
 )
 
 // DefaultDuration is the paper's empirically optimal state-set duration.
@@ -142,6 +143,11 @@ type Builder struct {
 	// advances monotonically so time can never regress even across
 	// Flush/AdvanceTo.
 	floor int
+	// built counts emitted windows; partial counts Flush calls that emitted
+	// an in-progress (not yet time-complete) window. Both are nil until
+	// Instrument is called and every call site is nil-safe.
+	built   *telemetry.Counter
+	partial *telemetry.Counter
 }
 
 // NewBuilder returns a builder producing windows of the given duration.
@@ -159,6 +165,17 @@ func NewBuilder(layout *Layout, duration time.Duration) *Builder {
 
 // Duration returns the window duration.
 func (b *Builder) Duration() time.Duration { return b.duration }
+
+// Instrument registers the builder's counters against the registry:
+// windows emitted (by event overflow or time advance) and partial
+// flushes. A nil registry leaves the builder uninstrumented.
+func (b *Builder) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	b.built = reg.Counter("dice_window_built_total", "Windows emitted by the builder (complete windows, including empty ones).")
+	b.partial = reg.Counter("dice_window_partial_flush_total", "In-progress windows force-flushed before their duration elapsed.")
+}
 
 // Add folds one event in. Events must arrive in non-decreasing time order;
 // an event belonging to a later window than the current one causes the
@@ -181,6 +198,7 @@ func (b *Builder) Add(e event.Event) ([]*Observation, error) {
 	}
 	for idx > b.cur.Index {
 		out = append(out, b.cur)
+		b.built.Inc()
 		b.startWindow(b.cur.Index + 1)
 	}
 	b.fold(e)
@@ -197,6 +215,8 @@ func (b *Builder) Flush() *Observation {
 	}
 	if o != nil {
 		b.floor = o.Index + 1
+		b.built.Inc()
+		b.partial.Inc()
 	}
 	return o
 }
@@ -219,6 +239,7 @@ func (b *Builder) AdvanceTo(t time.Duration) ([]*Observation, error) {
 	}
 	for b.cur.Index < target {
 		out = append(out, b.cur)
+		b.built.Inc()
 		b.startWindow(b.cur.Index + 1)
 	}
 	return out, nil
