@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-telemetry bench bench-scan bench-eval
+.PHONY: check vet staticcheck build test race race-telemetry race-hub bench bench-scan bench-eval bench-hub
 
-check: vet staticcheck build race-telemetry race
+check: vet staticcheck build race-telemetry race-hub race
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,11 @@ race:
 race-telemetry:
 	$(GO) test -race -count 2 ./internal/telemetry/
 
+# The multi-tenant hub is the most concurrency-dense package (sharded
+# worker pool, live resize, eviction racing ingestion); gate it by name.
+race-hub:
+	$(GO) test -race ./internal/hub/...
+
 # Full benchmark sweep (regenerates every table/figure on the scaled-down
 # protocol).
 bench:
@@ -45,3 +50,7 @@ bench-scan:
 
 bench-eval:
 	$(GO) test -bench 'BenchmarkEvaluateParallel$$' -benchtime 2x -run TestBenchFixtures .
+
+# Multi-home hub throughput → BENCH_hub.json.
+bench-hub:
+	$(GO) run ./cmd/dice-eval -exp hub

@@ -48,6 +48,7 @@ func run() error {
 	speed := flag.Float64("speed", 0, "replay acceleration factor (0 = no pacing)")
 	faultSpec := flag.String("fault", "", "inject CLASS:DEVICE:ONSETMIN into the replay")
 	chaosSpec := flag.String("chaos", "", "inject transport faults, e.g. seed=42,drop=0.1,dup=0.05")
+	homeID := flag.String("home", "", "tenant home ID behind a multi-home hub (reports to /report/<home>)")
 	flag.Parse()
 
 	if *dataDir == "" {
@@ -91,6 +92,7 @@ func run() error {
 			return err
 		}
 	}
+	agent.Home = *homeID
 	defer agent.Close()
 
 	obs, err := ds.Windows()

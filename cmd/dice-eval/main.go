@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines]
+//	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines|hub]
 //	          [-datasets houseA,twor,...] [-trials N] [-seed N] [-csv]
 //	          [-workers N] [-benchjson FILE]
+//	          [-hub-homes M] [-hub-shards S] [-hub-hours H] [-hubjson FILE]
 //
 // `-trials 100` reproduces the paper-scale run (the default is 40 to keep
 // the full ten-dataset sweep under a minute on a laptop). `-workers` sizes
@@ -15,6 +16,10 @@
 // a telemetry snapshot (the same dice_* series a live gateway serves on
 // /metrics) to a JSON file (default BENCH_eval.json; empty disables) so the
 // performance trajectory is tracked across changes.
+//
+// `-exp hub` benchmarks the multi-tenant hub instead: M homes replay
+// concurrent streams through one sharded hub, and the throughput plus
+// per-shard queue tallies land in BENCH_hub.json (`-hubjson`).
 package main
 
 import (
@@ -47,6 +52,10 @@ func run() error {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS); results are identical at any count")
 	benchJSON := flag.String("benchjson", "BENCH_eval.json", "write wall-clock/per-stage timings to this JSON file (empty = off)")
+	hubHomes := flag.Int("hub-homes", 8, "concurrent homes for -exp hub")
+	hubShards := flag.Int("hub-shards", 4, "hub worker pool size for -exp hub")
+	hubHours := flag.Int("hub-hours", 2, "replayed stream hours per home for -exp hub")
+	hubJSON := flag.String("hubjson", "BENCH_hub.json", "write the -exp hub result to this JSON file (empty = off)")
 	flag.Parse()
 
 	specs, err := selectSpecs(*dsFlag)
@@ -111,6 +120,13 @@ func run() error {
 			key = a
 		}
 		return emit(tables[key])
+	case "hub":
+		return runHubBench(eval.HubBench{
+			Homes:  *hubHomes,
+			Shards: *hubShards,
+			Hours:  *hubHours,
+			Seed:   *seed,
+		}, *hubJSON)
 	case "actuators":
 		return runActuators(specs, *seed, proto, *workers, emit)
 	case "multifault":
@@ -201,6 +217,36 @@ func writeBenchJSON(path string, results []*eval.DatasetResult, workers int, wal
 		return fmt.Errorf("write bench json: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// runHubBench measures multi-tenant throughput: M homes replayed
+// concurrently through one hub, per-shard ops, total events/sec. The
+// result lands in BENCH_hub.json next to BENCH_eval.json.
+func runHubBench(o eval.HubBench, jsonPath string) error {
+	res, err := eval.RunHubBench(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hub bench: %d homes x %dh on %d shards\n", res.Homes, res.Hours, res.Shards)
+	fmt.Printf("  train   %8.1f ms (shared context)\n", res.TrainMS)
+	fmt.Printf("  replay  %8.1f ms  (%d events, %d windows, %d alerts)\n",
+		res.ReplayMS, res.Events, res.Windows, res.Alerts)
+	fmt.Printf("  rate    %8.0f events/sec\n", res.EventsPerSec)
+	for _, s := range res.PerShard {
+		fmt.Printf("  shard %d %8d ops, %d shed\n", s.Shard, s.Ops, s.Shed)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write hub bench json: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 	return nil
 }
 

@@ -1,31 +1,43 @@
-// Command dice-gateway runs the home gateway: it loads a trained context,
-// listens for device reports over CoAP/UDP, runs DICE online, and prints
-// alerts as they are raised.
+// Command dice-gateway runs the multi-tenant home hub: it loads one or
+// more homes (each a trained context over a dataset's device universe),
+// listens for device reports over CoAP/UDP, routes each report to its
+// home's detector on a sharded worker pool, and prints alerts as they are
+// raised.
 //
-// Usage:
+// Multi-home usage:
 //
-//	dice-gateway -data ./data/D_houseA -context context.json -listen 127.0.0.1:5683
-//	             [-checkpoint gateway.ckpt] [-checkpoint-interval 30s]
-//	             [-liveness 30m]
+//	dice-gateway -homes ./homes -listen 127.0.0.1:5683
+//	             [-shards 4] [-checkpoint-dir ./ckpt] [-checkpoint-interval 30s]
+//	             [-idle-evict 0] [-liveness 30m] [-http :8080]
 //
-// With -checkpoint the gateway persists its runtime state (previous group,
-// partial window, counters, dedup cache) atomically on the interval and on
-// shutdown, and resumes from the file on the next start — a restarted
-// gateway picks the transition check up mid-stream instead of cold-starting.
-// SIGINT/SIGTERM trigger a graceful shutdown: stop ingesting, drain the
-// alert channel, write a final checkpoint.
+// -homes points at a directory with one subdirectory per home; each
+// subdirectory is a dataset directory (manifest.json) that also holds the
+// home's trained context.json. Devices address their home with the tenant
+// path suffix (/report/<home>), e.g. `dice-device -home <home>`.
 //
-// Pair it with dice-device, which replays a dataset slice as live CoAP
-// traffic (optionally with an injected fault and/or a chaotic link).
+// Single-home usage (the original flags keep working):
+//
+//	dice-gateway -data ./data/D_houseA -context context.json
+//	             [-checkpoint gateway.ckpt]
+//
+// registers the one home as tenant "default" and serves the bare paths
+// (/report) as well, so existing device agents need no changes.
+//
+// With checkpointing enabled the hub persists each tenant atomically on
+// the interval, on eviction, and on shutdown, and lazily restores each
+// tenant from its file on the first report after a restart. SIGINT and
+// SIGTERM cancel the run context: ingestion stops, pending alerts drain,
+// final checkpoints are written.
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
-	"io/fs"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -33,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gateway"
+	"repro/internal/hub"
 )
 
 func main() {
@@ -42,46 +55,135 @@ func main() {
 	}
 }
 
+// homeDef is one home to register: its tenant ID, dataset dir, and
+// context file.
+type homeDef struct {
+	name    string
+	dataDir string
+	ctxFile string
+}
+
+func discoverHomes(homesDir, dataDir, ctxFile string) ([]homeDef, error) {
+	if homesDir == "" {
+		if dataDir == "" {
+			return nil, fmt.Errorf("one of -homes or -data is required")
+		}
+		return []homeDef{{name: "default", dataDir: dataDir, ctxFile: ctxFile}}, nil
+	}
+	entries, err := os.ReadDir(homesDir)
+	if err != nil {
+		return nil, err
+	}
+	var defs []homeDef
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(homesDir, e.Name())
+		if _, err := os.Stat(filepath.Join(dir, dataset.ManifestName)); err != nil {
+			continue // not a dataset directory
+		}
+		defs = append(defs, homeDef{
+			name:    e.Name(),
+			dataDir: dir,
+			ctxFile: filepath.Join(dir, "context.json"),
+		})
+	}
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("no home directories (with %s) under %s", dataset.ManifestName, homesDir)
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].name < defs[j].name })
+	return defs, nil
+}
+
+func loadContext(def homeDef) (*core.Context, int, error) {
+	ds, err := dataset.LoadManifest(def.dataDir)
+	if err != nil {
+		return nil, 0, err
+	}
+	cf, err := os.Open(def.ctxFile)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer cf.Close()
+	cctx, err := core.LoadContext(cf, ds.Layout)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", def.ctxFile, err)
+	}
+	return cctx, ds.Registry.Len(), nil
+}
+
 func run() error {
-	dataDir := flag.String("data", "", "dataset directory holding the device manifest (required)")
-	ctxFile := flag.String("context", "context.json", "trained context file")
+	homesDir := flag.String("homes", "", "directory with one dataset+context subdirectory per home")
+	dataDir := flag.String("data", "", "single-home dataset directory (legacy mode)")
+	ctxFile := flag.String("context", "context.json", "trained context file (single-home mode)")
 	listen := flag.String("listen", "127.0.0.1:5683", "UDP address to serve CoAP on")
-	ckptPath := flag.String("checkpoint", "", "checkpoint file; resume from it if present, persist to it on an interval and on shutdown")
-	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often to persist the checkpoint")
+	shards := flag.Int("shards", 4, "hub worker pool size; any count produces identical detection output")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for per-home checkpoint files (<home>.ckpt)")
+	ckptPath := flag.String("checkpoint", "", "single checkpoint file (legacy single-home mode)")
+	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often to persist checkpoints")
+	idleEvict := flag.Duration("idle-evict", 0, "evict homes with no reports for this long (0 disables)")
 	liveness := flag.Duration("liveness", 0, "silence threshold for fail-stop device alerts (0 disables)")
-	httpAddr := flag.String("http", "", "TCP address for the observability endpoint (/metrics, /alerts/last, /debug/pprof); empty disables")
+	httpAddr := flag.String("http", "", "TCP address for the observability endpoint (/metrics, /tenants, /debug/pprof); empty disables")
 	flag.Parse()
 
-	if *dataDir == "" {
-		return fmt.Errorf("-data is required")
-	}
-	ds, err := dataset.Load(*dataDir)
+	defs, err := discoverHomes(*homesDir, *dataDir, *ctxFile)
 	if err != nil {
 		return err
 	}
-	cf, err := os.Open(*ctxFile)
+
+	hubOpts := []hub.Option{hub.WithShards(*shards)}
+	switch {
+	case *ckptDir != "":
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+		hubOpts = append(hubOpts, hub.WithCheckpointDir(*ckptDir))
+	case *ckptPath != "":
+		// Legacy flag: the one tenant maps onto the one file.
+		path := *ckptPath
+		hubOpts = append(hubOpts, hub.WithCheckpointPaths(func(string) string { return path }))
+	}
+	if *ckptDir != "" || *ckptPath != "" {
+		hubOpts = append(hubOpts, hub.WithCheckpointInterval(*ckptEvery))
+	}
+	if *idleEvict > 0 {
+		hubOpts = append(hubOpts, hub.WithIdleEviction(*idleEvict))
+	}
+	h, err := hub.New(hubOpts...)
 	if err != nil {
 		return err
 	}
-	ctx, err := core.LoadContext(cf, ds.Layout)
-	cf.Close()
-	if err != nil {
-		return err
+	defer h.Close()
+
+	for _, def := range defs {
+		cctx, devices, err := loadContext(def)
+		if err != nil {
+			return fmt.Errorf("home %s: %w", def.name, err)
+		}
+		if _, err := h.Register(def.name, cctx,
+			gateway.WithConfig(core.Config{}),
+			gateway.WithLiveness(*liveness)); err != nil {
+			return err
+		}
+		fmt.Printf("home %-16s %3d devices, %d groups\n", def.name, devices, cctx.NumGroups())
 	}
-	gw, err := gateway.New(ctx,
-		gateway.WithConfig(core.Config{}),
-		gateway.WithLiveness(*liveness))
-	if err != nil {
-		return err
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var frontOpts []hub.FrontOption
+	if *homesDir == "" {
+		frontOpts = append(frontOpts, hub.WithDefaultHome("default"))
 	}
-	front, err := gateway.ServeCoAP(gw, *listen)
+	front, err := hub.ServeCoAP(h, *listen, frontOpts...)
 	if err != nil {
 		return err
 	}
 	defer front.Close()
 
 	if *httpAddr != "" {
-		obs, err := gateway.ServeHTTP(gw, *httpAddr)
+		obs, err := hub.ServeHTTP(h, *httpAddr)
 		if err != nil {
 			return err
 		}
@@ -89,77 +191,33 @@ func run() error {
 		fmt.Printf("observability on http://%s/metrics\n", obs.Addr())
 	}
 
-	if *ckptPath != "" {
-		cp, err := gateway.ReadCheckpoint(*ckptPath)
-		switch {
-		case err == nil:
-			if err := front.Restore(cp); err != nil {
-				return fmt.Errorf("restore %s: %w", *ckptPath, err)
-			}
-			fmt.Printf("resumed from %s: stream at %s, %d events, %d windows\n",
-				*ckptPath, time.Duration(cp.StreamNowMS)*time.Millisecond,
-				cp.Stats.Events, cp.Stats.Windows)
-		case errors.Is(err, fs.ErrNotExist):
-			// Fresh start; the first checkpoint creates the file.
-		default:
-			return err
+	fmt.Printf("hub listening on coap://%s (%d homes, %d shards)\n",
+		front.Addr(), len(defs), h.Shards())
+
+	// Run owns alert delivery, periodic checkpoints, and idle eviction;
+	// SIGINT/SIGTERM cancel the context, Run drains and writes final
+	// checkpoints, and the deferred Close persists anything that trickled
+	// in after the front stopped.
+	if err := h.Run(ctx, printAlert); err != nil {
+		return err
+	}
+	front.Close()
+	fmt.Println("shutting down:")
+	for _, home := range h.Homes() {
+		if tn, ok := h.Tenant(home); ok {
+			st := tn.Stats()
+			fmt.Printf("  %-16s %d events, %d windows, %d violations, %d alerts (%d liveness), %d dark\n",
+				home, st.Events, st.Windows, st.Violations, st.Alerts, st.LivenessAlerts, st.DarkDevices)
 		}
 	}
-
-	fmt.Printf("gateway listening on coap://%s (%d devices, %d groups)\n",
-		front.Addr(), ds.Registry.Len(), ctx.NumGroups())
-
-	var ticker *time.Ticker
-	tick := make(<-chan time.Time) // nil-like: never fires unless enabled
-	if *ckptPath != "" && *ckptEvery > 0 {
-		ticker = time.NewTicker(*ckptEvery)
-		defer ticker.Stop()
-		tick = ticker.C
-	}
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	for {
-		select {
-		case a := <-gw.Alerts():
-			printAlert(a)
-		case <-tick:
-			if err := gateway.WriteCheckpoint(*ckptPath, front.Checkpoint()); err != nil {
-				fmt.Fprintln(os.Stderr, "dice-gateway: checkpoint:", err)
-			}
-		case <-sig:
-			// Graceful shutdown: stop ingesting first so the final
-			// checkpoint is a stable snapshot, then drain pending alerts,
-			// then persist.
-			front.Close()
-			for {
-				select {
-				case a := <-gw.Alerts():
-					printAlert(a)
-					continue
-				default:
-				}
-				break
-			}
-			if *ckptPath != "" {
-				if err := gateway.WriteCheckpoint(*ckptPath, front.Checkpoint()); err != nil {
-					return fmt.Errorf("final checkpoint: %w", err)
-				}
-				fmt.Printf("checkpoint written to %s\n", *ckptPath)
-			}
-			st := gw.Stats()
-			fmt.Printf("shutting down: %d events, %d windows, %d violations, %d alerts (%d liveness), %d dark\n",
-				st.Events, st.Windows, st.Violations, st.Alerts, st.LivenessAlerts, st.DarkDevices)
-			return nil
-		}
-	}
+	return h.Close()
 }
 
-func printAlert(a gateway.Alert) {
+func printAlert(a hub.TenantAlert) {
 	names := make([]string, 0, len(a.Devices))
 	for _, d := range a.Devices {
 		names = append(names, d.Name)
 	}
-	fmt.Printf("ALERT faulty=%s cause=%s detected@%s reported@%s\n",
-		strings.Join(names, ","), a.Cause, a.DetectedAt, a.ReportedAt)
+	fmt.Printf("ALERT home=%s faulty=%s cause=%s detected@%s reported@%s\n",
+		a.Home, strings.Join(names, ","), a.Cause, a.DetectedAt, a.ReportedAt)
 }

@@ -49,6 +49,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/hub"
 	"repro/internal/telemetry"
 	"repro/internal/window"
 )
@@ -189,3 +192,50 @@ var (
 func LoadContext(r io.Reader, layout *Layout) (*Context, error) {
 	return core.LoadContext(r, layout)
 }
+
+// Re-exported multi-tenant hub. A Hub runs many homes behind one process:
+// each registered home owns a private detector pipeline, events are routed
+// to it on a sharded worker pool (per-home order preserved), and detection
+// output is bit-identical to running the home on its own gateway. See
+// internal/hub for the full API (CoAP front end, HTTP observability).
+type (
+	// Hub multiplexes per-home detectors behind one ingress.
+	Hub = hub.Hub
+	// Tenant is the handle to one registered home.
+	Tenant = hub.Tenant
+	// TenantAlert is a gateway alert tagged with its home.
+	TenantAlert = hub.TenantAlert
+	// HubOption configures a Hub at construction.
+	HubOption = hub.Option
+	// Event is one raw timestamped device reading, the unit of hub
+	// ingestion (Hub.Ingest / Hub.TryIngest).
+	Event = event.Event
+	// GatewayOption configures one tenant's gateway at registration.
+	GatewayOption = gateway.Option
+	// GatewayStats is a snapshot of one tenant's pipeline counters.
+	GatewayStats = gateway.Stats
+)
+
+// NewHub builds an empty hub; homes arrive via Register.
+func NewHub(opts ...HubOption) (*Hub, error) { return hub.New(opts...) }
+
+// Hub options, re-exported from internal/hub. The names carry a Hub/Shard
+// prefix where the bare core/gateway option name is already taken.
+var (
+	WithShards             = hub.WithShards
+	WithShardQueueDepth    = hub.WithQueueDepth
+	WithHubAlertBuffer     = hub.WithAlertBuffer
+	WithCheckpointDir      = hub.WithCheckpointDir
+	WithCheckpointPaths    = hub.WithCheckpointPaths
+	WithCheckpointInterval = hub.WithCheckpointInterval
+	WithIdleEviction       = hub.WithIdleEviction
+	WithHubTelemetry       = hub.WithTelemetry
+)
+
+// Tenant gateway options, re-exported from internal/gateway for use with
+// Hub.Register.
+var (
+	WithGatewayConfig   = gateway.WithConfig
+	WithGatewayLiveness = gateway.WithLiveness
+	WithGatewayAlertBuf = gateway.WithAlertBuffer
+)

@@ -1,0 +1,111 @@
+package dice
+
+import (
+	"testing"
+	"time"
+)
+
+// homeEvents renders homeWindow's observation for minute w as raw wire
+// events, the form a hub ingests.
+func homeEvents(w int, kitchenMotionDead bool) []Event {
+	base := time.Duration(w) * time.Minute
+	var out []Event
+	kitchen := (w/60)%2 == 0
+	sound := 31.0
+	if kitchen {
+		if w%60 == 0 {
+			out = append(out, Event{At: base, Device: 3, Value: 1})
+		}
+		if !kitchenMotionDead {
+			out = append(out, Event{At: base + time.Second, Device: 0, Value: 1})
+		}
+		sound = 55
+	} else {
+		out = append(out, Event{At: base + time.Second, Device: 2, Value: 1})
+	}
+	for i := 0; i < 3; i++ {
+		out = append(out, Event{At: base + time.Duration(i+1)*15*time.Second, Device: 1, Value: sound})
+	}
+	return out
+}
+
+// TestFacadeHub drives two tenants through the public multi-tenant API:
+// home "a" loses its kitchen motion sensor mid-stream and must alert,
+// home "b" replays the clean stream and must stay silent.
+func TestFacadeHub(t *testing.T) {
+	_, layout := buildHome(t)
+	history := make([]*Observation, 0, 24*60)
+	for w := 0; w < 24*60; w++ {
+		history = append(history, homeWindow(layout, w, false))
+	}
+	cctx, err := TrainWindows(layout, time.Minute, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := NewHub(WithShards(2), WithShardQueueDepth(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for _, home := range []string{"a", "b"} {
+		if _, err := h.Register(home, cctx, WithGatewayConfig(Config{})); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for w := 0; w < 3*60; w++ {
+		for _, e := range homeEvents(w, w >= 30) {
+			if err := h.Ingest("a", e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, e := range homeEvents(w, false) {
+			if err := h.Ingest("b", e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		at := time.Duration(w+1) * time.Minute
+		if err := h.Advance("a", at); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Advance("b", at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got *TenantAlert
+	deadline := time.After(5 * time.Second)
+	for got == nil {
+		select {
+		case a := <-h.Alerts():
+			if a.Home != "a" {
+				t.Fatalf("alert from clean home %q: %+v", a.Home, a)
+			}
+			got = &a
+		case <-deadline:
+			t.Fatal("dead motion sensor never alerted through the hub")
+		}
+	}
+	if len(got.Devices) != 1 || got.Devices[0].ID != 0 {
+		t.Errorf("identified %v, want device 0", got.Devices)
+	}
+
+	ta, ok := h.Tenant("a")
+	if !ok {
+		t.Fatal("tenant a vanished")
+	}
+	tb, ok := h.Tenant("b")
+	if !ok {
+		t.Fatal("tenant b vanished")
+	}
+	if st := tb.Stats(); st.Alerts != 0 || st.Violations != 0 {
+		t.Errorf("clean home b: %d alerts, %d violations", st.Alerts, st.Violations)
+	}
+	if st := ta.Stats(); st.Windows != 3*60 || st.Alerts == 0 {
+		t.Errorf("home a: %d windows, %d alerts", st.Windows, st.Alerts)
+	}
+}

@@ -131,6 +131,7 @@ type Server struct {
 	handler Handler
 	cfg     ServerConfig
 	queue   chan job
+	done    chan struct{} // closed by Close, releases the context watcher
 
 	mu     sync.Mutex // guards closed, dedup, order
 	closed bool
@@ -149,6 +150,7 @@ type ServerOption func(*srvOptions)
 type srvOptions struct {
 	cfg ServerConfig
 	tel *telemetry.Registry
+	ctx context.Context
 }
 
 // WithServerConfig replaces the whole tuning config.
@@ -178,6 +180,14 @@ func WithTelemetry(reg *telemetry.Registry) ServerOption {
 	return func(o *srvOptions) { o.tel = reg }
 }
 
+// WithContext ties the server's lifetime to ctx: when ctx is cancelled the
+// server closes itself (read loop and workers drain and exit), replacing
+// ad-hoc stop channels with the standard cancellation surface. Equivalent
+// to ServeContext.
+func WithContext(ctx context.Context) ServerOption {
+	return func(o *srvOptions) { o.ctx = ctx }
+}
+
 // ListenAndServe starts a server on addr (e.g. "127.0.0.1:5683"); pass
 // port 0 to pick a free port. The returned server is already serving.
 func ListenAndServe(addr string, handler Handler, opts ...ServerOption) (*Server, error) {
@@ -204,17 +214,25 @@ func NewServer(conn net.PacketConn, handler Handler, cfg ServerConfig) (*Server,
 	return Serve(conn, handler, WithServerConfig(cfg))
 }
 
-// Serve is the canonical constructor: it serves CoAP on an existing packet
-// conn (which may be a fault-injecting wrapper) and takes ownership of it.
-// The returned server is already serving.
+// Serve serves CoAP on an existing packet conn (which may be a
+// fault-injecting wrapper) and takes ownership of it. The returned server
+// is already serving. It is ServeContext with a background context —
+// lifetime managed solely through Close.
 func Serve(conn net.PacketConn, handler Handler, opts ...ServerOption) (*Server, error) {
+	return ServeContext(context.Background(), conn, handler, opts...)
+}
+
+// ServeContext is the canonical constructor: it serves CoAP on conn until
+// ctx is cancelled or Close is called, whichever comes first. The returned
+// server is already serving.
+func ServeContext(ctx context.Context, conn net.PacketConn, handler Handler, opts ...ServerOption) (*Server, error) {
 	if handler == nil {
 		return nil, errors.New("coap: nil handler")
 	}
 	if conn == nil {
 		return nil, errors.New("coap: nil conn")
 	}
-	var o srvOptions
+	o := srvOptions{ctx: ctx}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -224,6 +242,7 @@ func Serve(conn net.PacketConn, handler Handler, opts ...ServerOption) (*Server,
 		handler: handler,
 		cfg:     cfg,
 		queue:   make(chan job, cfg.QueueDepth),
+		done:    make(chan struct{}),
 		dedup:   make(map[dedupKey]*exchange),
 		met:     newSrvMetrics(o.tel),
 	}
@@ -233,6 +252,15 @@ func Serve(conn net.PacketConn, handler Handler, opts ...ServerOption) (*Server,
 	}
 	s.serveWG.Add(1)
 	go s.serve()
+	if o.ctx != nil && o.ctx.Done() != nil {
+		go func() {
+			select {
+			case <-o.ctx.Done():
+				s.Close() //nolint:errcheck // conn close error surfaces nowhere useful here
+			case <-s.done:
+			}
+		}()
+	}
 	return s, nil
 }
 
@@ -261,6 +289,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	close(s.done)
 	err := s.conn.Close()
 	s.serveWG.Wait() // serve() is the only sender on queue
 	close(s.queue)

@@ -163,8 +163,11 @@ func save(dir string, m Manifest, evts []event.Event, eventsFile string,
 	return ef.Close()
 }
 
-// Load reads a dataset directory.
-func Load(dir string) (*Dataset, error) {
+// LoadManifest reads just the manifest of a dataset directory — registry
+// and layout, no events. A gateway serving live traffic needs the device
+// universe but never replays the recording, so this keeps multi-home
+// startup from reading every tenant's event log.
+func LoadManifest(dir string) (*Dataset, error) {
 	mf, err := os.Open(filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, fmt.Errorf("dataset: open manifest: %w", err)
@@ -175,6 +178,19 @@ func Load(dir string) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: decode manifest: %w", err)
 	}
 	reg, err := m.BuildRegistry()
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Manifest: m,
+		Registry: reg,
+		Layout:   window.NewLayout(reg),
+	}, nil
+}
+
+// Load reads a dataset directory.
+func Load(dir string) (*Dataset, error) {
+	ds, err := LoadManifest(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -199,10 +215,6 @@ func Load(dir string) (*Dataset, error) {
 	if !event.IsSorted(evts) {
 		event.Sort(evts)
 	}
-	return &Dataset{
-		Manifest: m,
-		Registry: reg,
-		Layout:   window.NewLayout(reg),
-		Events:   evts,
-	}, nil
+	ds.Events = evts
+	return ds, nil
 }

@@ -1,0 +1,205 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/hub"
+	"repro/internal/simhome"
+)
+
+// HubBench configures the multi-tenant throughput benchmark: M simulated
+// homes replay concurrently through one hub on an N-shard worker pool.
+// Detection output is bit-identical at any shard count (the hub tests
+// prove that); this benchmark measures what sharding buys in wall-clock.
+type HubBench struct {
+	// Homes is the number of concurrent tenants (default 8).
+	Homes int
+	// Shards sizes the hub worker pool (default 4).
+	Shards int
+	// Hours of stream replayed per home (default 2).
+	Hours int
+	// Seed drives the simulation (default 21).
+	Seed int64
+	// QueueDepth bounds each shard queue (default 256).
+	QueueDepth int
+}
+
+func (o HubBench) normalize() HubBench {
+	if o.Homes <= 0 {
+		o.Homes = 8
+	}
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.Hours <= 0 {
+		o.Hours = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 21
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	return o
+}
+
+// HubHomeResult is one tenant's end-of-replay counters.
+type HubHomeResult struct {
+	Home  string        `json:"home"`
+	Stats gateway.Stats `json:"stats"`
+}
+
+// HubBenchResult is the outcome of one hub benchmark run.
+type HubBenchResult struct {
+	Homes        int             `json:"homes"`
+	Shards       int             `json:"shards"`
+	Hours        int             `json:"hours_per_home"`
+	TrainTime    time.Duration   `json:"-"`
+	ReplayTime   time.Duration   `json:"-"`
+	TrainMS      float64         `json:"train_ms"`
+	ReplayMS     float64         `json:"replay_ms"`
+	Events       int64           `json:"events"`
+	Windows      int64           `json:"windows"`
+	Alerts       int64           `json:"alerts"`
+	EventsPerSec float64         `json:"events_per_sec"`
+	PerShard     []hub.ShardStat `json:"per_shard"`
+	PerHome      []HubHomeResult `json:"per_home"`
+}
+
+// RunHubBench trains one context, registers o.Homes tenants against it,
+// and replays a distinct per-home stream slice through the hub with one
+// producer goroutine per home. Replay wall-clock excludes training.
+func RunHubBench(o HubBench) (*HubBenchResult, error) {
+	o = o.normalize()
+	spec := simhome.SpecDHouseA()
+	spec.Name = "hub-bench"
+	trainH := 3 * 24
+	spec.Hours = trainH + o.Homes + o.Hours + 1
+	home, err := simhome.New(spec, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	trainStart := time.Now()
+	trainW := trainH * 60
+	tr := core.NewTrainer(home.Layout(), time.Minute)
+	for i := 0; i < trainW; i++ {
+		if err := tr.Calibrate(home.Window(i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := tr.FinishCalibration(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < trainW; i++ {
+		if err := tr.Learn(home.Window(i)); err != nil {
+			return nil, err
+		}
+	}
+	cctx, err := tr.Context()
+	if err != nil {
+		return nil, err
+	}
+	trainTime := time.Since(trainStart)
+
+	// Pre-materialize every home's slice so producers only pump.
+	streams := make([][]event.Event, o.Homes)
+	for i := range streams {
+		start := trainW + i*60
+		evts := home.Events(start, start+o.Hours*60)
+		streams[i] = make([]event.Event, len(evts))
+		for j, e := range evts {
+			e.At -= time.Duration(start) * time.Minute
+			streams[i][j] = e
+		}
+	}
+
+	h, err := hub.New(hub.WithShards(o.Shards), hub.WithQueueDepth(o.QueueDepth))
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	names := make([]string, o.Homes)
+	for i := range names {
+		names[i] = fmt.Sprintf("home-%02d", i)
+		if _, err := h.Register(names[i], cctx, gateway.WithConfig(core.Config{})); err != nil {
+			return nil, err
+		}
+	}
+
+	// One sink keeps the hub alert buffer from filling; alert counts come
+	// from the per-tenant stats afterwards.
+	sinkStop := make(chan struct{})
+	sinkDone := make(chan struct{})
+	go func() {
+		defer close(sinkDone)
+		for {
+			select {
+			case <-h.Alerts():
+			case <-sinkStop:
+				return
+			}
+		}
+	}()
+
+	replayStart := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, o.Homes)
+	end := time.Duration(o.Hours) * time.Hour
+	for i := 0; i < o.Homes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, e := range streams[i] {
+				if err := h.Ingest(names[i], e); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- h.Advance(names[i], end)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := h.DrainAll(); err != nil {
+		return nil, err
+	}
+	replayTime := time.Since(replayStart)
+	close(sinkStop)
+	<-sinkDone
+
+	res := &HubBenchResult{
+		Homes:      o.Homes,
+		Shards:     o.Shards,
+		Hours:      o.Hours,
+		TrainTime:  trainTime,
+		ReplayTime: replayTime,
+		TrainMS:    float64(trainTime.Microseconds()) / 1000,
+		ReplayMS:   float64(replayTime.Microseconds()) / 1000,
+		PerShard:   h.ShardStats(),
+	}
+	for _, name := range names {
+		tn, ok := h.Tenant(name)
+		if !ok {
+			return nil, fmt.Errorf("eval: tenant %s vanished mid-bench", name)
+		}
+		st := tn.Stats()
+		res.Events += st.Events
+		res.Windows += st.Windows
+		res.Alerts += st.Alerts
+		res.PerHome = append(res.PerHome, HubHomeResult{Home: name, Stats: st})
+	}
+	if s := replayTime.Seconds(); s > 0 {
+		res.EventsPerSec = float64(res.Events) / s
+	}
+	return res, nil
+}

@@ -1,0 +1,40 @@
+package eval
+
+import "testing"
+
+func TestRunHubBench(t *testing.T) {
+	res, err := RunHubBench(HubBench{Homes: 3, Shards: 2, Hours: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Homes != 3 || res.Shards != 2 {
+		t.Fatalf("echoed config wrong: %+v", res)
+	}
+	if res.Events == 0 || res.Windows == 0 {
+		t.Errorf("bench replayed nothing: events=%d windows=%d", res.Events, res.Windows)
+	}
+	if res.EventsPerSec <= 0 {
+		t.Errorf("events/sec = %v", res.EventsPerSec)
+	}
+	if len(res.PerHome) != 3 {
+		t.Fatalf("per-home rows = %d, want 3", len(res.PerHome))
+	}
+	// Every home replays one hour => 60 windows each.
+	for _, hr := range res.PerHome {
+		if hr.Stats.Windows != 60 {
+			t.Errorf("%s windows = %d, want 60", hr.Home, hr.Stats.Windows)
+		}
+	}
+	// Shard ops account for every ingest + advance + the drain barriers.
+	var ops int64
+	for _, s := range res.PerShard {
+		ops += s.Ops
+		if s.Shed != 0 {
+			t.Errorf("shard %d shed %d ops under blocking Ingest", s.Shard, s.Shed)
+		}
+	}
+	wantMin := res.Events + 3 // at least one advance per home rides along
+	if ops < wantMin {
+		t.Errorf("shard ops = %d, want >= %d", ops, wantMin)
+	}
+}

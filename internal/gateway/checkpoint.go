@@ -13,9 +13,16 @@ import (
 	"repro/internal/window"
 )
 
-// CheckpointVersion is bumped when the checkpoint schema changes
-// incompatibly; Read rejects mismatches rather than restoring garbage.
-const CheckpointVersion = 1
+// CheckpointVersion is bumped when the checkpoint schema changes; Read
+// migrates older schemas it understands and rejects the rest rather than
+// restoring garbage. v1 files (the original single-home schema, keyed
+// "version") migrate transparently to the v2 envelope (keyed "v", with an
+// optional tenant Home) on read.
+const CheckpointVersion = 2
+
+// checkpointLegacyVersion is the pre-envelope schema: same payload fields,
+// version carried in a "version" key, no tenancy.
+const checkpointLegacyVersion = 1
 
 // Checkpoint is the crash-safe persisted runtime state of a gateway: every
 // piece of state the transition check and window builder carry between
@@ -25,7 +32,18 @@ const CheckpointVersion = 1
 // neither raises a spurious violation nor double-ingests a retransmitted
 // report.
 type Checkpoint struct {
-	Version     int                 `json:"version"`
+	// V is the schema version of the envelope ("v":2). The legacy v1
+	// schema carried its version under "version" instead; migrate folds
+	// such files forward.
+	V int `json:"v"`
+	// LegacyVersion is the v1 "version" key, kept so v1 files parse; it is
+	// zero on every file written at v2 or later.
+	LegacyVersion int `json:"version,omitempty"`
+	// Home is the tenant this checkpoint belongs to. Empty for a
+	// single-home gateway; a hub stamps its tenant ID so a checkpoint
+	// directory is self-describing and a file restored into the wrong
+	// tenant is rejected.
+	Home        string              `json:"home,omitempty"`
 	SavedAtUnix int64               `json:"saved_at_unix"`
 	HorizonMS   int64               `json:"horizon_ms"`
 	StreamNowMS int64               `json:"stream_now_ms"`
@@ -46,7 +64,7 @@ func (g *Gateway) ExportCheckpoint() *Checkpoint {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	cp := &Checkpoint{
-		Version:     CheckpointVersion,
+		V:           CheckpointVersion,
 		SavedAtUnix: time.Now().Unix(),
 		HorizonMS:   g.horizon.Milliseconds(),
 		StreamNowMS: g.streamNow.Milliseconds(),
@@ -75,8 +93,8 @@ func (g *Gateway) RestoreCheckpoint(cp *Checkpoint) error {
 	if cp == nil {
 		return fmt.Errorf("gateway: nil checkpoint")
 	}
-	if cp.Version != CheckpointVersion {
-		return fmt.Errorf("gateway: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	if err := cp.Migrate(); err != nil {
+		return err
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -109,6 +127,25 @@ func (g *Gateway) RestoreCheckpoint(cp *Checkpoint) error {
 	return nil
 }
 
+// Migrate folds an older checkpoint schema forward to CheckpointVersion in
+// place. A v1 file is a valid v2 payload with the version under the legacy
+// key and no tenancy, so its migration is a relabel; anything else (a
+// future version, or a file with no recognizable version at all) errors.
+func (cp *Checkpoint) Migrate() error {
+	switch {
+	case cp.V == CheckpointVersion:
+		return nil
+	case cp.V == 0 && cp.LegacyVersion == checkpointLegacyVersion:
+		cp.V = CheckpointVersion
+		cp.LegacyVersion = 0
+		return nil
+	case cp.V == 0:
+		return fmt.Errorf("gateway: checkpoint has legacy version %d, want %d", cp.LegacyVersion, checkpointLegacyVersion)
+	default:
+		return fmt.Errorf("gateway: checkpoint version %d, want %d", cp.V, CheckpointVersion)
+	}
+}
+
 // WriteCheckpoint atomically persists a checkpoint: write to a temp file in
 // the same directory, fsync, rename over the target. A crash mid-write
 // leaves the previous checkpoint intact; readers never observe a torn file.
@@ -137,7 +174,8 @@ func WriteCheckpoint(path string, cp *Checkpoint) error {
 	return nil
 }
 
-// ReadCheckpoint loads a checkpoint written by WriteCheckpoint.
+// ReadCheckpoint loads a checkpoint written by WriteCheckpoint, migrating
+// older schemas (the unenveloped v1 files) forward on the way in.
 func ReadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -147,8 +185,8 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 	if err := json.Unmarshal(data, &cp); err != nil {
 		return nil, fmt.Errorf("gateway: parse checkpoint %s: %w", path, err)
 	}
-	if cp.Version != CheckpointVersion {
-		return nil, fmt.Errorf("gateway: checkpoint %s is version %d, want %d", path, cp.Version, CheckpointVersion)
+	if err := cp.Migrate(); err != nil {
+		return nil, fmt.Errorf("gateway: checkpoint %s: %w", path, err)
 	}
 	return &cp, nil
 }

@@ -149,6 +149,19 @@ type Agent struct {
 	BatchSize int
 	// Timeout bounds each exchange (default 5s).
 	Timeout time.Duration
+	// Home, when set, addresses a tenant behind a multi-home hub: requests
+	// go to /report/{home}, /advance/{home}, /stats/{home} instead of the
+	// bare single-gateway paths.
+	Home string
+}
+
+// path renders a resource path, suffixed with the tenant segment when the
+// agent reports into a multi-home hub.
+func (a *Agent) path(base string) string {
+	if a.Home == "" {
+		return base
+	}
+	return base + "/" + a.Home
 }
 
 // NewAgent dials a gateway front end.
@@ -203,7 +216,7 @@ func (a *Agent) Flush() error {
 		return err
 	}
 	req := &coap.Message{Code: coap.CodePOST, Payload: payload}
-	req.SetPath("report")
+	req.SetPath(a.path("report"))
 	resp, err := a.do(req)
 	if err != nil {
 		return err
@@ -225,7 +238,7 @@ func (a *Agent) Advance(t time.Duration) error {
 		return err
 	}
 	req := &coap.Message{Code: coap.CodePOST, Payload: payload}
-	req.SetPath("advance")
+	req.SetPath(a.path("advance"))
 	resp, err := a.do(req)
 	if err != nil {
 		return err
@@ -239,7 +252,7 @@ func (a *Agent) Advance(t time.Duration) error {
 // Stats fetches the gateway counters.
 func (a *Agent) Stats() (Stats, error) {
 	req := &coap.Message{Code: coap.CodeGET}
-	req.SetPath("stats")
+	req.SetPath(a.path("stats"))
 	resp, err := a.do(req)
 	if err != nil {
 		return Stats{}, err

@@ -6,6 +6,7 @@
 package gateway
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -221,6 +222,35 @@ func (g *Gateway) SetLiveness(threshold time.Duration) {
 // Alerts returns the alert channel. It is never closed; buffer overruns
 // increment Stats.AlertsDropped rather than blocking detection.
 func (g *Gateway) Alerts() <-chan Alert { return g.alerts }
+
+// Run pumps the alert channel into onAlert until ctx is cancelled, then
+// drains whatever is already buffered and returns nil. It replaces the
+// ad-hoc select-on-stop-channel loops callers used to write: ingestion
+// stays on the caller's goroutines (Ingest/AdvanceTo are thread-safe), Run
+// owns delivery. A nil onAlert discards alerts but still keeps the buffer
+// from overflowing.
+func (g *Gateway) Run(ctx context.Context, onAlert func(Alert)) error {
+	deliver := func(a Alert) {
+		if onAlert != nil {
+			onAlert(a)
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			for {
+				select {
+				case a := <-g.alerts:
+					deliver(a)
+				default:
+					return nil
+				}
+			}
+		case a := <-g.alerts:
+			deliver(a)
+		}
+	}
+}
 
 // Stats returns a snapshot of the counters, read from the telemetry
 // registry so this view and /metrics can never disagree.

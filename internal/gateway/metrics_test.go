@@ -120,12 +120,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("exposition has %d series, want >= 15", len(names))
 	}
 	stageRep := []string{
-		"dice_window_built_total",         // window builder
-		"dice_scan_exact_hit_total",       // correlation scan
-		"dice_scan_seconds_count",         // scan latency histogram
-		"dice_violations_total",           // transition/correlation violations
-		"dice_identify_episodes_total",    // identification
-		"dice_gateway_events_total",       // gateway ingest
+		"dice_window_built_total",      // window builder
+		"dice_scan_exact_hit_total",    // correlation scan
+		"dice_scan_seconds_count",      // scan latency histogram
+		"dice_violations_total",        // transition/correlation violations
+		"dice_identify_episodes_total", // identification
+		"dice_gateway_events_total",    // gateway ingest
 		"dice_gateway_alert_latency_seconds_count",
 		"dice_coap_received_total", // CoAP transport
 		"dice_coap_queue_depth",

@@ -1,0 +1,180 @@
+package hub
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/coap"
+	"repro/internal/device"
+	"repro/internal/event"
+	"repro/internal/gateway"
+)
+
+// The hub's CoAP surface is the gateway's, with the tenant in the path:
+//
+//	POST /report/{home}    batch of readings (gateway.WireEvent)
+//	POST /advance/{home}   stream-clock advance
+//	GET  /stats/{home}     tenant Stats (drained first, so it is settled)
+//	GET  /liveness/{home}  tenant silence tracker
+//
+// The bare single-gateway paths (/report, /advance, ...) keep working when
+// the front has a default home, so an unmodified device agent can report
+// into a hub.
+
+// Front serves the hub's CoAP API.
+type Front struct {
+	h   *Hub
+	srv *coap.Server
+	def string
+}
+
+// FrontOption configures a CoAP front.
+type FrontOption func(*frontOptions)
+
+type frontOptions struct {
+	def      string
+	coapOpts []coap.ServerOption
+}
+
+// WithDefaultHome routes bare (un-suffixed) paths to the given tenant, for
+// single-home device agents that predate the hub.
+func WithDefaultHome(home string) FrontOption {
+	return func(o *frontOptions) { o.def = home }
+}
+
+// WithCoAPOptions appends raw CoAP server options (context, chaos config,
+// dedup tuning, ...).
+func WithCoAPOptions(opts ...coap.ServerOption) FrontOption {
+	return func(o *frontOptions) { o.coapOpts = append(o.coapOpts, opts...) }
+}
+
+// ServeCoAP starts the hub's CoAP front end on addr (":0" picks a free
+// port). Transport counters register against the hub's own registry.
+func ServeCoAP(h *Hub, addr string, opts ...FrontOption) (*Front, error) {
+	var o frontOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	f := &Front{h: h, def: o.def}
+	srv, err := coap.ListenAndServe(addr, f.handle,
+		append([]coap.ServerOption{coap.WithTelemetry(h.Telemetry())}, o.coapOpts...)...)
+	if err != nil {
+		return nil, err
+	}
+	f.srv = srv
+	return f, nil
+}
+
+// ServeCoAPConn starts the front end on an existing packet conn — e.g. a
+// chaos-wrapped one — and takes ownership of it.
+func ServeCoAPConn(h *Hub, conn net.PacketConn, cfg coap.ServerConfig, opts ...FrontOption) (*Front, error) {
+	var o frontOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	f := &Front{h: h, def: o.def}
+	srv, err := coap.Serve(conn, f.handle,
+		append([]coap.ServerOption{coap.WithServerConfig(cfg), coap.WithTelemetry(h.Telemetry())}, o.coapOpts...)...)
+	if err != nil {
+		return nil, err
+	}
+	f.srv = srv
+	return f, nil
+}
+
+// Addr returns the bound UDP address string.
+func (f *Front) Addr() string { return f.srv.Addr().String() }
+
+// Close stops the front end.
+func (f *Front) Close() error { return f.srv.Close() }
+
+// ServerStats returns the CoAP server's transport counters.
+func (f *Front) ServerStats() coap.ServerStats { return f.srv.Stats() }
+
+// split resolves a request path into (resource, home). A missing home
+// segment falls back to the front's default tenant (empty when unset).
+func (f *Front) split(path string) (string, string) {
+	res, home, ok := strings.Cut(path, "/")
+	if !ok {
+		return res, f.def
+	}
+	return res, home
+}
+
+func errResponse(err error) *coap.Message {
+	code := coap.CodeBadRequest
+	if errors.Is(err, ErrUnknownHome) {
+		code = coap.CodeNotFound
+	}
+	return &coap.Message{Code: code, Payload: []byte(err.Error())}
+}
+
+func (f *Front) handle(req *coap.Message) *coap.Message {
+	res, home := f.split(req.Path())
+	switch res {
+	case "report":
+		if req.Code != coap.CodePOST {
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte("POST only")}
+		}
+		var batch []gateway.WireEvent
+		if err := json.Unmarshal(req.Payload, &batch); err != nil {
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(err.Error())}
+		}
+		for _, w := range batch {
+			e := event.Event{
+				At:     time.Duration(w.AtMS) * time.Millisecond,
+				Device: device.ID(w.Device),
+				Value:  w.Value,
+			}
+			if err := f.h.Ingest(home, e); err != nil {
+				return errResponse(err)
+			}
+		}
+		return &coap.Message{Code: coap.CodeChanged}
+	case "advance":
+		var adv struct {
+			AtMS int64 `json:"at"`
+		}
+		if err := json.Unmarshal(req.Payload, &adv); err != nil {
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(err.Error())}
+		}
+		if err := f.h.Advance(home, time.Duration(adv.AtMS)*time.Millisecond); err != nil {
+			return errResponse(err)
+		}
+		return &coap.Message{Code: coap.CodeChanged}
+	case "stats":
+		// Drain first so the snapshot covers every op this client already
+		// got an ACK for — the same read-your-writes contract a solo
+		// gateway's synchronous /stats gives.
+		if err := f.h.Drain(home); err != nil {
+			return errResponse(err)
+		}
+		t, ok := f.h.Tenant(home)
+		if !ok { // evicted between the drain and the lookup
+			return &coap.Message{Code: coap.CodeNotFound}
+		}
+		data, err := json.Marshal(t.Stats())
+		if err != nil {
+			return &coap.Message{Code: coap.CodeInternal}
+		}
+		return &coap.Message{Code: coap.CodeContent, Payload: data}
+	case "liveness":
+		if err := f.h.Drain(home); err != nil {
+			return errResponse(err)
+		}
+		t, ok := f.h.Tenant(home)
+		if !ok {
+			return &coap.Message{Code: coap.CodeNotFound}
+		}
+		data, err := json.Marshal(t.Liveness())
+		if err != nil {
+			return &coap.Message{Code: coap.CodeInternal}
+		}
+		return &coap.Message{Code: coap.CodeContent, Payload: data}
+	default:
+		return &coap.Message{Code: coap.CodeNotFound}
+	}
+}

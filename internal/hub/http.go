@@ -1,0 +1,139 @@
+package hub
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"repro/internal/gateway"
+	"repro/internal/telemetry"
+)
+
+// HTTPHandler returns the hub's observability mux:
+//
+//	GET /metrics                     merged exposition: every tenant's
+//	                                 pipeline series stamped home="<id>",
+//	                                 plus the hub's own dice_hub_* series
+//	GET /tenants                     registered homes with Stats summaries
+//	GET /tenants/{home}/stats        one tenant's Stats (drained first)
+//	GET /tenants/{home}/alerts/last  the tenant's last alert with Explain
+//	GET /tenants/{home}/liveness     the tenant's silence tracker
+//	GET /healthz                     200 ok
+//	GET /debug/pprof/                the standard pprof index
+//
+// The mux is standalone (not http.DefaultServeMux) so callers can mount it
+// anywhere without leaking pprof onto other servers.
+func (h *Hub) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		h.WriteMetrics(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("GET /tenants", func(w http.ResponseWriter, r *http.Request) {
+		type row struct {
+			Home  string        `json:"home"`
+			Stats gateway.Stats `json:"stats"`
+		}
+		out := []row{}
+		for _, home := range h.Homes() {
+			if t, ok := h.Tenant(home); ok {
+				out = append(out, row{Home: home, Stats: t.Stats()})
+			}
+		}
+		writeJSON(w, out)
+	})
+	lookup := func(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
+		t, ok := h.Tenant(r.PathValue("home"))
+		if !ok {
+			http.Error(w, "unknown home", http.StatusNotFound)
+		}
+		return t, ok
+	}
+	mux.HandleFunc("GET /tenants/{home}/stats", func(w http.ResponseWriter, r *http.Request) {
+		h.Drain(r.PathValue("home")) //nolint:errcheck // lookup below reports the miss
+		if t, ok := lookup(w, r); ok {
+			writeJSON(w, t.Stats())
+		}
+	})
+	mux.HandleFunc("GET /tenants/{home}/alerts/last", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := lookup(w, r)
+		if !ok {
+			return
+		}
+		a, ok := t.LastAlert()
+		if !ok {
+			http.Error(w, "no alerts yet", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, a)
+	})
+	mux.HandleFunc("GET /tenants/{home}/liveness", func(w http.ResponseWriter, r *http.Request) {
+		if t, ok := lookup(w, r); ok {
+			writeJSON(w, t.Liveness())
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n")) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// WriteMetrics renders the merged exposition: the hub's own registry
+// unlabelled, then one view per tenant stamped home="<id>", tenants in
+// sorted order so the scrape is stable.
+func (h *Hub) WriteMetrics(w io.Writer) error {
+	h.mu.RLock()
+	views := make([]telemetry.View, 0, len(h.tenants)+1)
+	views = append(views, telemetry.View{Registry: h.tel})
+	homes := make([]string, 0, len(h.tenants))
+	for home := range h.tenants {
+		homes = append(homes, home)
+	}
+	h.mu.RUnlock()
+	sort.Strings(homes)
+	for _, home := range homes {
+		if t, ok := h.Tenant(home); ok {
+			views = append(views, telemetry.View{Registry: t.Telemetry(), Label: "home", Value: home})
+		}
+	}
+	return telemetry.WriteTextMerged(w, views...)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+// HTTPServer is a running hub observability endpoint.
+type HTTPServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeHTTP starts the observability endpoint on addr (":0" picks a free
+// port). The returned server is already serving.
+func ServeHTTP(h *Hub, addr string) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &HTTPServer{srv: &http.Server{Handler: h.HTTPHandler()}, ln: ln}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound TCP address string.
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

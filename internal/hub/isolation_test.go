@@ -1,0 +1,128 @@
+package hub
+
+import (
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/event"
+	"repro/internal/gateway"
+)
+
+// TestHubTenantIsolation is the blast-radius property: home A takes a
+// fault storm — a faulty device stream delivered over a chaotic link
+// (drop + dup + corruption forcing retransmissions) — while home B
+// replays a clean stream through the same hub front end. Home B's output
+// must be bit-identical to a solo gateway run of the same stream: same
+// stats, same alert sequence, same Explain traces.
+func TestHubTenantIsolation(t *testing.T) {
+	h, cctx := trained(t)
+
+	// Home A's storm: the kitchen light goes fail-stop 30 minutes in (its
+	// events vanish), over a link that drops and duplicates datagrams.
+	target, ok := h.Registry().Lookup("light-kitchen")
+	if !ok {
+		t.Fatal("no kitchen light")
+	}
+	startA := 3*24*60 + 12*60
+	var stormEvts []event.Event
+	for _, e := range h.Events(startA, startA+4*60) {
+		e.At -= time.Duration(startA) * time.Minute
+		if e.Device == target && e.At >= 30*time.Minute {
+			continue
+		}
+		stormEvts = append(stormEvts, e)
+	}
+	cleanEvts := homeStream(t, h, 0)
+	wantStats, wantAlerts := soloRun(t, cctx, cleanEvts)
+
+	hub, err := New(WithShards(4), WithAlertBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	for _, home := range []string{"A", "B"} {
+		if _, err := hub.Register(home, cctx, tenantGwOpts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	front, err := ServeCoAP(hub, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	// Agent A reports through chaos; agent B over a clean socket.
+	innerA, err := net.Dial("udp", front.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	linkA := chaos.WrapConn(innerA, chaos.Config{Seed: 7, Drop: 0.12, Dup: 0.12})
+	agentA := gateway.NewAgentConn(linkA)
+	agentA.Home = "A"
+	agentA.Client().AckTimeout = 20 * time.Millisecond
+	agentA.Client().MaxRetransmit = 12
+	agentA.Timeout = 60 * time.Second
+
+	agentB, err := gateway.NewAgent(front.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agentB.Home = "B"
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	replay := func(a *gateway.Agent, evts []event.Event, end time.Duration) {
+		defer wg.Done()
+		for _, e := range evts {
+			if err := a.Report(e); err != nil {
+				errs <- err
+				return
+			}
+		}
+		if err := a.Advance(end); err != nil {
+			errs <- err
+			return
+		}
+		errs <- a.Close()
+	}
+	wg.Add(2)
+	go replay(agentA, stormEvts, 4*time.Hour)
+	go replay(agentB, cleanEvts, streamEnd)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hub.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The storm must have been real on both layers: chaos on the link,
+	// faults in A's detector.
+	if ls := linkA.Stats(); ls.Dropped == 0 || ls.Dups == 0 {
+		t.Fatalf("chaos link injected nothing: %+v", ls)
+	}
+	tnA, _ := hub.Tenant("A")
+	if tnA.Stats().Violations == 0 {
+		t.Error("home A's fault storm produced no violations; isolation claim is vacuous")
+	}
+
+	// And home B must not have noticed any of it.
+	tnB, _ := hub.Tenant("B")
+	gotStats := tnB.Stats()
+	if gotStats != wantStats {
+		t.Errorf("home B diverged under A's storm:\n hub:  %+v\n solo: %+v", gotStats, wantStats)
+	}
+	total := int(tnA.Stats().Alerts + tnB.Stats().Alerts)
+	byHome := collectAlerts(t, hub, total)
+	if !reflect.DeepEqual(byHome["B"], wantAlerts) {
+		t.Errorf("home B alert sequence diverged: got %d alerts, want %d",
+			len(byHome["B"]), len(wantAlerts))
+	}
+}

@@ -268,18 +268,36 @@ func (r *Registry) CounterVec(name, help, label string, values []string) []*Coun
 
 // Gauge returns the gauge registered under name, creating it if needed.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.LabeledGauge(name, help, "", "")
+}
+
+// LabeledGauge returns the gauge for one (label, value) pair of the family,
+// e.g. dice_hub_shard_queue_depth{shard="3"}. Empty label means the bare
+// series.
+func (r *Registry) LabeledGauge(name, help, label, value string) *Gauge {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.getFamily(name, help, kindGauge)
-	if ch := f.find(""); ch != nil {
+	ls := renderLabels(label, value)
+	if ch := f.find(ls); ch != nil {
 		return ch.g
 	}
-	ch := &child{g: new(Gauge)}
+	ch := &child{labels: ls, g: new(Gauge)}
 	f.children = append(f.children, ch)
 	return ch.g
+}
+
+// GaugeVec registers one gauge per label value and returns them in order,
+// so hot paths index by enum value instead of formatting labels.
+func (r *Registry) GaugeVec(name, help, label string, values []string) []*Gauge {
+	out := make([]*Gauge, len(values))
+	for i, v := range values {
+		out[i] = r.LabeledGauge(name, help, label, v)
+	}
+	return out
 }
 
 // Histogram returns the histogram registered under name, creating it with
@@ -322,6 +340,67 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// mergeLabels combines an extra pre-rendered label pair (`k="v"`, empty for
+// none) with a child's rendered label block. The extra pair goes first so a
+// merged exposition groups by it visually.
+func mergeLabels(extra, labels string) string {
+	switch {
+	case extra == "":
+		return labels
+	case labels == "":
+		return "{" + extra + "}"
+	default:
+		return "{" + extra + "," + labels[1:]
+	}
+}
+
+// writeChildren renders one family's series, each stamped with the extra
+// label pair; children are sorted by label block for a stable scrape.
+func writeChildren(b *strings.Builder, f *family, children []*child, extra string) {
+	children = append([]*child(nil), children...)
+	sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
+	for _, ch := range children {
+		ls := mergeLabels(extra, ch.labels)
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, ls, ch.c.Value())
+		case kindGauge:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, ls, ch.g.Value())
+		case kindHistogram:
+			h := ch.h
+			cum := int64(0)
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+					mergeLabels(extra, fmt.Sprintf("{le=%q}", formatFloat(bound))), cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, mergeLabels(extra, `{le="+Inf"}`), cum)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, ls, formatFloat(h.Sum()))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, ls, h.Count())
+		}
+	}
+}
+
+// snapshotFamilies copies the family list (and each child slice) under the
+// registry lock so rendering can proceed without it; the instruments inside
+// are atomics and safe to read live.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.order))
+	for _, n := range r.order {
+		f := r.families[n]
+		fams = append(fams, &family{
+			name:     f.name,
+			help:     f.help,
+			kind:     f.kind,
+			children: append([]*child(nil), f.children...),
+		})
+	}
+	return fams
+}
+
 // WriteText renders the registry in Prometheus text exposition format
 // (version 0.0.4): families sorted by name, each with # HELP and # TYPE
 // lines, histograms expanded to _bucket/_sum/_count series.
@@ -329,40 +408,72 @@ func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	names := append([]string(nil), r.order...)
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		fams[i] = r.families[n]
-	}
-	r.mu.Unlock()
+	fams := r.snapshotFamilies()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	var b strings.Builder
 	for _, f := range fams {
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
-		// Children are rendered sorted by label block for a stable scrape.
-		children := append([]*child(nil), f.children...)
-		sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
-		for _, ch := range children {
-			switch f.kind {
-			case kindCounter:
-				fmt.Fprintf(&b, "%s%s %d\n", f.name, ch.labels, ch.c.Value())
-			case kindGauge:
-				fmt.Fprintf(&b, "%s%s %d\n", f.name, ch.labels, ch.g.Value())
-			case kindHistogram:
-				h := ch.h
-				cum := int64(0)
-				for i, bound := range h.bounds {
-					cum += h.counts[i].Load()
-					fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", f.name, formatFloat(bound), cum)
-				}
-				cum += h.counts[len(h.bounds)].Load()
-				fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
-				fmt.Fprintf(&b, "%s_sum %s\n", f.name, formatFloat(h.Sum()))
-				fmt.Fprintf(&b, "%s_count %d\n", f.name, h.Count())
+		writeChildren(&b, f, f.children, "")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// View pairs a registry with an extra label stamped on every series it
+// contributes to a merged exposition. A multi-tenant hub renders one View
+// per tenant (Label "home") plus an unlabelled one for its own series.
+type View struct {
+	Registry *Registry
+	Label    string
+	Value    string
+}
+
+// WriteTextMerged renders several registries as one Prometheus exposition:
+// series sharing a metric name are folded into a single family (one HELP
+// and TYPE line), each view's series distinguished by its extra label. The
+// first view to register a name fixes the family's help and kind; a view
+// whose kind disagrees is skipped for that family rather than corrupting
+// the exposition.
+func WriteTextMerged(w io.Writer, views ...View) error {
+	type part struct {
+		extra    string
+		children []*child
+	}
+	merged := make(map[string]*family)
+	parts := make(map[string][]part)
+	var order []string
+	for _, v := range views {
+		if v.Registry == nil {
+			continue
+		}
+		extra := ""
+		if v.Label != "" {
+			ls := renderLabels(v.Label, v.Value) // {k="v"}
+			extra = ls[1 : len(ls)-1]
+		}
+		for _, f := range v.Registry.snapshotFamilies() {
+			m, ok := merged[f.name]
+			if !ok {
+				merged[f.name] = f
+				order = append(order, f.name)
+				m = f
+			} else if m.kind != f.kind {
+				continue
 			}
+			parts[f.name] = append(parts[f.name], part{extra: extra, children: f.children})
+		}
+	}
+	sort.Strings(order)
+
+	var b strings.Builder
+	for _, name := range order {
+		f := merged[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, p := range parts[name] {
+			writeChildren(&b, f, p.children, p.extra)
 		}
 	}
 	_, err := io.WriteString(w, b.String())

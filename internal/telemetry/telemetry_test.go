@@ -231,3 +231,70 @@ func TestSnapshotDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestLabeledGauge(t *testing.T) {
+	r := NewRegistry()
+	g0 := r.LabeledGauge("depth", "per-shard depth", "shard", "0")
+	g1 := r.LabeledGauge("depth", "per-shard depth", "shard", "1")
+	if g0 == g1 {
+		t.Fatal("distinct label values share one gauge")
+	}
+	if again := r.LabeledGauge("depth", "per-shard depth", "shard", "0"); again != g0 {
+		t.Error("re-registration did not return the existing gauge")
+	}
+	g0.Set(3)
+	g1.Set(7)
+	vec := r.GaugeVec("depth", "per-shard depth", "shard", []string{"0", "1"})
+	if vec[0].Value() != 3 || vec[1].Value() != 7 {
+		t.Errorf("GaugeVec = %d,%d, want 3,7", vec[0].Value(), vec[1].Value())
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`depth{shard="0"} 3`, `depth{shard="1"} 7`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestWriteTextMerged is the multi-tenant exposition contract: several
+// registries render as one grammar-valid document, every series stamped
+// with its view's label, shared families emitted under a single HELP/TYPE.
+func TestWriteTextMerged(t *testing.T) {
+	a, b, own := NewRegistry(), NewRegistry(), NewRegistry()
+	a.Counter("events_total", "events").Add(5)
+	b.Counter("events_total", "events").Add(9)
+	a.LabeledCounter("violations_total", "violations", "cause", "g2g").Add(2)
+	b.Histogram("lat_seconds", "latency", []float64{1, 2}).Observe(1.5)
+	own.Gauge("tenants", "tenant count").Set(2)
+
+	var sb strings.Builder
+	err := WriteTextMerged(&sb,
+		View{Registry: own},
+		View{Registry: a, Label: "home", Value: "A"},
+		View{Registry: b, Label: "home", Value: "B"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	validatePromText(t, text)
+	for _, want := range []string{
+		`events_total{home="A"} 5`,
+		`events_total{home="B"} 9`,
+		`violations_total{home="A",cause="g2g"} 2`,
+		`lat_seconds_bucket{home="B",le="2"} 1`,
+		`lat_seconds_bucket{home="B",le="+Inf"} 1`,
+		`lat_seconds_count{home="B"} 1`,
+		"tenants 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("merged exposition missing %q:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE events_total"); n != 1 {
+		t.Errorf("shared family has %d TYPE lines, want 1:\n%s", n, text)
+	}
+}
