@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-telemetry race-hub bench bench-scan bench-eval bench-hub
+.PHONY: check vet staticcheck build test race race-telemetry race-hub bench bench-scan bench-eval bench-hub bench-recovery
 
 check: vet staticcheck build race-telemetry race-hub race
 
@@ -54,3 +54,7 @@ bench-eval:
 # Multi-home hub throughput → BENCH_hub.json.
 bench-hub:
 	$(GO) run ./cmd/dice-eval -exp hub
+
+# WAL fsync pricing + crash-recovery timing → BENCH_recovery.json.
+bench-recovery:
+	$(GO) run ./cmd/dice-eval -exp recovery

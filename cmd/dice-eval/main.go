@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines|hub]
+//	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines|hub|recovery]
 //	          [-datasets houseA,twor,...] [-trials N] [-seed N] [-csv]
 //	          [-workers N] [-benchjson FILE]
 //	          [-hub-homes M] [-hub-shards S] [-hub-hours H] [-hubjson FILE]
+//	          [-recovery-hours H] [-recoveryjson FILE]
 //
 // `-trials 100` reproduces the paper-scale run (the default is 40 to keep
 // the full ten-dataset sweep under a minute on a laptop). `-workers` sizes
@@ -20,6 +21,12 @@
 // `-exp hub` benchmarks the multi-tenant hub instead: M homes replay
 // concurrent streams through one sharded hub, and the throughput plus
 // per-shard queue tallies land in BENCH_hub.json (`-hubjson`).
+//
+// `-exp recovery` prices the write-ahead log (ingest throughput per fsync
+// policy against a no-WAL baseline) and times a simulated crash recovery
+// from checkpoint + WAL tail, verifying the recovered state is
+// bit-identical; the numbers land in BENCH_recovery.json
+// (`-recoveryjson`).
 package main
 
 import (
@@ -56,6 +63,8 @@ func run() error {
 	hubShards := flag.Int("hub-shards", 4, "hub worker pool size for -exp hub")
 	hubHours := flag.Int("hub-hours", 2, "replayed stream hours per home for -exp hub")
 	hubJSON := flag.String("hubjson", "BENCH_hub.json", "write the -exp hub result to this JSON file (empty = off)")
+	recHours := flag.Int("recovery-hours", 2, "replayed stream hours for -exp recovery")
+	recJSON := flag.String("recoveryjson", "BENCH_recovery.json", "write the -exp recovery result to this JSON file (empty = off)")
 	flag.Parse()
 
 	specs, err := selectSpecs(*dsFlag)
@@ -127,6 +136,11 @@ func run() error {
 			Hours:  *hubHours,
 			Seed:   *seed,
 		}, *hubJSON)
+	case "recovery":
+		return runRecoveryBench(eval.RecoveryBench{
+			Hours: *recHours,
+			Seed:  *seed,
+		}, *recJSON)
 	case "actuators":
 		return runActuators(specs, *seed, proto, *workers, emit)
 	case "multifault":
@@ -245,6 +259,34 @@ func runHubBench(o eval.HubBench, jsonPath string) error {
 	}
 	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("write hub bench json: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
+}
+
+// runRecoveryBench prices WAL durability per fsync policy and times a
+// checkpoint+WAL crash recovery. The result lands in BENCH_recovery.json.
+func runRecoveryBench(o eval.RecoveryBench, jsonPath string) error {
+	res, err := eval.RunRecoveryBench(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovery bench: %dh stream, %d events\n", res.Hours, res.Events)
+	for _, p := range res.Policies {
+		fmt.Printf("  fsync=%-6s %8.1f ms replay  %8.0f events/sec  (+%.1f%%)\n",
+			p.Policy, p.ReplayMS, p.EventsPerSec, p.OverheadPct)
+	}
+	fmt.Printf("  crash at %.0f%% checkpoint: %d WAL records replayed in %.1f ms (%8.0f events/sec), bit-identical=%v\n",
+		100*res.CheckpointAt, res.ReplayedRecords, res.RecoveryMS, res.RecoveredPerSec, res.BitIdentical)
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write recovery bench json: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 	return nil

@@ -8,6 +8,7 @@
 //
 //	dice-gateway -homes ./homes -listen 127.0.0.1:5683
 //	             [-shards 4] [-checkpoint-dir ./ckpt] [-checkpoint-interval 30s]
+//	             [-wal-dir ./wal] [-fsync batch] [-ingest-deadline 0]
 //	             [-idle-evict 0] [-liveness 30m] [-http :8080]
 //
 // -homes points at a directory with one subdirectory per home; each
@@ -28,6 +29,14 @@
 // tenant from its file on the first report after a restart. SIGINT and
 // SIGTERM cancel the run context: ingestion stops, pending alerts drain,
 // final checkpoints are written.
+//
+// With -wal-dir set each tenant also appends every accepted report to a
+// per-home write-ahead log before applying it, so a hard kill (SIGKILL,
+// power loss) at any instant loses nothing: the restarted hub replays the
+// WAL tail past the last checkpoint and resumes bit-identical. -fsync
+// picks the durability/throughput trade-off; a tenant whose pipeline
+// panics is quarantined, dead-lettered, and rebuilt from checkpoint + WAL
+// without touching its siblings (see /tenants/{home}/health).
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gateway"
 	"repro/internal/hub"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -125,6 +135,9 @@ func run() error {
 	idleEvict := flag.Duration("idle-evict", 0, "evict homes with no reports for this long (0 disables)")
 	liveness := flag.Duration("liveness", 0, "silence threshold for fail-stop device alerts (0 disables)")
 	httpAddr := flag.String("http", "", "TCP address for the observability endpoint (/metrics, /tenants, /debug/pprof); empty disables")
+	walDir := flag.String("wal-dir", "", "directory for per-home write-ahead logs (<home>/*.wal); empty disables the WAL")
+	fsync := flag.String("fsync", "batch", "WAL fsync policy: always (no acknowledged loss), batch (bounded loss, amortized flushes), never (OS page cache)")
+	ingestDeadline := flag.Duration("ingest-deadline", 0, "max wait on a full shard queue before shedding; 0 keeps pure backpressure")
 	flag.Parse()
 
 	defs, err := discoverHomes(*homesDir, *dataDir, *ctxFile)
@@ -149,6 +162,19 @@ func run() error {
 	}
 	if *idleEvict > 0 {
 		hubOpts = append(hubOpts, hub.WithIdleEviction(*idleEvict))
+	}
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			return err
+		}
+		hubOpts = append(hubOpts, hub.WithWALDir(*walDir), hub.WithWALSync(policy))
+	}
+	if *ingestDeadline > 0 {
+		hubOpts = append(hubOpts, hub.WithIngestDeadline(*ingestDeadline))
 	}
 	h, err := hub.New(hubOpts...)
 	if err != nil {

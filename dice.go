@@ -53,6 +53,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/hub"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 	"repro/internal/window"
 )
 
@@ -230,7 +231,48 @@ var (
 	WithCheckpointInterval = hub.WithCheckpointInterval
 	WithIdleEviction       = hub.WithIdleEviction
 	WithHubTelemetry       = hub.WithTelemetry
+	WithWALDir             = hub.WithWALDir
+	WithWALSync            = hub.WithWALSync
+	WithSupervision        = hub.WithSupervision
+	WithRestartBackoff     = hub.WithRestartBackoff
+	WithIngestDeadline     = hub.WithIngestDeadline
 )
+
+// Self-healing hub surface: a tenant whose pipeline panics is quarantined,
+// its poison op dead-lettered, and the tenant rebuilt from checkpoint +
+// write-ahead log while its siblings keep running. Health reports where a
+// home sits in that state machine (also served on GET
+// /tenants/{home}/health); the WAL fsync policies price durability against
+// ingest throughput.
+type (
+	// TenantHealth is one home's supervision state.
+	TenantHealth = hub.Health
+	// WALSyncPolicy controls when WAL appends reach stable storage.
+	WALSyncPolicy = wal.SyncPolicy
+)
+
+// Supervision states and WAL fsync policies, re-exported.
+const (
+	TenantHealthy     = hub.HealthHealthy
+	TenantDegraded    = hub.HealthDegraded
+	TenantQuarantined = hub.HealthQuarantined
+	TenantEvicted     = hub.HealthEvicted
+
+	WALSyncAlways = wal.SyncAlways
+	WALSyncBatch  = wal.SyncBatch
+	WALSyncNever  = wal.SyncNever
+)
+
+// Hub overload errors: ErrShed is TryIngest's full-queue rejection,
+// ErrDeadline is blocking Ingest giving up after the configured deadline.
+var (
+	ErrShed     = hub.ErrShed
+	ErrDeadline = hub.ErrDeadline
+)
+
+// ParseWALSyncPolicy maps the -fsync flag values (always|batch|never) onto
+// policies.
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return wal.ParseSyncPolicy(s) }
 
 // Tenant gateway options, re-exported from internal/gateway for use with
 // Hub.Register.

@@ -1,0 +1,38 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/wal"
+)
+
+func TestRunRecoveryBench(t *testing.T) {
+	res, err := RunRecoveryBench(RecoveryBench{Hours: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BitIdentical {
+		t.Fatal("recovered state diverged from the uncrashed run")
+	}
+	if res.Events == 0 {
+		t.Fatal("bench replayed nothing")
+	}
+	want := []string{"none", wal.SyncAlways.String(), wal.SyncBatch.String(), wal.SyncNever.String()}
+	if len(res.Policies) != len(want) {
+		t.Fatalf("policy rows = %d, want %d", len(res.Policies), len(want))
+	}
+	for i, p := range res.Policies {
+		if p.Policy != want[i] {
+			t.Errorf("policy[%d] = %q, want %q", i, p.Policy, want[i])
+		}
+		if p.EventsPerSec <= 0 {
+			t.Errorf("policy %s events/sec = %v", p.Policy, p.EventsPerSec)
+		}
+	}
+	if res.ReplayedRecords == 0 {
+		t.Error("crash recovery replayed zero WAL records; the tail was empty")
+	}
+	if res.RecoveryMS <= 0 {
+		t.Errorf("recovery time = %v ms", res.RecoveryMS)
+	}
+}

@@ -1,8 +1,12 @@
 package gateway
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"time"
@@ -10,6 +14,7 @@ import (
 	"repro/internal/coap"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/wal"
 	"repro/internal/window"
 )
 
@@ -56,6 +61,11 @@ type Checkpoint struct {
 	// pre-crash requests keep being absorbed after the restart (the dedup
 	// cache high-water mark travels with the state it protects).
 	Dedup []coap.DedupEntry `json:"dedup,omitempty"`
+	// WALSeq is the sequence number of the last WAL op this checkpoint
+	// covers: replay after restore skips everything at or below it, and a
+	// successful checkpoint write lets the owner truncate segments it
+	// covers. Zero when no WAL was attached.
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 // ExportCheckpoint snapshots the gateway's runtime state. The CoAP dedup
@@ -71,6 +81,7 @@ func (g *Gateway) ExportCheckpoint() *Checkpoint {
 		Stats:       g.statsLocked(),
 		Detector:    g.det.ExportState(),
 		Builder:     g.builder.ExportState(),
+		WALSeq:      g.walSeq,
 	}
 	if len(g.lastSeen) > 0 {
 		cp.LastSeenMS = make(map[device.ID]int64, len(g.lastSeen))
@@ -124,6 +135,12 @@ func (g *Gateway) RestoreCheckpoint(cp *Checkpoint) error {
 		g.dark[id] = true
 	}
 	g.met.dark.Set(int64(len(g.dark)))
+	g.walSeq = cp.WALSeq
+	// Arm the liveness rebase: if the first post-restore clock movement
+	// jumps past the silence threshold, the gap was downtime, and last-seen
+	// stamps shift rather than every device going dark (see
+	// observeClockLocked). WAL replay does not consume the flag.
+	g.rebasePending = true
 	return nil
 }
 
@@ -146,9 +163,26 @@ func (cp *Checkpoint) Migrate() error {
 	}
 }
 
+// ErrCorruptCheckpoint marks a checkpoint file whose checksum envelope
+// failed to verify — a torn write or bit rot, not a schema problem.
+// Callers should treat it as "no checkpoint" (cold start + WAL replay)
+// rather than a fatal restore error: the file is evidence of damage, and
+// refusing to start would turn one bad sector into an outage.
+var ErrCorruptCheckpoint = errors.New("gateway: corrupt checkpoint")
+
+// ckptMagic opens the checksummed checkpoint envelope:
+// magic + 4-byte little-endian CRC32-C of the JSON payload + the JSON.
+// Files without the magic are pre-envelope plain JSON and still readable.
+var ckptMagic = [8]byte{'D', 'I', 'C', 'E', 'C', 'K', 'S', '1'}
+
+var ckptCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
 // WriteCheckpoint atomically persists a checkpoint: write to a temp file in
-// the same directory, fsync, rename over the target. A crash mid-write
-// leaves the previous checkpoint intact; readers never observe a torn file.
+// the same directory, fsync, rename over the target, fsync the directory.
+// A crash mid-write leaves the previous checkpoint intact; readers never
+// observe a torn file. The payload is wrapped in a checksummed envelope so
+// damage that slips past the rename discipline (bit rot, torn sectors) is
+// detected at read time instead of restoring garbage.
 func WriteCheckpoint(path string, cp *Checkpoint) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -156,10 +190,20 @@ func WriteCheckpoint(path string, cp *Checkpoint) error {
 		return fmt.Errorf("gateway: checkpoint temp: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	enc := json.NewEncoder(tmp)
-	if err := enc.Encode(cp); err != nil {
+	payload, err := json.Marshal(cp)
+	if err != nil {
 		tmp.Close()
 		return fmt.Errorf("gateway: checkpoint encode: %w", err)
+	}
+	var hdr [12]byte
+	copy(hdr[:8], ckptMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(payload, ckptCRCTable))
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		_, err = tmp.Write(payload)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("gateway: checkpoint write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -171,15 +215,31 @@ func WriteCheckpoint(path string, cp *Checkpoint) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("gateway: checkpoint rename: %w", err)
 	}
+	// POSIX durability contract: fsync on the temp file persists its
+	// contents, but the rename lives in the directory, and only an fsync of
+	// the directory persists that. Without it a power failure can roll the
+	// name back to the old file — or to nothing.
+	if err := wal.SyncDir(dir); err != nil {
+		return fmt.Errorf("gateway: checkpoint dir sync: %w", err)
+	}
 	return nil
 }
 
-// ReadCheckpoint loads a checkpoint written by WriteCheckpoint, migrating
-// older schemas (the unenveloped v1 files) forward on the way in.
+// ReadCheckpoint loads a checkpoint written by WriteCheckpoint, verifying
+// the checksum envelope (damage reports ErrCorruptCheckpoint) and
+// migrating older schemas — the pre-CRC bare-JSON files and the
+// unenveloped v1 payloads inside them — forward on the way in.
 func ReadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: read checkpoint: %w", err)
+	}
+	if len(data) >= 12 && bytes.Equal(data[:8], ckptMagic[:]) {
+		want := binary.LittleEndian.Uint32(data[8:12])
+		data = data[12:]
+		if crc32.Checksum(data, ckptCRCTable) != want {
+			return nil, fmt.Errorf("%w: %s fails CRC", ErrCorruptCheckpoint, path)
+		}
 	}
 	var cp Checkpoint
 	if err := json.Unmarshal(data, &cp); err != nil {

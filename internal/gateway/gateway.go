@@ -8,6 +8,7 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/event"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 	"repro/internal/window"
 )
 
@@ -76,7 +78,7 @@ type gwMetrics struct {
 }
 
 func newGwMetrics(reg *telemetry.Registry) gwMetrics {
-	return gwMetrics{
+	m := gwMetrics{
 		events:        reg.Counter(metricGwEvents, "Events ingested by the gateway."),
 		windows:       reg.Counter(metricGwWindows, "Windows run through the online detector."),
 		violations:    reg.Counter(metricGwViolations, "Windows on which a check fired."),
@@ -86,6 +88,16 @@ func newGwMetrics(reg *telemetry.Registry) gwMetrics {
 		dark:          reg.Gauge(metricGwDark, "Devices currently past the silence threshold."),
 		alertLatency:  reg.Histogram(metricGwAlertLatency, "Stream-time lag between detection and report, in seconds.", telemetry.ExpBuckets(60, 2, 8)),
 	}
+	// Registry instruments are get-or-create, but a fresh gateway's stats
+	// are zero by definition: when a supervised restart rebuilds a gateway
+	// on its tenant's existing registry, the counters must not keep the
+	// dead pipeline's totals or a cold-start WAL replay would double-count
+	// (a checkpoint restore re-Stores the right values right after).
+	for _, c := range []*telemetry.Counter{m.events, m.windows, m.violations, m.alerts, m.alertsDropped, m.liveness} {
+		c.Store(0)
+	}
+	m.dark.Set(0)
+	return m
 }
 
 // Gateway runs DICE over a live event stream. Events must be ingested in
@@ -112,18 +124,42 @@ type Gateway struct {
 	lastSeen      map[device.ID]time.Duration
 	dark          map[device.ID]bool
 	streamNow     time.Duration
+
+	// Durability: ops append to the WAL (when attached) before mutating
+	// state; walSeq is the sequence number of the last op this gateway has
+	// logged or replayed, carried into checkpoints so replay can skip the
+	// covered prefix. walBuf is the reused encode buffer that keeps the
+	// append path allocation-free.
+	wal    *wal.Log
+	walSeq uint64
+	walBuf []byte
+
+	// Supervision: home names this gateway's tenant in dead-letter entries,
+	// ingestHook runs before any state mutation (fault-injection seam),
+	// deadLetter captures ops whose replay panicked, replaying marks WAL
+	// replay in progress, and rebasePending arms the liveness clock rebase
+	// (consumed on the first live clock movement after a restore).
+	home          string
+	ingestHook    func(event.Event) error
+	deadLetter    *wal.DeadLetter
+	replaying     bool
+	rebasePending bool
 }
 
 // Option configures a Gateway at construction.
 type Option func(*gwOptions)
 
 type gwOptions struct {
-	cfg      core.Config
-	detOpts  []core.Option
-	liveness time.Duration
-	tel      *telemetry.Registry
-	alertBuf int
-	cp       *Checkpoint
+	cfg        core.Config
+	detOpts    []core.Option
+	liveness   time.Duration
+	tel        *telemetry.Registry
+	alertBuf   int
+	cp         *Checkpoint
+	wal        *wal.Log
+	home       string
+	ingestHook func(event.Event) error
+	deadLetter *wal.DeadLetter
 }
 
 // WithConfig sets the detector configuration.
@@ -165,6 +201,38 @@ func WithCheckpoint(cp *Checkpoint) Option {
 	return func(o *gwOptions) { o.cp = cp }
 }
 
+// WithWAL attaches an opened write-ahead log: every accepted Ingest and
+// effective AdvanceTo is framed and appended before it mutates detector
+// state, and RecoverWAL replays the tail past the restored checkpoint so a
+// crash between checkpoints loses nothing. The gateway does not own the
+// log's lifetime — the caller (hub or cmd) closes it.
+func WithWAL(w *wal.Log) Option {
+	return func(o *gwOptions) { o.wal = w }
+}
+
+// WithHome names the tenant this gateway serves; it is stamped into
+// dead-letter entries so a shared forensics file stays attributable.
+func WithHome(home string) Option {
+	return func(o *gwOptions) { o.home = home }
+}
+
+// WithIngestHook installs a hook that runs on every ingested event before
+// any counter or state mutation — while replaying the WAL as well as live.
+// It exists as the supervision seam: a hook that panics models a poison
+// event (the panic escapes Ingest with all state untouched), and a hook
+// that returns an error rejects the event. Production gateways leave it
+// nil.
+func WithIngestHook(fn func(event.Event) error) Option {
+	return func(o *gwOptions) { o.ingestHook = fn }
+}
+
+// WithDeadLetter attaches a sink for ops whose replay panics: instead of
+// wedging recovery forever, the offending record is captured there and
+// skipped. Nil (the default) discards such records silently.
+func WithDeadLetter(d *wal.DeadLetter) Option {
+	return func(o *gwOptions) { o.deadLetter = d }
+}
+
 // New builds a gateway around a trained context with functional options.
 func New(ctx *core.Context, opts ...Option) (*Gateway, error) {
 	var o gwOptions
@@ -195,6 +263,10 @@ func New(ctx *core.Context, opts ...Option) (*Gateway, error) {
 		liveThreshold: o.liveness,
 		lastSeen:      make(map[device.ID]time.Duration),
 		dark:          make(map[device.ID]bool),
+		wal:           o.wal,
+		home:          o.home,
+		ingestHook:    o.ingestHook,
+		deadLetter:    o.deadLetter,
 	}
 	if o.cp != nil {
 		if err := g.RestoreCheckpoint(o.cp); err != nil {
@@ -312,12 +384,31 @@ func (g *Gateway) Liveness() []DeviceLiveness {
 }
 
 // Ingest feeds one event. Completed windows are run through the detector
-// immediately.
+// immediately. With a WAL attached the event is made durable (per the sync
+// policy) before any state mutates, so a crash at any point either replays
+// the event or never acknowledged it.
 func (g *Gateway) Ingest(e event.Event) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if e.At < g.horizon {
 		return fmt.Errorf("gateway: event at %s regresses behind %s", e.At, g.horizon)
+	}
+	if err := g.logRecordLocked(wal.IngestRecord(e)); err != nil {
+		return err
+	}
+	return g.ingestLocked(e)
+}
+
+// ingestLocked applies one event to detector state. It is the shared path
+// for live ingest and WAL replay — the latter must mutate state exactly as
+// the former did, or a recovered run diverges. The ingest hook runs first,
+// before any mutation, so a hook that panics (poison event) or errors
+// leaves the gateway bit-identical to never having seen the event.
+func (g *Gateway) ingestLocked(e event.Event) error {
+	if g.ingestHook != nil {
+		if err := g.ingestHook(e); err != nil {
+			return err
+		}
 	}
 	g.met.events.Inc()
 	g.lastSeen[e.Device] = e.At
@@ -325,9 +416,7 @@ func (g *Gateway) Ingest(e event.Event) error {
 		delete(g.dark, e.Device) // a dark device that reports again has recovered
 		g.met.dark.Set(int64(len(g.dark)))
 	}
-	if e.At > g.streamNow {
-		g.streamNow = e.At
-	}
+	g.observeClockLocked(e.At)
 	done, err := g.builder.Add(e)
 	if err != nil {
 		return err
@@ -341,17 +430,27 @@ func (g *Gateway) Ingest(e event.Event) error {
 
 // AdvanceTo declares that stream time has reached t, closing any windows
 // that ended before it even if no events arrived (a silent home must still
-// produce windows: an all-quiet window is itself a state set).
+// produce windows: an all-quiet window is itself a state set). Only an
+// advance that actually moves the horizon is logged to the WAL, so replay
+// sees exactly the ops that mutated state.
 func (g *Gateway) AdvanceTo(t time.Duration) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if t <= g.horizon {
 		return nil
 	}
-	g.horizon = t
-	if t > g.streamNow {
-		g.streamNow = t
+	if err := g.logRecordLocked(wal.AdvanceRecord(t)); err != nil {
+		return err
 	}
+	return g.advanceLocked(t)
+}
+
+func (g *Gateway) advanceLocked(t time.Duration) error {
+	if t <= g.horizon {
+		return nil
+	}
+	g.horizon = t
+	g.observeClockLocked(t)
 	done, err := g.builder.AdvanceTo(t)
 	if err != nil {
 		return err
@@ -361,6 +460,116 @@ func (g *Gateway) AdvanceTo(t time.Duration) error {
 	}
 	g.checkLivenessLocked()
 	return nil
+}
+
+// observeClockLocked moves the stream clock forward. The first live (not
+// replayed) movement after a restore consumes the pending liveness rebase:
+// if the jump exceeds the silence threshold, the gap is gateway downtime,
+// not device silence, so every last-seen stamp shifts forward by the gap —
+// otherwise a gateway down for an afternoon would declare the whole home
+// dark before the first post-restart window. A seamless resume (jump
+// within the threshold) shifts nothing, keeping restart bit-identity.
+func (g *Gateway) observeClockLocked(t time.Duration) {
+	if t <= g.streamNow {
+		return
+	}
+	if g.rebasePending && !g.replaying {
+		if delta := t - g.streamNow; g.liveThreshold > 0 && delta > g.liveThreshold {
+			for id := range g.lastSeen {
+				g.lastSeen[id] += delta
+			}
+		}
+		g.rebasePending = false
+	}
+	g.streamNow = t
+}
+
+// logRecordLocked appends one op to the WAL (no-op without one). The
+// record encodes into a reused buffer, so the hot path stays free of
+// steady-state allocations.
+func (g *Gateway) logRecordLocked(rec wal.Record) error {
+	if g.wal == nil {
+		return nil
+	}
+	g.walBuf = rec.AppendTo(g.walBuf[:0])
+	seq, err := g.wal.Append(g.walBuf)
+	if err != nil {
+		return fmt.Errorf("gateway: wal append: %w", err)
+	}
+	g.walSeq = seq
+	return nil
+}
+
+// WALSeq returns the sequence number of the last op logged or replayed (0
+// when no WAL is attached or nothing has been logged).
+func (g *Gateway) WALSeq() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.walSeq
+}
+
+// WAL returns the attached log (nil if none) so owners can truncate it
+// after persisting a covering checkpoint.
+func (g *Gateway) WAL() *wal.Log { return g.wal }
+
+// Home returns the tenant name set with WithHome ("" for single-home).
+func (g *Gateway) Home() string { return g.home }
+
+// RecoverWAL replays the attached WAL's tail past the last checkpointed
+// sequence number (WALSeq of the restored checkpoint, or the whole log on
+// a cold start), re-applying each op through the same code path live
+// ingest uses. Call it once, after New/RestoreCheckpoint and before any
+// live traffic. A record whose application panics — the poison event that
+// likely killed the previous incarnation — is captured to the dead-letter
+// sink and skipped, so recovery cannot wedge on its own history. Errors
+// returned by individual ops are discarded, mirroring the live run where
+// the caller received them and the gateway kept going.
+func (g *Gateway) RecoverWAL() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.wal == nil {
+		return nil
+	}
+	g.replaying = true
+	err := g.wal.Replay(g.walSeq, func(seq uint64, payload []byte) error {
+		rec, derr := wal.DecodeRecord(payload)
+		if derr != nil {
+			return derr
+		}
+		g.applyRecordLocked(seq, rec)
+		g.walSeq = seq
+		return nil
+	})
+	g.replaying = false
+	if err != nil {
+		return fmt.Errorf("gateway: wal replay: %w", err)
+	}
+	// Continue the sequence chain from the log's true tail even if replay
+	// stopped early (decode skip or a damaged middle segment): new appends
+	// get fresh sequence numbers either way.
+	if last := g.wal.LastSeq(); last > g.walSeq {
+		g.walSeq = last
+	}
+	g.rebasePending = true
+	return nil
+}
+
+// applyRecordLocked applies one replayed op, converting a panic into a
+// dead-letter entry + skip instead of letting it wedge recovery.
+func (g *Gateway) applyRecordLocked(seq uint64, rec wal.Record) {
+	defer func() {
+		if p := recover(); p != nil {
+			//nolint:errcheck // forensics, not state: a failed dead-letter
+			// write must not abort recovery.
+			g.deadLetter.Record(wal.Entry(g.home, seq, rec, p, debug.Stack(), true))
+		}
+	}()
+	switch rec.Kind {
+	case wal.KindIngest:
+		g.ingestLocked(rec.Event()) //nolint:errcheck // see RecoverWAL doc
+	case wal.KindAdvance:
+		g.advanceLocked(rec.At) //nolint:errcheck // see RecoverWAL doc
+	}
 }
 
 // checkLivenessLocked raises one fail-stop alert per device whose silence

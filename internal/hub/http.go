@@ -21,6 +21,8 @@ import (
 //	GET /tenants/{home}/stats        one tenant's Stats (drained first)
 //	GET /tenants/{home}/alerts/last  the tenant's last alert with Explain
 //	GET /tenants/{home}/liveness     the tenant's silence tracker
+//	GET /tenants/{home}/health       the tenant's supervision state
+//	                                 (healthy/degraded/quarantined/evicted)
 //	GET /healthz                     200 ok
 //	GET /debug/pprof/                the standard pprof index
 //
@@ -74,6 +76,18 @@ func (h *Hub) HTTPHandler() http.Handler {
 		if t, ok := lookup(w, r); ok {
 			writeJSON(w, t.Liveness())
 		}
+	})
+	mux.HandleFunc("GET /tenants/{home}/health", func(w http.ResponseWriter, r *http.Request) {
+		home := r.PathValue("home")
+		st, ok := h.Health(home)
+		if !ok {
+			http.Error(w, "unknown home", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, struct {
+			Home   string `json:"home"`
+			Health Health `json:"health"`
+		}{Home: home, Health: st})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n")) //nolint:errcheck // client went away

@@ -30,10 +30,15 @@ import (
 	"repro/internal/event"
 	"repro/internal/gateway"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 // ErrShed is returned by TryIngest when the target shard's queue is full.
 var ErrShed = errors.New("hub: shard queue full, event shed")
+
+// ErrDeadline is returned by Ingest when an ingest deadline is configured
+// and the shard queue stayed full for its whole duration.
+var ErrDeadline = errors.New("hub: ingest deadline exceeded, event shed")
 
 // ErrClosed is returned by every operation on a closed hub.
 var ErrClosed = errors.New("hub: closed")
@@ -59,6 +64,13 @@ const (
 	metricHubRebalances    = "dice_hub_rebalances_total"
 	metricHubAlertsDropped = "dice_hub_alerts_dropped_total"
 	metricHubIngestErrors  = "dice_hub_ingest_errors_total"
+	metricHubPanics        = "dice_hub_panics_total"
+	metricHubRestarts      = "dice_hub_restarts_total"
+	metricHubQuarantined   = "dice_hub_quarantined"
+	metricHubDroppedOps    = "dice_hub_dropped_ops_total"
+	metricHubDeadlineSheds = "dice_hub_degraded_sheds_total"
+	metricHubCorruptCkpts  = "dice_hub_corrupt_checkpoints_total"
+	metricHubBreakerTrips  = "dice_hub_breaker_trips_total"
 )
 
 type hubMetrics struct {
@@ -67,6 +79,13 @@ type hubMetrics struct {
 	rebalances    *telemetry.Counter
 	alertsDropped *telemetry.Counter
 	ingestErrors  *telemetry.Counter
+	panics        *telemetry.Counter
+	restarts      *telemetry.Counter
+	quarantined   *telemetry.Gauge
+	droppedOps    *telemetry.Counter
+	deadlineSheds *telemetry.Counter
+	corruptCkpts  *telemetry.Counter
+	breakerTrips  *telemetry.Counter
 }
 
 func newHubMetrics(reg *telemetry.Registry) hubMetrics {
@@ -76,6 +95,13 @@ func newHubMetrics(reg *telemetry.Registry) hubMetrics {
 		rebalances:    reg.Counter(metricHubRebalances, "Shard pool resizes."),
 		alertsDropped: reg.Counter(metricHubAlertsDropped, "Tenant alerts dropped because the hub buffer was full."),
 		ingestErrors:  reg.Counter(metricHubIngestErrors, "Shard ops rejected by a tenant gateway."),
+		panics:        reg.Counter(metricHubPanics, "Tenant dispatch panics caught by the supervisor."),
+		restarts:      reg.Counter(metricHubRestarts, "Tenant gateways rebuilt from durable state after a panic."),
+		quarantined:   reg.Gauge(metricHubQuarantined, "Tenants currently quarantined."),
+		droppedOps:    reg.Counter(metricHubDroppedOps, "Ops dropped because their tenant was quarantined."),
+		deadlineSheds: reg.Counter(metricHubDeadlineSheds, "Events shed by the overload policy (cold shed or deadline)."),
+		corruptCkpts:  reg.Counter(metricHubCorruptCkpts, "Checkpoints rejected by the checksum envelope (cold start + WAL replay instead)."),
+		breakerTrips:  reg.Counter(metricHubBreakerTrips, "Times a tenant's restart circuit breaker opened."),
 	}
 }
 
@@ -117,9 +143,20 @@ type shard struct {
 // tenant is the hub's private per-home state around the public gateway.
 type tenant struct {
 	home   string
-	gw     *gateway.Gateway
 	tel    *telemetry.Registry
 	cpPath string
+
+	// Rebuild inputs: after a panic the supervisor reconstructs the
+	// gateway from the same trained context, resolved options (which embed
+	// the telemetry registry, WAL, and dead-letter sink), and durable state.
+	cctx   *core.Context
+	gwOpts []gateway.Option
+	wl     *wal.Log
+	dl     *wal.DeadLetter
+
+	// gw is the live gateway, swapped atomically on supervised restart so
+	// shard workers and HTTP readers never see a torn pipeline.
+	gw atomic.Pointer[gateway.Gateway]
 
 	// restore runs at most once, on the first shard op (or the first
 	// checkpoint/evict if no op ever arrives): lazy loading keeps hub
@@ -130,31 +167,60 @@ type tenant struct {
 	// lastOp is wall-clock nanos of the last applied op, for idle eviction.
 	lastOp atomic.Int64
 
+	// Supervision state: health is the stored state machine position,
+	// suspect marks in-memory gateway state that must never be
+	// checkpointed (set on panic, cleared by a successful restart), and
+	// panicTimes is the circuit breaker's strike record (guarded by sup).
+	health     atomic.Int32
+	suspect    atomic.Bool
+	panicTimes []time.Time
+
+	// Overload accounting: op volume in the current and previous hotness
+	// epochs, and when the shedding policy last cost this tenant an event.
+	recentCur  atomic.Int64
+	recentPrev atomic.Int64
+	lastShed   atomic.Int64
+
+	// sup serializes forwarder lifecycle and restart against eviction.
 	// stop ends the alert forwarder; fwdDone confirms it drained and left.
+	sup     sync.Mutex
 	stop    chan struct{}
 	fwdDone chan struct{}
 }
 
-func (t *tenant) ensureRestored() error {
-	t.restore.Do(func() {
-		if t.cpPath == "" {
-			return
-		}
-		if _, err := os.Stat(t.cpPath); errors.Is(err, fs.ErrNotExist) {
-			return
-		}
-		cp, err := gateway.ReadCheckpoint(t.cpPath)
-		if err != nil {
-			t.restoreErr = err
-			return
-		}
-		if cp.Home != "" && cp.Home != t.home {
-			t.restoreErr = fmt.Errorf("hub: checkpoint %s belongs to home %q, not %q", t.cpPath, cp.Home, t.home)
-			return
-		}
-		t.restoreErr = t.gw.RestoreCheckpoint(cp)
-	})
+// gateway returns the tenant's live gateway.
+func (t *tenant) gateway() *gateway.Gateway { return t.gw.Load() }
+
+func (t *tenant) ensureRestored(h *Hub) error {
+	t.restore.Do(func() { t.restoreErr = h.restoreGateway(t, t.gateway()) })
 	return t.restoreErr
+}
+
+// restoreGateway loads the tenant's durable state into gw: the on-disk
+// checkpoint if a valid one exists — a file that fails its checksum
+// envelope is counted and treated as absent (cold start), per the
+// corruption contract — followed by WAL replay of everything past it.
+func (h *Hub) restoreGateway(t *tenant, gw *gateway.Gateway) error {
+	if t.cpPath != "" {
+		if _, serr := os.Stat(t.cpPath); serr == nil {
+			cp, err := gateway.ReadCheckpoint(t.cpPath)
+			switch {
+			case errors.Is(err, gateway.ErrCorruptCheckpoint):
+				h.met.corruptCkpts.Inc()
+			case err != nil:
+				return err
+			case cp.Home != "" && cp.Home != t.home:
+				return fmt.Errorf("hub: checkpoint %s belongs to home %q, not %q", t.cpPath, cp.Home, t.home)
+			default:
+				if err := gw.RestoreCheckpoint(cp); err != nil {
+					return err
+				}
+			}
+		} else if !errors.Is(serr, fs.ErrNotExist) {
+			return serr
+		}
+	}
+	return gw.RecoverWAL()
 }
 
 // Tenant is the public handle to one registered home.
@@ -168,13 +234,13 @@ func (tn *Tenant) Home() string { return tn.t.home }
 
 // Stats snapshots the tenant gateway's counters. Queued-but-unapplied
 // shard ops are not yet reflected; Drain first for a settled view.
-func (tn *Tenant) Stats() gateway.Stats { return tn.t.gw.Stats() }
+func (tn *Tenant) Stats() gateway.Stats { return tn.t.gateway().Stats() }
 
 // LastAlert returns the tenant's most recent alert with its Explain trace.
-func (tn *Tenant) LastAlert() (gateway.Alert, bool) { return tn.t.gw.LastAlert() }
+func (tn *Tenant) LastAlert() (gateway.Alert, bool) { return tn.t.gateway().LastAlert() }
 
 // Liveness snapshots the tenant's silence tracker.
-func (tn *Tenant) Liveness() []gateway.DeviceLiveness { return tn.t.gw.Liveness() }
+func (tn *Tenant) Liveness() []gateway.DeviceLiveness { return tn.t.gateway().Liveness() }
 
 // Telemetry returns the tenant's private registry — the series that show
 // up under this tenant's home label on the hub's merged /metrics.
@@ -184,13 +250,19 @@ func (tn *Tenant) Telemetry() *telemetry.Registry { return tn.t.tel }
 type Option func(*options)
 
 type options struct {
-	shards     int
-	queueDepth int
-	alertBuf   int
-	cpPath     func(home string) string
-	cpInterval time.Duration
-	idle       time.Duration
-	tel        *telemetry.Registry
+	shards         int
+	queueDepth     int
+	alertBuf       int
+	cpPath         func(home string) string
+	cpInterval     time.Duration
+	idle           time.Duration
+	tel            *telemetry.Registry
+	walDir         string
+	walSync        wal.SyncPolicy
+	maxPanics      int
+	panicWindow    time.Duration
+	restartBackoff time.Duration
+	ingestDeadline time.Duration
 }
 
 // WithShards sets the worker pool size (default 4). Any positive count
@@ -248,10 +320,54 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(o *options) { o.tel = reg }
 }
 
+// WithWALDir gives every tenant a write-ahead log under dir/<home>/: ops
+// append (per the sync policy) before they mutate detector state, restarts
+// replay the tail past the last checkpoint, and a successful checkpoint
+// truncates the covered segments. With both a checkpoint dir and a WAL
+// dir, a hard kill at any instant loses nothing. Dead-letter files land at
+// dir/<home>.dead.jsonl.
+func WithWALDir(dir string) Option {
+	return func(o *options) { o.walDir = dir }
+}
+
+// WithWALSync sets the WAL fsync policy (default wal.SyncBatch) — the
+// durability/throughput trade-off of the -fsync flag.
+func WithWALSync(p wal.SyncPolicy) Option {
+	return func(o *options) { o.walSync = p }
+}
+
+// WithSupervision tunes the per-tenant circuit breaker: maxPanics caught
+// panics within window open the breaker, leaving the tenant quarantined
+// instead of restarting it again. Defaults: 5 panics in 1 minute.
+func WithSupervision(maxPanics int, window time.Duration) Option {
+	return func(o *options) {
+		o.maxPanics = maxPanics
+		o.panicWindow = window
+	}
+}
+
+// WithRestartBackoff sets the base delay before a quarantined tenant is
+// rebuilt (default 250ms); each strike within the breaker window doubles
+// it, capped at 30s.
+func WithRestartBackoff(d time.Duration) Option {
+	return func(o *options) { o.restartBackoff = d }
+}
+
+// WithIngestDeadline bounds how long an enqueue may wait on a full shard
+// queue before shedding the event: Ingest returns ErrDeadline instead of
+// blocking forever, and TryIngest spends the deadline waiting only for hot
+// (recently busy) tenants — cold tenants shed immediately, so under
+// overload the tenants with the most signal keep the queue slots. Zero
+// (the default) preserves pure backpressure semantics.
+func WithIngestDeadline(d time.Duration) Option {
+	return func(o *options) { o.ingestDeadline = d }
+}
+
 // Hub owns N tenants and the shard pool that feeds them.
 type Hub struct {
-	mu      sync.RWMutex // guards tenants, shards, closed
+	mu      sync.RWMutex // guards tenants, evicted, shards, closed
 	tenants map[string]*tenant
+	evicted map[string]bool // homes this instance evicted, for /health
 	shards  []*shard
 	closed  bool
 
@@ -276,12 +392,22 @@ func New(opts ...Option) (*Hub, error) {
 	if o.alertBuf <= 0 {
 		o.alertBuf = 256
 	}
+	if o.maxPanics <= 0 {
+		o.maxPanics = 5
+	}
+	if o.panicWindow <= 0 {
+		o.panicWindow = time.Minute
+	}
+	if o.restartBackoff <= 0 {
+		o.restartBackoff = 250 * time.Millisecond
+	}
 	tel := o.tel
 	if tel == nil {
 		tel = telemetry.NewRegistry()
 	}
 	h := &Hub{
 		tenants: make(map[string]*tenant),
+		evicted: make(map[string]bool),
 		alerts:  make(chan TenantAlert, o.alertBuf),
 		tel:     tel,
 		met:     newHubMetrics(tel),
@@ -324,21 +450,10 @@ func (h *Hub) worker(s *shard) {
 		case opStall:
 			<-o.done
 		case opIngest:
-			h.applyOp(o.t, func(g *gateway.Gateway) error { return g.Ingest(o.ev) })
+			h.applyOp(o, func(g *gateway.Gateway) error { return g.Ingest(o.ev) })
 		case opAdvance:
-			h.applyOp(o.t, func(g *gateway.Gateway) error { return g.AdvanceTo(o.at) })
+			h.applyOp(o, func(g *gateway.Gateway) error { return g.AdvanceTo(o.at) })
 		}
-	}
-}
-
-func (h *Hub) applyOp(t *tenant, f func(*gateway.Gateway) error) {
-	if err := t.ensureRestored(); err != nil {
-		h.met.ingestErrors.Inc()
-		return
-	}
-	t.lastOp.Store(time.Now().UnixNano())
-	if err := f(t.gw); err != nil {
-		h.met.ingestErrors.Inc()
 	}
 }
 
@@ -379,32 +494,60 @@ func (h *Hub) Register(home string, cctx *core.Context, opts ...gateway.Option) 
 		return nil, fmt.Errorf("hub: home %q already registered", home)
 	}
 	tel := telemetry.NewRegistry()
-	gw, err := gateway.New(cctx, append(append([]gateway.Option(nil), opts...), gateway.WithTelemetry(tel))...)
-	if err != nil {
-		return nil, err
-	}
+	// The resolved option set is stored on the tenant so a supervised
+	// restart rebuilds an identical pipeline: same registry (counters
+	// resume via checkpoint restore), same WAL, same dead-letter sink.
+	resolved := append(append([]gateway.Option(nil), opts...),
+		gateway.WithTelemetry(tel), gateway.WithHome(home))
 	t := &tenant{
-		home:    home,
-		gw:      gw,
-		tel:     tel,
-		stop:    make(chan struct{}),
-		fwdDone: make(chan struct{}),
+		home: home,
+		tel:  tel,
+		cctx: cctx,
 	}
 	if h.o.cpPath != nil {
 		t.cpPath = h.o.cpPath(home)
 	}
+	if h.o.walDir != "" {
+		w, err := wal.Open(filepath.Join(h.o.walDir, home), wal.Options{Sync: h.o.walSync, Telemetry: tel})
+		if err != nil {
+			return nil, err
+		}
+		t.wl = w
+		t.dl = wal.OpenDeadLetter(filepath.Join(h.o.walDir, home+".dead.jsonl"))
+		resolved = append(resolved, gateway.WithWAL(w), gateway.WithDeadLetter(t.dl))
+	} else if t.cpPath != "" {
+		t.dl = wal.OpenDeadLetter(t.cpPath + ".dead.jsonl")
+		resolved = append(resolved, gateway.WithDeadLetter(t.dl))
+	}
+	t.gwOpts = resolved
+	gw, err := gateway.New(cctx, resolved...)
+	if err != nil {
+		if t.wl != nil {
+			t.wl.Close() //nolint:errcheck // construction failed; best effort
+		}
+		return nil, err
+	}
+	t.gw.Store(gw)
+	t.stop = make(chan struct{})
+	t.fwdDone = make(chan struct{})
 	t.lastOp.Store(time.Now().UnixNano())
 	h.tenants[home] = t
+	delete(h.evicted, home)
 	h.met.tenants.Set(int64(len(h.tenants)))
-	go h.forward(t)
+	go h.forward(t, gw, t.stop, t.fwdDone)
 	return &Tenant{h: h, t: t}, nil
 }
 
-// forward pumps one tenant's alert channel into the hub channel, tagging
+// forward pumps one gateway's alert channel into the hub channel, tagging
 // each alert with the home. Per-tenant order is preserved (one forwarder,
-// FIFO channels); cross-tenant interleaving is scheduling-dependent.
-func (h *Hub) forward(t *tenant) {
-	defer close(t.fwdDone)
+// FIFO channels); cross-tenant interleaving is scheduling-dependent. The
+// gateway and channels are parameters, not read from the tenant, because a
+// supervised restart swaps all three: the old forwarder flushes the old
+// pipe and exits, the new one binds to the rebuilt gateway. Alert delivery
+// across a restart is therefore at-least-once — replay re-emits alerts
+// newer than the last checkpoint.
+func (h *Hub) forward(t *tenant, gw *gateway.Gateway, stop, fwdDone chan struct{}) {
+	defer close(fwdDone)
 	deliver := func(a gateway.Alert) {
 		select {
 		case h.alerts <- TenantAlert{Home: t.home, Alert: a}:
@@ -414,16 +557,16 @@ func (h *Hub) forward(t *tenant) {
 	}
 	for {
 		select {
-		case <-t.stop:
+		case <-stop:
 			for {
 				select {
-				case a := <-t.gw.Alerts():
+				case a := <-gw.Alerts():
 					deliver(a)
 				default:
 					return
 				}
 			}
-		case a := <-t.gw.Alerts():
+		case a := <-gw.Alerts():
 			deliver(a)
 		}
 	}
@@ -464,6 +607,13 @@ func (h *Hub) shardForLocked(home string) *shard {
 // shedding otherwise. The read lock held across the channel send is what
 // makes Resize safe: queues are only closed under the write lock, which
 // cannot be acquired while a send is in flight.
+//
+// With an ingest deadline configured, a full queue engages the overload
+// policy for data ops: blocking sends wait at most the deadline
+// (ErrDeadline after), and non-blocking sends spend the deadline waiting
+// only when the tenant is hot — cold tenants shed immediately, so the
+// busiest homes keep the queue slots. Barriers and stalls always block:
+// Drain's correctness depends on it.
 func (h *Hub) enqueue(home string, o op, block bool) error {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
@@ -477,7 +627,8 @@ func (h *Hub) enqueue(home string, o op, block bool) error {
 	o.t = t
 	s := h.shardForLocked(home)
 	s.depth.Add(1)
-	if block {
+	dataOp := o.kind == opIngest || o.kind == opAdvance
+	if block && (h.o.ingestDeadline <= 0 || !dataOp) {
 		s.ops <- o
 		return nil
 	}
@@ -485,8 +636,32 @@ func (h *Hub) enqueue(home string, o op, block bool) error {
 	case s.ops <- o:
 		return nil
 	default:
+	}
+	// Queue full. Decide whether this op is worth waiting the deadline for.
+	wait := block
+	if !block && dataOp && h.o.ingestDeadline > 0 {
+		wait = h.isHotLocked(t)
+	}
+	if !wait {
 		s.depth.Add(-1)
 		s.shed.Inc()
+		t.shedNow()
+		h.met.deadlineSheds.Inc()
+		return ErrShed
+	}
+	timer := time.NewTimer(h.o.ingestDeadline)
+	defer timer.Stop()
+	select {
+	case s.ops <- o:
+		return nil
+	case <-timer.C:
+		s.depth.Add(-1)
+		s.shed.Inc()
+		t.shedNow()
+		h.met.deadlineSheds.Inc()
+		if block {
+			return ErrDeadline
+		}
 		return ErrShed
 	}
 }
@@ -543,17 +718,26 @@ func (h *Hub) DrainAll() error {
 
 // checkpointTenant writes one tenant's state (home-stamped) to its path.
 // ensureRestored runs first so an untouched tenant round-trips its on-disk
-// checkpoint instead of overwriting it with blank state.
+// checkpoint instead of overwriting it with blank state. A suspect tenant
+// (panicked, not yet rebuilt) is skipped: its in-memory state may be
+// half-mutated, and the durable checkpoint + WAL on disk are strictly
+// better. A successful write lets the WAL shed the segments it covers.
 func (h *Hub) checkpointTenant(t *tenant) error {
-	if t.cpPath == "" {
+	if t.cpPath == "" || t.suspect.Load() {
 		return nil
 	}
-	if err := t.ensureRestored(); err != nil {
+	if err := t.ensureRestored(h); err != nil {
 		return err
 	}
-	cp := t.gw.ExportCheckpoint()
+	cp := t.gateway().ExportCheckpoint()
 	cp.Home = t.home
-	return gateway.WriteCheckpoint(t.cpPath, cp)
+	if err := gateway.WriteCheckpoint(t.cpPath, cp); err != nil {
+		return err
+	}
+	if t.wl != nil {
+		return t.wl.TruncateThrough(cp.WALSeq)
+	}
+	return nil
 }
 
 // CheckpointAll drains the shards and persists every tenant that has a
@@ -592,6 +776,7 @@ func (h *Hub) Evict(home string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownHome, home)
 	}
 	delete(h.tenants, home)
+	h.evicted[home] = true
 	h.met.tenants.Set(int64(len(h.tenants)))
 	h.mu.Unlock()
 
@@ -600,10 +785,22 @@ func (h *Hub) Evict(home string) error {
 	if err := h.DrainAll(); err != nil && !errors.Is(err, ErrClosed) {
 		return err
 	}
-	close(t.stop)
-	<-t.fwdDone
+	// Marking the tenant Evicted under sup closes the race with a pending
+	// supervised restart: restartTenant aborts on Evicted, and whichever
+	// side holds sup first wins cleanly.
+	t.sup.Lock()
+	t.health.Store(int32(HealthEvicted))
+	t.stopForwarderLocked()
+	t.sup.Unlock()
+	h.updateQuarantineGauge()
 	h.met.evictions.Inc()
-	return h.checkpointTenant(t)
+	err := h.checkpointTenant(t)
+	if t.wl != nil {
+		if cerr := t.wl.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // evictIdle evicts tenants whose last applied op is older than the idle
@@ -709,6 +906,13 @@ func (h *Hub) Run(ctx context.Context, onAlert func(TenantAlert)) error {
 		defer tick.Stop()
 		idleC = tick.C
 	}
+	var epochC <-chan time.Time
+	if h.o.ingestDeadline > 0 {
+		// Age the hotness windows the shedding policy ranks tenants by.
+		tick := time.NewTicker(15 * time.Second)
+		defer tick.Stop()
+		epochC = tick.C
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -730,6 +934,8 @@ func (h *Hub) Run(ctx context.Context, onAlert func(TenantAlert)) error {
 			h.CheckpointAll() //nolint:errcheck // periodic; final write happens on exit
 		case <-idleC:
 			h.evictIdle()
+		case <-epochC:
+			h.rollEpochs()
 		}
 	}
 }
@@ -758,10 +964,16 @@ func (h *Hub) Close() error {
 	}
 	var first error
 	for _, t := range ts {
-		close(t.stop)
-		<-t.fwdDone
+		t.sup.Lock()
+		t.stopForwarderLocked()
+		t.sup.Unlock()
 		if err := h.checkpointTenant(t); err != nil && first == nil {
 			first = err
+		}
+		if t.wl != nil {
+			if err := t.wl.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first
