@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-telemetry race-hub bench bench-scan bench-eval bench-hub bench-recovery
+.PHONY: check vet staticcheck build test race race-telemetry race-hub bench bench-scan bench-eval bench-hub bench-recovery fuzz-smoke perf-gate
 
-check: vet staticcheck build race-telemetry race-hub race
+check: vet staticcheck build race-telemetry race-hub race fuzz-smoke perf-gate
 
 vet:
 	$(GO) vet ./...
@@ -50,11 +50,27 @@ bench-scan:
 
 bench-eval:
 	$(GO) test -bench 'BenchmarkEvaluateParallel$$' -benchtime 2x -run TestBenchFixtures .
+	$(GO) run ./cmd/dice-eval -exp latency -trials 8 -benchjson BENCH_eval.json
 
-# Multi-home hub throughput → BENCH_hub.json.
+# Multi-home hub throughput (binary batch path vs JSON baseline)
+# → BENCH_hub.json.
 bench-hub:
 	$(GO) run ./cmd/dice-eval -exp hub
 
 # WAL fsync pricing + crash-recovery timing → BENCH_recovery.json.
 bench-recovery:
 	$(GO) run ./cmd/dice-eval -exp recovery
+
+# Short fuzz passes over the two wire decoders (binary batch + CoAP). Long
+# campaigns run the same targets with a bigger -fuzztime.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeBatch$$' -fuzztime 5s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz 'FuzzMessageUnmarshal$$' -fuzztime 5s ./internal/coap/
+
+# CI perf gate: regenerate the hub benchmark and fail on a >15% regression
+# of the binary-path speedup vs the committed BENCH_hub.json. The gate
+# compares the binary/JSON ratio, not raw events/sec, so it is stable
+# across machines of different speeds.
+perf-gate:
+	$(GO) run ./cmd/dice-eval -exp hub -hubjson /tmp/dice-benchdiff-hub.json >/dev/null
+	$(GO) run ./cmd/dice-benchdiff -mode hub -baseline BENCH_hub.json -fresh /tmp/dice-benchdiff-hub.json

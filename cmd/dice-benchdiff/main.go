@@ -1,0 +1,161 @@
+// Command dice-benchdiff is the CI perf gate: it compares a freshly
+// generated benchmark JSON against the committed baseline and exits
+// non-zero on a regression beyond the tolerance.
+//
+// Usage:
+//
+//	dice-benchdiff -mode hub  -baseline BENCH_hub.json  -fresh /tmp/fresh.json [-tolerance 0.15]
+//	dice-benchdiff -mode eval -baseline BENCH_eval.json -fresh /tmp/fresh.json [-tolerance 0.15]
+//
+// Raw events/sec depends on the machine, so the gate compares
+// machine-normalized ratios that cancel hardware speed out of the
+// comparison:
+//
+//   - hub: the binary-path speedup (events_per_sec / json_events_per_sec).
+//     Both passes run in the same process on the same machine, so their
+//     ratio moves only when the relative cost of the binary ingest path
+//     changes — which is exactly the regression the gate watches for. The
+//     fresh run must also report bit_identical detection output.
+//   - eval: replay wall-clock normalized by training wall-clock
+//     (wall_clock_ms / Σ train_ms). Training is a pure-compute yardstick
+//     that rescales with the machine; the ratio tracks the evaluation hot
+//     path relative to it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// hubBench mirrors the BENCH_hub.json fields the gate reads.
+type hubBench struct {
+	EventsPerSec     float64 `json:"events_per_sec"`
+	JSONEventsPerSec float64 `json:"json_events_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	BitIdentical     bool    `json:"bit_identical"`
+}
+
+// evalBench mirrors the BENCH_eval.json fields the gate reads.
+type evalBench struct {
+	WallClockMS float64 `json:"wall_clock_ms"`
+	Datasets    []struct {
+		TrainMS float64 `json:"train_ms"`
+	} `json:"datasets"`
+}
+
+func main() {
+	mode := flag.String("mode", "hub", "which benchmark schema to compare: hub or eval")
+	baseline := flag.String("baseline", "", "committed baseline JSON")
+	fresh := flag.String("fresh", "", "freshly generated JSON")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression before failing")
+	flag.Parse()
+	if err := run(*mode, *baseline, *fresh, *tolerance); err != nil {
+		fmt.Fprintln(os.Stderr, "dice-benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode, baseline, fresh string, tolerance float64) error {
+	if baseline == "" || fresh == "" {
+		return fmt.Errorf("both -baseline and -fresh are required")
+	}
+	if tolerance < 0 || tolerance >= 1 {
+		return fmt.Errorf("tolerance %v out of range [0, 1)", tolerance)
+	}
+	switch mode {
+	case "hub":
+		return diffHub(baseline, fresh, tolerance)
+	case "eval":
+		return diffEval(baseline, fresh, tolerance)
+	default:
+		return fmt.Errorf("unknown mode %q (want hub or eval)", mode)
+	}
+}
+
+func load(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	return nil
+}
+
+// diffHub gates on the binary/JSON speedup ratio: higher is better, and a
+// fresh ratio more than tolerance below the baseline fails.
+func diffHub(baseline, fresh string, tolerance float64) error {
+	var base, cur hubBench
+	if err := load(baseline, &base); err != nil {
+		return err
+	}
+	if err := load(fresh, &cur); err != nil {
+		return err
+	}
+	if base.Speedup <= 0 || cur.Speedup <= 0 {
+		return fmt.Errorf("speedup missing: baseline=%v fresh=%v (regenerate with dice-eval -exp hub)", base.Speedup, cur.Speedup)
+	}
+	if !cur.BitIdentical {
+		return fmt.Errorf("fresh run reports bit_identical=false: binary and JSON wire paths diverged")
+	}
+	floor := base.Speedup * (1 - tolerance)
+	fmt.Printf("hub perf gate: baseline speedup %.2fx, fresh %.2fx (floor %.2fx, raw %s events/sec fresh vs %s baseline)\n",
+		base.Speedup, cur.Speedup, floor, fmtRate(cur.EventsPerSec), fmtRate(base.EventsPerSec))
+	if cur.Speedup < floor {
+		return fmt.Errorf("binary ingest speedup regressed: %.2fx < %.2fx (baseline %.2fx - %d%%)",
+			cur.Speedup, floor, base.Speedup, int(tolerance*100))
+	}
+	return nil
+}
+
+// diffEval gates on wall-clock normalized by training time: lower is
+// better, and a fresh ratio more than tolerance above the baseline fails.
+func diffEval(baseline, fresh string, tolerance float64) error {
+	var base, cur evalBench
+	if err := load(baseline, &base); err != nil {
+		return err
+	}
+	if err := load(fresh, &cur); err != nil {
+		return err
+	}
+	baseRatio, err := evalRatio(base, baseline)
+	if err != nil {
+		return err
+	}
+	curRatio, err := evalRatio(cur, fresh)
+	if err != nil {
+		return err
+	}
+	ceil := baseRatio * (1 + tolerance)
+	fmt.Printf("eval perf gate: baseline wall/train ratio %.3f, fresh %.3f (ceiling %.3f)\n", baseRatio, curRatio, ceil)
+	if curRatio > ceil {
+		return fmt.Errorf("evaluation wall-clock regressed: ratio %.3f > %.3f (baseline %.3f + %d%%)",
+			curRatio, ceil, baseRatio, int(tolerance*100))
+	}
+	return nil
+}
+
+func evalRatio(b evalBench, path string) (float64, error) {
+	var train float64
+	for _, d := range b.Datasets {
+		train += d.TrainMS
+	}
+	if train <= 0 || b.WallClockMS <= 0 {
+		return 0, fmt.Errorf("%s: missing wall_clock_ms or train_ms (regenerate with dice-eval)", path)
+	}
+	return b.WallClockMS / train, nil
+}
+
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

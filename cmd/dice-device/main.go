@@ -8,6 +8,11 @@
 //	            [-from 300] [-hours 6] [-speed 600]
 //	            [-fault fail-stop:light-kitchen:60]
 //	            [-chaos seed=42,drop=0.1,dup=0.05,reorder=0.02,delay=5ms]
+//	            [-wire binary|json]
+//
+// -wire selects the report encoding: "binary" (the default) sends DWB1
+// batch payloads through the gateway's pooled zero-alloc decode path;
+// "json" sends the legacy JSON arrays. Detection output is identical.
 //
 // -speed is the replay acceleration (600 = one recorded hour per six wall
 // seconds; 0 = as fast as possible). -chaos wraps the CoAP link with
@@ -49,6 +54,7 @@ func run() error {
 	faultSpec := flag.String("fault", "", "inject CLASS:DEVICE:ONSETMIN into the replay")
 	chaosSpec := flag.String("chaos", "", "inject transport faults, e.g. seed=42,drop=0.1,dup=0.05")
 	homeID := flag.String("home", "", "tenant home ID behind a multi-home hub (reports to /report/<home>)")
+	wireFmt := flag.String("wire", "binary", "wire encoding for reports: binary (DWB1 batches) or json (legacy)")
 	flag.Parse()
 
 	if *dataDir == "" {
@@ -93,6 +99,14 @@ func run() error {
 		}
 	}
 	agent.Home = *homeID
+	switch *wireFmt {
+	case "binary":
+		agent.Format = gateway.WireBinary
+	case "json":
+		agent.Format = gateway.WireJSON
+	default:
+		return fmt.Errorf("bad -wire %q, want binary or json", *wireFmt)
+	}
 	defer agent.Close()
 
 	obs, err := ds.Windows()

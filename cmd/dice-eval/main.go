@@ -244,9 +244,10 @@ func runHubBench(o eval.HubBench, jsonPath string) error {
 	}
 	fmt.Printf("hub bench: %d homes x %dh on %d shards\n", res.Homes, res.Hours, res.Shards)
 	fmt.Printf("  train   %8.1f ms (shared context)\n", res.TrainMS)
-	fmt.Printf("  replay  %8.1f ms  (%d events, %d windows, %d alerts)\n",
-		res.ReplayMS, res.Events, res.Windows, res.Alerts)
-	fmt.Printf("  rate    %8.0f events/sec\n", res.EventsPerSec)
+	fmt.Printf("  replay  %8.1f ms  (%d events, %d windows, %d alerts; binary batches of %d)\n",
+		res.ReplayMS, res.Events, res.Windows, res.Alerts, res.BatchSize)
+	fmt.Printf("  rate    %8.0f events/sec  (JSON baseline %8.0f, speedup %.2fx, bit-identical=%v)\n",
+		res.EventsPerSec, res.JSONEventsPerSec, res.Speedup, res.BitIdentical)
 	for _, s := range res.PerShard {
 		fmt.Printf("  shard %d %8d ops, %d shed\n", s.Shard, s.Ops, s.Shed)
 	}

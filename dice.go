@@ -55,6 +55,7 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/wal"
 	"repro/internal/window"
+	"repro/internal/wire"
 )
 
 // Re-exported device model.
@@ -280,4 +281,40 @@ var (
 	WithGatewayConfig   = gateway.WithConfig
 	WithGatewayLiveness = gateway.WithLiveness
 	WithGatewayAlertBuf = gateway.WithAlertBuffer
+)
+
+// Binary batch wire format (internal/wire): the length-prefixed,
+// CRC-framed encoding devices use to report batches of readings. Both the
+// gateway and hub CoAP fronts negotiate it by payload sniffing, so JSON
+// and binary devices coexist on the same resource paths; the binary path
+// decodes into pooled scratch and ingests a whole batch under one lock
+// with one WAL append.
+type (
+	// WireBatch is one decoded binary payload (report or advance).
+	WireBatch = wire.Batch
+	// WireKind discriminates report vs advance batches.
+	WireKind = wire.Kind
+	// AgentWireFormat selects a device agent's wire encoding.
+	AgentWireFormat = gateway.WireFormat
+)
+
+// Wire kinds and agent encodings, re-exported.
+const (
+	WireKindReport  = wire.KindReport
+	WireKindAdvance = wire.KindAdvance
+
+	AgentWireBinary = gateway.WireBinary
+	AgentWireJSON   = gateway.WireJSON
+)
+
+// Binary batch codec, re-exported from internal/wire. AppendWireReport and
+// AppendWireAdvance encode onto a reusable buffer; DecodeWireBatch decodes
+// into reusable scratch and fails with ErrMalformedWire on anything that
+// does not verify byte for byte.
+var (
+	AppendWireReport  = wire.AppendReport
+	AppendWireAdvance = wire.AppendAdvance
+	DecodeWireBatch   = wire.DecodeBatch
+	IsBinaryWire      = wire.IsBinary
+	ErrMalformedWire  = wire.ErrMalformed
 )

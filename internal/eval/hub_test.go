@@ -3,7 +3,7 @@ package eval
 import "testing"
 
 func TestRunHubBench(t *testing.T) {
-	res, err := RunHubBench(HubBench{Homes: 3, Shards: 2, Hours: 1})
+	res, err := RunHubBench(HubBench{Homes: 3, Shards: 2, Hours: 1, Passes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,8 @@ func TestRunHubBench(t *testing.T) {
 			t.Errorf("%s windows = %d, want 60", hr.Home, hr.Stats.Windows)
 		}
 	}
-	// Shard ops account for every ingest + advance + the drain barriers.
+	// Shard ops account for every batch + advance + the drain barriers.
+	// The binary pass routes one op per BatchSize events, not one per event.
 	var ops int64
 	for _, s := range res.PerShard {
 		ops += s.Ops
@@ -33,8 +34,15 @@ func TestRunHubBench(t *testing.T) {
 			t.Errorf("shard %d shed %d ops under blocking Ingest", s.Shard, s.Shed)
 		}
 	}
-	wantMin := res.Events + 3 // at least one advance per home rides along
+	wantMin := (res.Events+int64(res.BatchSize)-1)/int64(res.BatchSize) + 3
 	if ops < wantMin {
 		t.Errorf("shard ops = %d, want >= %d", ops, wantMin)
+	}
+	// Both wire paths must land every home on identical counters.
+	if !res.BitIdentical {
+		t.Errorf("JSON and binary passes diverged: %+v", res.PerHome)
+	}
+	if res.JSONEventsPerSec <= 0 || res.Speedup <= 0 {
+		t.Errorf("baseline missing: json=%v speedup=%v", res.JSONEventsPerSec, res.Speedup)
 	}
 }

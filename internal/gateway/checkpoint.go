@@ -130,6 +130,7 @@ func (g *Gateway) RestoreCheckpoint(cp *Checkpoint) error {
 	for id, ms := range cp.LastSeenMS {
 		g.lastSeen[id] = time.Duration(ms) * time.Millisecond
 	}
+	g.liveIDs = sortedIDs(g.lastSeen)
 	g.dark = make(map[device.ID]bool, len(cp.Dark))
 	for _, id := range cp.Dark {
 		g.dark[id] = true

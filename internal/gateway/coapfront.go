@@ -10,6 +10,8 @@ import (
 	"repro/internal/coap"
 	"repro/internal/device"
 	"repro/internal/event"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Wire format for device reports: devices POST a batch of readings to
@@ -17,6 +19,30 @@ import (
 // /advance to push stream time forward during silent stretches (the
 // simulated aggregators do this once per minute), and GET /stats for the
 // gateway counters.
+//
+// Two encodings share the same resource paths, negotiated by sniffing the
+// payload's first bytes: the binary batch format of internal/wire (magic
+// "DWB1") and the legacy JSON arrays below. JSON devices keep working
+// unmodified; binary devices get the zero-copy decode path. Error
+// responses carry stable short reason codes, never internal error text —
+// the detail stays on the gateway's telemetry (dice_gw_malformed_total)
+// rather than being echoed to an unauthenticated UDP peer.
+
+// Stable CodeBadRequest reason codes. Remote peers see only these;
+// anything more specific is observable via telemetry.
+const (
+	// ReasonBadPayload: the payload decoded as neither a binary batch nor
+	// the legacy JSON schema (or failed its CRC).
+	ReasonBadPayload = "bad-payload"
+	// ReasonRejected: the payload decoded, but the gateway refused it
+	// (time regression, ingest hook veto).
+	ReasonRejected = "rejected"
+	// ReasonMethod: the resource requires a POST.
+	ReasonMethod = "method-not-allowed"
+)
+
+// metricGwMalformed counts report/advance payloads that failed to decode.
+const metricGwMalformed = "dice_gw_malformed_total"
 
 // WireEvent is one reading in a report payload.
 type WireEvent struct {
@@ -35,15 +61,16 @@ type wireAdvance struct {
 
 // Front serves the gateway's CoAP API.
 type Front struct {
-	gw  *Gateway
-	srv *coap.Server
+	gw        *Gateway
+	srv       *coap.Server
+	malformed *telemetry.Counter
 }
 
 // ServeCoAP starts the CoAP front end on addr (":0" picks a free port).
 // The server's transport counters register against the gateway's registry,
 // so they ride along on /metrics.
 func ServeCoAP(gw *Gateway, addr string, opts ...coap.ServerOption) (*Front, error) {
-	f := &Front{gw: gw}
+	f := newFront(gw)
 	srv, err := coap.ListenAndServe(addr, f.handle,
 		append([]coap.ServerOption{coap.WithTelemetry(gw.Telemetry())}, opts...)...)
 	if err != nil {
@@ -56,7 +83,7 @@ func ServeCoAP(gw *Gateway, addr string, opts ...coap.ServerOption) (*Front, err
 // ServeCoAPConn starts the front end on an existing packet conn — e.g. a
 // chaos-wrapped one — and takes ownership of it.
 func ServeCoAPConn(gw *Gateway, conn net.PacketConn, cfg coap.ServerConfig) (*Front, error) {
-	f := &Front{gw: gw}
+	f := newFront(gw)
 	srv, err := coap.Serve(conn, f.handle,
 		coap.WithServerConfig(cfg), coap.WithTelemetry(gw.Telemetry()))
 	if err != nil {
@@ -64,6 +91,13 @@ func ServeCoAPConn(gw *Gateway, conn net.PacketConn, cfg coap.ServerConfig) (*Fr
 	}
 	f.srv = srv
 	return f, nil
+}
+
+func newFront(gw *Gateway) *Front {
+	return &Front{
+		gw:        gw,
+		malformed: gw.Telemetry().Counter(metricGwMalformed, "Report/advance payloads that failed to decode (JSON or binary)."),
+	}
 }
 
 // Addr returns the bound UDP address string.
@@ -93,15 +127,46 @@ func (f *Front) Restore(cp *Checkpoint) error {
 	return nil
 }
 
+// handleBinary decodes and applies one binary batch through the pooled
+// zero-alloc path. The kind byte is authoritative — a binary advance on
+// /report behaves like one on /advance — because the payload, not the
+// path, is what the CRC covers.
+func (f *Front) handleBinary(payload []byte) *coap.Message {
+	scratch := wire.GetEvents()
+	b, err := wire.DecodeBatch(payload, *scratch)
+	if err != nil {
+		wire.PutEvents(scratch)
+		f.malformed.Inc()
+		return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(ReasonBadPayload)}
+	}
+	*scratch = b.Events
+	var opErr error
+	switch b.Kind {
+	case wire.KindReport:
+		opErr = f.gw.IngestBatch(b.Events)
+	case wire.KindAdvance:
+		opErr = f.gw.AdvanceTo(b.At)
+	}
+	wire.PutEvents(scratch)
+	if opErr != nil {
+		return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(ReasonRejected)}
+	}
+	return &coap.Message{Code: coap.CodeChanged}
+}
+
 func (f *Front) handle(req *coap.Message) *coap.Message {
 	switch req.Path() {
 	case "report":
 		if req.Code != coap.CodePOST {
-			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte("POST only")}
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(ReasonMethod)}
+		}
+		if wire.IsBinary(req.Payload) {
+			return f.handleBinary(req.Payload)
 		}
 		var batch []WireEvent
 		if err := json.Unmarshal(req.Payload, &batch); err != nil {
-			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(err.Error())}
+			f.malformed.Inc()
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(ReasonBadPayload)}
 		}
 		for _, w := range batch {
 			e := event.Event{
@@ -110,17 +175,21 @@ func (f *Front) handle(req *coap.Message) *coap.Message {
 				Value:  w.Value,
 			}
 			if err := f.gw.Ingest(e); err != nil {
-				return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(err.Error())}
+				return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(ReasonRejected)}
 			}
 		}
 		return &coap.Message{Code: coap.CodeChanged}
 	case "advance":
+		if wire.IsBinary(req.Payload) {
+			return f.handleBinary(req.Payload)
+		}
 		var adv wireAdvance
 		if err := json.Unmarshal(req.Payload, &adv); err != nil {
-			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(err.Error())}
+			f.malformed.Inc()
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(ReasonBadPayload)}
 		}
 		if err := f.gw.AdvanceTo(time.Duration(adv.AtMS) * time.Millisecond); err != nil {
-			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(err.Error())}
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(ReasonRejected)}
 		}
 		return &coap.Message{Code: coap.CodeChanged}
 	case "stats":
@@ -140,15 +209,32 @@ func (f *Front) handle(req *coap.Message) *coap.Message {
 	}
 }
 
+// WireFormat selects the encoding an Agent puts on the wire.
+type WireFormat uint8
+
+const (
+	// WireBinary is the internal/wire binary batch format (the default):
+	// fixed-width records, CRC-framed, decoded on the gateway through the
+	// pooled zero-alloc path. Binary keeps full nanosecond timestamps.
+	WireBinary WireFormat = iota
+	// WireJSON is the legacy JSON array encoding. Timestamps truncate to
+	// milliseconds on the wire.
+	WireJSON
+)
+
 // Agent is the device-side helper: it batches readings and posts them to a
 // gateway front end.
 type Agent struct {
 	cli     *coap.Client
-	pending []WireEvent
+	pending []event.Event
+	enc     []byte // reused encode buffer for binary payloads
 	// BatchSize is how many readings are sent per POST (default 16).
 	BatchSize int
 	// Timeout bounds each exchange (default 5s).
 	Timeout time.Duration
+	// Format selects the wire encoding (default WireBinary). Set WireJSON
+	// to exercise the legacy path or to talk to a pre-binary gateway.
+	Format WireFormat
 	// Home, when set, addresses a tenant behind a multi-home hub: requests
 	// go to /report/{home}, /advance/{home}, /stats/{home} instead of the
 	// bare single-gateway paths.
@@ -195,11 +281,7 @@ func (a *Agent) Close() error {
 
 // Report queues one reading, flushing when the batch is full.
 func (a *Agent) Report(e event.Event) error {
-	a.pending = append(a.pending, WireEvent{
-		AtMS:   e.At.Milliseconds(),
-		Device: int(e.Device),
-		Value:  e.Value,
-	})
+	a.pending = append(a.pending, e)
 	if len(a.pending) >= a.BatchSize {
 		return a.Flush()
 	}
@@ -211,9 +293,20 @@ func (a *Agent) Flush() error {
 	if len(a.pending) == 0 {
 		return nil
 	}
-	payload, err := json.Marshal(a.pending)
-	if err != nil {
-		return err
+	var payload []byte
+	if a.Format == WireJSON {
+		batch := make([]WireEvent, len(a.pending))
+		for i, e := range a.pending {
+			batch[i] = WireEvent{AtMS: e.At.Milliseconds(), Device: int(e.Device), Value: e.Value}
+		}
+		var err error
+		payload, err = json.Marshal(batch)
+		if err != nil {
+			return err
+		}
+	} else {
+		a.enc = wire.AppendReport(a.enc[:0], a.pending)
+		payload = a.enc
 	}
 	req := &coap.Message{Code: coap.CodePOST, Payload: payload}
 	req.SetPath(a.path("report"))
@@ -233,9 +326,16 @@ func (a *Agent) Advance(t time.Duration) error {
 	if err := a.Flush(); err != nil {
 		return err
 	}
-	payload, err := json.Marshal(wireAdvance{AtMS: t.Milliseconds()})
-	if err != nil {
-		return err
+	var payload []byte
+	if a.Format == WireJSON {
+		var err error
+		payload, err = json.Marshal(wireAdvance{AtMS: t.Milliseconds()})
+		if err != nil {
+			return err
+		}
+	} else {
+		a.enc = wire.AppendAdvance(a.enc[:0], t)
+		payload = a.enc
 	}
 	req := &coap.Message{Code: coap.CodePOST, Payload: payload}
 	req.SetPath(a.path("advance"))

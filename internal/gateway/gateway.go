@@ -120,19 +120,24 @@ type Gateway struct {
 	// Liveness tracking: stream time each device last reported at, the
 	// devices currently past the silence threshold, and the furthest
 	// stream time observed (events may run ahead of the /advance horizon).
+	// liveIDs caches lastSeen's keys in ascending order so the per-event
+	// silence sweep neither allocates nor re-sorts (lastSeen only ever
+	// grows; the cache is rebuilt on checkpoint restore).
 	liveThreshold time.Duration
 	lastSeen      map[device.ID]time.Duration
+	liveIDs       []device.ID
 	dark          map[device.ID]bool
 	streamNow     time.Duration
 
 	// Durability: ops append to the WAL (when attached) before mutating
 	// state; walSeq is the sequence number of the last op this gateway has
 	// logged or replayed, carried into checkpoints so replay can skip the
-	// covered prefix. walBuf is the reused encode buffer that keeps the
-	// append path allocation-free.
-	wal    *wal.Log
-	walSeq uint64
-	walBuf []byte
+	// covered prefix. walBuf and walFrames are the reused encode buffers
+	// that keep the append path (single and batched) allocation-free.
+	wal       *wal.Log
+	walSeq    uint64
+	walBuf    []byte
+	walFrames [][]byte
 
 	// Supervision: home names this gateway's tenant in dead-letter entries,
 	// ingestHook runs before any state mutation (fault-injection seam),
@@ -399,6 +404,48 @@ func (g *Gateway) Ingest(e event.Event) error {
 	return g.ingestLocked(e)
 }
 
+// IngestBatch feeds a batch of events in one critical section: the whole
+// batch is validated first, logged to the WAL with a single batched
+// append (one write + one sync-policy application), then applied event
+// by event through the same path Ingest uses.
+//
+// Validation must precede logging: a record that reaches the WAL will be
+// re-applied on replay regardless of what the live run returned, so any
+// event the gateway might refuse (time regression behind the horizon or
+// the open window) has to be refused before anything is durable —
+// otherwise the recovered state would diverge from the live one. For the
+// same reason application continues past per-event errors, exactly as
+// replay does; the first error is returned after the batch completes.
+func (g *Gateway) IngestBatch(evts []event.Event) error {
+	if len(evts) == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	idx := g.builder.CurrentIndex()
+	dur := g.builder.Duration()
+	for _, e := range evts {
+		if e.At < g.horizon {
+			return fmt.Errorf("gateway: event at %s regresses behind %s", e.At, g.horizon)
+		}
+		w := int(e.At / dur)
+		if w < idx {
+			return fmt.Errorf("gateway: event at %s regresses before window %d", e.At, idx)
+		}
+		idx = w
+	}
+	if err := g.logBatchLocked(evts); err != nil {
+		return err
+	}
+	var first error
+	for _, e := range evts {
+		if err := g.ingestLocked(e); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // ingestLocked applies one event to detector state. It is the shared path
 // for live ingest and WAL replay — the latter must mutate state exactly as
 // the former did, or a recovered run diverges. The ingest hook runs first,
@@ -411,6 +458,9 @@ func (g *Gateway) ingestLocked(e event.Event) error {
 		}
 	}
 	g.met.events.Inc()
+	if _, seen := g.lastSeen[e.Device]; !seen {
+		g.liveIDs = insertSortedID(g.liveIDs, e.Device)
+	}
 	g.lastSeen[e.Device] = e.At
 	if g.dark[e.Device] {
 		delete(g.dark, e.Device) // a dark device that reports again has recovered
@@ -500,6 +550,34 @@ func (g *Gateway) logRecordLocked(rec wal.Record) error {
 	return nil
 }
 
+// logBatchLocked appends one WAL record per event with a single batched
+// write. The records encode into one reused buffer, pre-grown so the
+// per-record frame slices stay valid, keeping the path allocation-free
+// at steady state.
+func (g *Gateway) logBatchLocked(evts []event.Event) error {
+	if g.wal == nil {
+		return nil
+	}
+	if need := len(evts) * wal.RecordSize; cap(g.walBuf) < need {
+		g.walBuf = make([]byte, 0, need)
+	}
+	buf := g.walBuf[:0]
+	frames := g.walFrames[:0]
+	for _, e := range evts {
+		off := len(buf)
+		buf = wal.IngestRecord(e).AppendTo(buf)
+		frames = append(frames, buf[off:])
+	}
+	g.walBuf = buf
+	g.walFrames = frames
+	seq, err := g.wal.AppendBatch(frames)
+	if err != nil {
+		return fmt.Errorf("gateway: wal append: %w", err)
+	}
+	g.walSeq = seq
+	return nil
+}
+
 // WALSeq returns the sequence number of the last op logged or replayed (0
 // when no WAL is attached or nothing has been logged).
 func (g *Gateway) WALSeq() uint64 {
@@ -580,7 +658,7 @@ func (g *Gateway) checkLivenessLocked() {
 	if g.liveThreshold <= 0 {
 		return
 	}
-	for _, id := range sortedIDs(g.lastSeen) {
+	for _, id := range g.liveIDs {
 		last := g.lastSeen[id]
 		if g.dark[id] || g.streamNow-last <= g.liveThreshold {
 			continue
@@ -626,7 +704,27 @@ func sortedIDs(m map[device.ID]time.Duration) []device.ID {
 	return out
 }
 
-// processLocked runs completed windows through the detector.
+// insertSortedID inserts id into an ascending slice, keeping it sorted.
+// Devices register once each, so the quadratic worst case is bounded by
+// the home's device count — and the hot path pays nothing.
+func insertSortedID(ids []device.ID, id device.ID) []device.ID {
+	pos := len(ids)
+	for i, v := range ids {
+		if id < v {
+			pos = i
+			break
+		}
+	}
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	return ids
+}
+
+// processLocked runs completed windows through the detector. Processed
+// observations are recycled into the builder's freelist — the detector
+// copies what it keeps (Process retains nothing from the observation),
+// so a steady-state stream reuses the same window state allocation.
 func (g *Gateway) processLocked(obs []*window.Observation) error {
 	d := g.builder.Duration()
 	for _, o := range obs {
@@ -641,6 +739,7 @@ func (g *Gateway) processLocked(obs []*window.Observation) error {
 		if res.Alert != nil {
 			g.emit(res.Alert, d)
 		}
+		g.builder.Recycle(o)
 	}
 	return nil
 }

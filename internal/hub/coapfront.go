@@ -11,24 +11,37 @@ import (
 	"repro/internal/device"
 	"repro/internal/event"
 	"repro/internal/gateway"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // The hub's CoAP surface is the gateway's, with the tenant in the path:
 //
-//	POST /report/{home}    batch of readings (gateway.WireEvent)
-//	POST /advance/{home}   stream-clock advance
+//	POST /report/{home}    batch of readings (binary DWB1 or JSON)
+//	POST /advance/{home}   stream-clock advance (binary DWB1 or JSON)
 //	GET  /stats/{home}     tenant Stats (drained first, so it is settled)
 //	GET  /liveness/{home}  tenant silence tracker
 //
 // The bare single-gateway paths (/report, /advance, ...) keep working when
 // the front has a default home, so an unmodified device agent can report
-// into a hub.
+// into a hub. Both encodings are negotiated by payload sniffing, exactly as
+// on the single-gateway front; binary batches ride the one-op
+// Hub.IngestBatch path. Error responses carry the same stable reason codes
+// as the gateway front (plus "unknown-home"), never internal error text.
+
+// ReasonUnknownHome is the CodeNotFound reason for an unregistered tenant.
+const ReasonUnknownHome = "unknown-home"
+
+// metricHubMalformed counts report/advance payloads that failed to decode
+// at the hub front.
+const metricHubMalformed = "dice_hub_malformed_total"
 
 // Front serves the hub's CoAP API.
 type Front struct {
-	h   *Hub
-	srv *coap.Server
-	def string
+	h         *Hub
+	srv       *coap.Server
+	def       string
+	malformed *telemetry.Counter
 }
 
 // FrontOption configures a CoAP front.
@@ -51,6 +64,14 @@ func WithCoAPOptions(opts ...coap.ServerOption) FrontOption {
 	return func(o *frontOptions) { o.coapOpts = append(o.coapOpts, opts...) }
 }
 
+func newFront(h *Hub, def string) *Front {
+	return &Front{
+		h:         h,
+		def:       def,
+		malformed: h.Telemetry().Counter(metricHubMalformed, "Report/advance payloads that failed to decode at the hub front (JSON or binary)."),
+	}
+}
+
 // ServeCoAP starts the hub's CoAP front end on addr (":0" picks a free
 // port). Transport counters register against the hub's own registry.
 func ServeCoAP(h *Hub, addr string, opts ...FrontOption) (*Front, error) {
@@ -58,7 +79,7 @@ func ServeCoAP(h *Hub, addr string, opts ...FrontOption) (*Front, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	f := &Front{h: h, def: o.def}
+	f := newFront(h, o.def)
 	srv, err := coap.ListenAndServe(addr, f.handle,
 		append([]coap.ServerOption{coap.WithTelemetry(h.Telemetry())}, o.coapOpts...)...)
 	if err != nil {
@@ -75,7 +96,7 @@ func ServeCoAPConn(h *Hub, conn net.PacketConn, cfg coap.ServerConfig, opts ...F
 	for _, opt := range opts {
 		opt(&o)
 	}
-	f := &Front{h: h, def: o.def}
+	f := newFront(h, o.def)
 	srv, err := coap.Serve(conn, f.handle,
 		append([]coap.ServerOption{coap.WithServerConfig(cfg), coap.WithTelemetry(h.Telemetry())}, o.coapOpts...)...)
 	if err != nil {
@@ -104,12 +125,41 @@ func (f *Front) split(path string) (string, string) {
 	return res, home
 }
 
+// errResponse maps an application error to a stable reason code. Unknown
+// homes are the one distinction remote peers need (re-register and retry);
+// everything else is an opaque rejection with detail on the hub telemetry.
 func errResponse(err error) *coap.Message {
-	code := coap.CodeBadRequest
 	if errors.Is(err, ErrUnknownHome) {
-		code = coap.CodeNotFound
+		return &coap.Message{Code: coap.CodeNotFound, Payload: []byte(ReasonUnknownHome)}
 	}
-	return &coap.Message{Code: code, Payload: []byte(err.Error())}
+	return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(gateway.ReasonRejected)}
+}
+
+// handleBinary decodes one binary batch and routes it as a single shard op.
+// The decode scratch is wire-pooled and returned before this function does:
+// Hub.IngestBatch copies into a hub-owned slice at enqueue because shard
+// ops apply asynchronously.
+func (f *Front) handleBinary(home string, payload []byte) *coap.Message {
+	scratch := wire.GetEvents()
+	b, err := wire.DecodeBatch(payload, *scratch)
+	if err != nil {
+		wire.PutEvents(scratch)
+		f.malformed.Inc()
+		return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(gateway.ReasonBadPayload)}
+	}
+	*scratch = b.Events
+	var opErr error
+	switch b.Kind {
+	case wire.KindReport:
+		opErr = f.h.IngestBatch(home, b.Events)
+	case wire.KindAdvance:
+		opErr = f.h.Advance(home, b.At)
+	}
+	wire.PutEvents(scratch)
+	if opErr != nil {
+		return errResponse(opErr)
+	}
+	return &coap.Message{Code: coap.CodeChanged}
 }
 
 func (f *Front) handle(req *coap.Message) *coap.Message {
@@ -117,11 +167,15 @@ func (f *Front) handle(req *coap.Message) *coap.Message {
 	switch res {
 	case "report":
 		if req.Code != coap.CodePOST {
-			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte("POST only")}
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(gateway.ReasonMethod)}
+		}
+		if wire.IsBinary(req.Payload) {
+			return f.handleBinary(home, req.Payload)
 		}
 		var batch []gateway.WireEvent
 		if err := json.Unmarshal(req.Payload, &batch); err != nil {
-			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(err.Error())}
+			f.malformed.Inc()
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(gateway.ReasonBadPayload)}
 		}
 		for _, w := range batch {
 			e := event.Event{
@@ -135,11 +189,15 @@ func (f *Front) handle(req *coap.Message) *coap.Message {
 		}
 		return &coap.Message{Code: coap.CodeChanged}
 	case "advance":
+		if wire.IsBinary(req.Payload) {
+			return f.handleBinary(home, req.Payload)
+		}
 		var adv struct {
 			AtMS int64 `json:"at"`
 		}
 		if err := json.Unmarshal(req.Payload, &adv); err != nil {
-			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(err.Error())}
+			f.malformed.Inc()
+			return &coap.Message{Code: coap.CodeBadRequest, Payload: []byte(gateway.ReasonBadPayload)}
 		}
 		if err := f.h.Advance(home, time.Duration(adv.AtMS)*time.Millisecond); err != nil {
 			return errResponse(err)

@@ -116,6 +116,10 @@ const (
 	// inverse of a barrier. Only tests enqueue it, to fill a queue
 	// deterministically and observe shedding.
 	opStall
+	// opIngestBatch applies a whole decoded binary batch in one gateway
+	// call (one WAL append, one lock acquisition). Its events live in a
+	// hub-pooled slice the worker recycles after apply.
+	opIngestBatch
 )
 
 // op is one unit of shard work. Barriers carry a done channel the worker
@@ -125,8 +129,20 @@ type op struct {
 	t    *tenant
 	kind opKind
 	ev   event.Event
+	evs  *[]event.Event // opIngestBatch only; hub-pooled, worker-recycled
 	at   time.Duration
 	done chan struct{}
+}
+
+// batchPool recycles the event slices batch ops travel in. The front's
+// decode scratch belongs to internal/wire's pool and is returned as soon as
+// the enqueue copy is taken, because shard ops apply asynchronously — the
+// hub must own the memory it queues.
+var batchPool = sync.Pool{
+	New: func() any {
+		s := make([]event.Event, 0, 256)
+		return &s
+	},
 }
 
 // shard is one worker: a bounded op queue, the goroutine draining it, and
@@ -451,6 +467,10 @@ func (h *Hub) worker(s *shard) {
 			<-o.done
 		case opIngest:
 			h.applyOp(o, func(g *gateway.Gateway) error { return g.Ingest(o.ev) })
+		case opIngestBatch:
+			h.applyOp(o, func(g *gateway.Gateway) error { return g.IngestBatch(*o.evs) })
+			*o.evs = (*o.evs)[:0]
+			batchPool.Put(o.evs)
 		case opAdvance:
 			h.applyOp(o, func(g *gateway.Gateway) error { return g.AdvanceTo(o.at) })
 		}
@@ -627,7 +647,7 @@ func (h *Hub) enqueue(home string, o op, block bool) error {
 	o.t = t
 	s := h.shardForLocked(home)
 	s.depth.Add(1)
-	dataOp := o.kind == opIngest || o.kind == opAdvance
+	dataOp := o.kind == opIngest || o.kind == opIngestBatch || o.kind == opAdvance
 	if block && (h.o.ingestDeadline <= 0 || !dataOp) {
 		s.ops <- o
 		return nil
@@ -677,6 +697,26 @@ func (h *Hub) Ingest(home string, e event.Event) error {
 // event (counted per shard) and returns ErrShed.
 func (h *Hub) TryIngest(home string, e event.Event) error {
 	return h.enqueue(home, op{kind: opIngest, ev: e}, false)
+}
+
+// IngestBatch routes a whole batch of events to the home's shard as one op:
+// one queue slot, one gateway lock acquisition, one WAL append. The caller
+// keeps ownership of evts — the batch is copied into a hub-pooled slice at
+// enqueue, so a CoAP front can return its decode scratch immediately.
+// Per-event application errors are counted, not returned, matching the
+// asynchronous contract of Ingest.
+func (h *Hub) IngestBatch(home string, evts []event.Event) error {
+	if len(evts) == 0 {
+		return nil
+	}
+	bp := batchPool.Get().(*[]event.Event)
+	*bp = append((*bp)[:0], evts...)
+	err := h.enqueue(home, op{kind: opIngestBatch, evs: bp}, true)
+	if err != nil {
+		*bp = (*bp)[:0]
+		batchPool.Put(bp)
+	}
+	return err
 }
 
 // Advance routes a stream-clock advance to the home's shard, behind any

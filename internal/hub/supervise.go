@@ -126,12 +126,22 @@ func (t *tenant) stopForwarderLocked() {
 // this tenant already sees the quarantine.
 func (h *Hub) onPanic(t *tenant, o op, p any, stack []byte) {
 	h.met.panics.Inc()
-	rec := wal.IngestRecord(o.ev)
-	if o.kind == opAdvance {
-		rec = wal.AdvanceRecord(o.at)
+	seq := t.gateway().WALSeq()
+	if o.kind == opIngestBatch && o.evs != nil {
+		// Which event in the batch was poison is unknown here; capture them
+		// all. WAL replay after restart pins down the exact record.
+		for _, e := range *o.evs {
+			//nolint:errcheck // forensics must not block supervision
+			t.dl.Record(wal.Entry(t.home, seq, wal.IngestRecord(e), p, stack, false))
+		}
+	} else {
+		rec := wal.IngestRecord(o.ev)
+		if o.kind == opAdvance {
+			rec = wal.AdvanceRecord(o.at)
+		}
+		//nolint:errcheck // forensics must not block supervision
+		t.dl.Record(wal.Entry(t.home, seq, rec, p, stack, false))
 	}
-	//nolint:errcheck // forensics must not block supervision
-	t.dl.Record(wal.Entry(t.home, t.gateway().WALSeq(), rec, p, stack, false))
 
 	t.suspect.Store(true)
 	t.health.Store(int32(HealthQuarantined))

@@ -1,0 +1,96 @@
+package hub
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/simhome"
+)
+
+// TestHubWireFormatsEquivalent replays the same faulty stream into two
+// tenants of one hub — one over the legacy JSON wire, one over binary
+// batches — and requires identical per-home detection output. Event times
+// are ms-aligned so both encodings carry the same stream (JSON quantizes
+// At to milliseconds).
+func TestHubWireFormatsEquivalent(t *testing.T) {
+	h, cctx := trained(t)
+	bulb, ok := h.Registry().Lookup("bulb-kitchen")
+	if !ok {
+		t.Fatal("no kitchen bulb")
+	}
+	start := 3*24*60 + 12*60
+	faulty := h.WithActuatorFaults(simhome.ActuatorFaults{
+		Spurious:   map[device.ID]bool{bulb: true},
+		Seed:       3,
+		FromMinute: start,
+	})
+	var evts []event.Event
+	for _, e := range faulty.Events(start, start+2*60) {
+		e.At -= time.Duration(start) * time.Minute
+		e.At = e.At.Truncate(time.Millisecond)
+		evts = append(evts, e)
+	}
+
+	hub, err := New(WithShards(2), WithAlertBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	for _, home := range []string{"json", "binary"} {
+		if _, err := hub.Register(home, cctx, tenantGwOpts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	front, err := ServeCoAP(hub, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	for _, home := range []string{"json", "binary"} {
+		agent, err := gateway.NewAgent(front.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent.Home = home
+		if home == "json" {
+			agent.Format = gateway.WireJSON
+		}
+		for _, e := range evts {
+			if err := agent.Report(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := agent.Advance(streamEnd); err != nil {
+			t.Fatal(err)
+		}
+		if err := agent.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hub.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	tnJSON, _ := hub.Tenant("json")
+	tnBin, _ := hub.Tenant("binary")
+	if tnJSON.Stats() != tnBin.Stats() {
+		t.Errorf("stats diverged:\n json   %+v\n binary %+v", tnJSON.Stats(), tnBin.Stats())
+	}
+	if tnJSON.Stats().Violations == 0 {
+		t.Error("faulty stream produced no violations; the comparison is vacuous")
+	}
+	total := int(tnJSON.Stats().Alerts + tnBin.Stats().Alerts)
+	byHome := collectAlerts(t, hub, total)
+	if !reflect.DeepEqual(byHome["json"], byHome["binary"]) {
+		t.Errorf("alert sequences diverged: json=%d binary=%d alerts",
+			len(byHome["json"]), len(byHome["binary"]))
+	}
+	if f := front.malformed.Value(); f != 0 {
+		t.Errorf("malformed counter = %d on a clean link", f)
+	}
+}

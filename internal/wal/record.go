@@ -46,6 +46,11 @@ type Record struct {
 // recordSize is the fixed encoded payload size: kind + at + device + value.
 const recordSize = 1 + 8 + 4 + 8
 
+// RecordSize is recordSize for callers that pre-size encode buffers (the
+// gateway's batched append path grows one buffer for a whole batch up
+// front, so the per-record frame slices stay valid).
+const RecordSize = recordSize
+
 // IngestRecord wraps an event for the log.
 func IngestRecord(e event.Event) Record {
 	return Record{Kind: KindIngest, At: e.At, Device: e.Device, Value: e.Value}

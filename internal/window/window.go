@@ -148,6 +148,10 @@ type Builder struct {
 	// Instrument is called and every call site is nil-safe.
 	built   *telemetry.Counter
 	partial *telemetry.Counter
+	// free holds recycled observations (see Recycle): their Binary/Numeric
+	// backing arrays are reused for the next window, so a steady-state
+	// stream allocates no per-window state.
+	free []*Observation
 }
 
 // NewBuilder returns a builder producing windows of the given duration.
@@ -191,7 +195,7 @@ func (b *Builder) Add(e event.Event) ([]*Observation, error) {
 		if idx < b.floor {
 			return nil, fmt.Errorf("window: event at %s regresses before window %d", e.At, b.floor)
 		}
-		b.cur = b.layout.NewObservation(b.floor)
+		b.cur = b.newObservation(b.floor)
 	}
 	if idx < b.cur.Index {
 		return nil, fmt.Errorf("window: event at %s regresses before window %d", e.At, b.cur.Index)
@@ -235,7 +239,7 @@ func (b *Builder) AdvanceTo(t time.Duration) ([]*Observation, error) {
 		if target <= b.floor {
 			return nil, nil
 		}
-		b.cur = b.layout.NewObservation(b.floor)
+		b.cur = b.newObservation(b.floor)
 	}
 	for b.cur.Index < target {
 		out = append(out, b.cur)
@@ -295,11 +299,55 @@ func (b *Builder) RestoreState(st BuilderState) error {
 }
 
 func (b *Builder) startWindow(idx int) {
-	b.cur = b.layout.NewObservation(idx)
+	b.cur = b.newObservation(idx)
 	b.floor = idx
 	for k := range b.actSeen {
 		delete(b.actSeen, k)
 	}
+}
+
+// newObservation pops a recycled observation if one is available,
+// otherwise allocates a fresh one from the layout.
+func (b *Builder) newObservation(idx int) *Observation {
+	if n := len(b.free); n > 0 {
+		o := b.free[n-1]
+		b.free[n-1] = nil
+		b.free = b.free[:n-1]
+		o.Index = idx
+		return o
+	}
+	return b.layout.NewObservation(idx)
+}
+
+// CurrentIndex returns the index of the window the next event would land
+// in or after: the open window's index, or the floor when none is open.
+// Batch ingest uses it to pre-validate that a whole batch is monotonic
+// before logging any of it.
+func (b *Builder) CurrentIndex() int {
+	if b.cur != nil {
+		return b.cur.Index
+	}
+	return b.floor
+}
+
+// Recycle returns an emitted observation to the builder's freelist so its
+// backing arrays back a future window. Only observations this builder
+// emitted (via Add/AdvanceTo/Flush) and that the caller is finished with
+// may be recycled; an observation of the wrong shape is dropped rather
+// than pooled. The caller must not touch o afterwards.
+func (b *Builder) Recycle(o *Observation) {
+	if o == nil || len(o.Binary) != b.layout.NumBinary() || len(o.Numeric) != b.layout.NumNumeric() {
+		return
+	}
+	for i := range o.Binary {
+		o.Binary[i] = false
+	}
+	for i := range o.Numeric {
+		o.Numeric[i] = o.Numeric[i][:0]
+	}
+	o.Actuated = o.Actuated[:0]
+	o.Index = 0
+	b.free = append(b.free, o)
 }
 
 func (b *Builder) fold(e event.Event) {

@@ -345,3 +345,104 @@ func TestBuilderRestoreValidates(t *testing.T) {
 		t.Error("pre-floor event accepted after restore")
 	}
 }
+
+// TestBuilderRecycle: a recycled observation's backing arrays are reused
+// for a later window, reset to empty, and folding into the reused window
+// produces the same contents a fresh one would.
+func TestBuilderRecycle(t *testing.T) {
+	_, l := testDevices(t)
+	b := NewBuilder(l, time.Minute)
+	feed := func(evts ...event.Event) []*Observation {
+		t.Helper()
+		var out []*Observation
+		for _, e := range evts {
+			emitted, err := b.Add(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, emitted...)
+		}
+		return out
+	}
+	first := feed(
+		event.Event{At: 5 * time.Second, Device: 0, Value: 1},
+		event.Event{At: 10 * time.Second, Device: 1, Value: 20},
+		event.Event{At: 20 * time.Second, Device: 2, Value: 1},
+		event.Event{At: 61 * time.Second, Device: 3, Value: 1},
+	)
+	if len(first) != 1 {
+		t.Fatalf("emitted %d windows, want 1", len(first))
+	}
+	if b.CurrentIndex() != 1 {
+		t.Fatalf("CurrentIndex = %d, want 1", b.CurrentIndex())
+	}
+	recycled := first[0]
+	binArr := &recycled.Binary[0]
+	b.Recycle(recycled)
+
+	// The 125s event opens window 2; the builder pops the recycled
+	// observation for it and emits window 1. The 185s event then closes
+	// window 2, emitting the recycled observation with the 125s reading.
+	second := feed(event.Event{At: 125 * time.Second, Device: 1, Value: 42})
+	if len(second) != 1 || second[0].Index != 1 {
+		t.Fatalf("second emit: %d windows (first index %d), want window 1", len(second), second[0].Index)
+	}
+	third := feed(event.Event{At: 185 * time.Second, Device: 0, Value: 1})
+	if len(third) != 1 {
+		t.Fatalf("third emit: %d windows, want 1", len(third))
+	}
+	got := third[0]
+	if got != recycled {
+		t.Fatalf("builder did not reuse the recycled observation")
+	}
+	if &got.Binary[0] != binArr {
+		t.Fatalf("recycled observation did not keep its backing array")
+	}
+	if got.Index != 2 {
+		t.Fatalf("reused window index = %d, want 2", got.Index)
+	}
+	if got.Binary[0] || got.Binary[1] {
+		t.Fatalf("reused window binary = %v, want stale bits cleared", got.Binary)
+	}
+	if len(got.Numeric[0]) != 1 || got.Numeric[0][0] != 42 {
+		t.Fatalf("reused window numeric[0] = %v, want [42]", got.Numeric[0])
+	}
+	if len(got.Actuated) != 0 {
+		t.Fatalf("reused window kept stale actuated: %v", got.Actuated)
+	}
+}
+
+// TestBuilderRecycleRejectsForeignShape: an observation shaped for another
+// layout is dropped, not pooled.
+func TestBuilderRecycleRejectsForeignShape(t *testing.T) {
+	_, l := testDevices(t)
+	b := NewBuilder(l, time.Minute)
+	b.Recycle(nil)
+	b.Recycle(&Observation{Binary: make([]bool, 99)})
+	if len(b.free) != 0 {
+		t.Fatalf("freelist holds %d foreign observations", len(b.free))
+	}
+}
+
+// TestBuilderSteadyStateNoObservationAlloc: once a window has been built
+// and recycled, building the next one allocates no observation state.
+func TestBuilderSteadyStateNoObservationAlloc(t *testing.T) {
+	_, l := testDevices(t)
+	b := NewBuilder(l, time.Minute)
+	at := time.Duration(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		at += time.Minute
+		emitted, err := b.AdvanceTo(at + time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range emitted {
+			b.Recycle(o)
+		}
+	})
+	// One small slice header per emission is tolerated (the emitted slice
+	// itself); the observation payloads must come from the freelist.
+	if allocs > 1 {
+		t.Fatalf("steady-state window turnover allocates %.1f times per window, want <= 1", allocs)
+	}
+}
