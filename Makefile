@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-telemetry race-hub bench bench-scan bench-eval bench-hub bench-recovery fuzz-smoke perf-gate
+.PHONY: check vet staticcheck build test race race-telemetry race-hub race-cluster bench bench-scan bench-eval bench-hub bench-recovery bench-cluster fuzz-smoke perf-gate
 
-check: vet staticcheck build race-telemetry race-hub race fuzz-smoke perf-gate
+check: vet staticcheck build race-telemetry race-hub race-cluster race fuzz-smoke perf-gate
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,12 @@ race-telemetry:
 race-hub:
 	$(GO) test -race ./internal/hub/...
 
+# The federated cluster's seeded chaos drill: three nodes, dropped and
+# slowed links, one partition, one live migration, one SIGKILL mid-ingest —
+# every home must end bit-identical to a solo gateway, race-checked.
+race-cluster:
+	$(GO) test -race -run 'TestCluster' ./internal/cluster/
+
 # Full benchmark sweep (regenerates every table/figure on the scaled-down
 # protocol).
 bench:
@@ -61,6 +67,11 @@ bench-hub:
 bench-recovery:
 	$(GO) run ./cmd/dice-eval -exp recovery
 
+# Federated cluster drill: migration + node-kill fail-over latency and
+# cluster-vs-solo efficiency → BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/dice-eval -exp cluster
+
 # Short fuzz passes over the two wire decoders (binary batch + CoAP). Long
 # campaigns run the same targets with a bigger -fuzztime.
 fuzz-smoke:
@@ -74,3 +85,5 @@ fuzz-smoke:
 perf-gate:
 	$(GO) run ./cmd/dice-eval -exp hub -hubjson /tmp/dice-benchdiff-hub.json >/dev/null
 	$(GO) run ./cmd/dice-benchdiff -mode hub -baseline BENCH_hub.json -fresh /tmp/dice-benchdiff-hub.json
+	$(GO) run ./cmd/dice-eval -exp cluster -clusterjson /tmp/dice-benchdiff-cluster.json >/dev/null
+	$(GO) run ./cmd/dice-benchdiff -mode cluster -baseline BENCH_cluster.json -fresh /tmp/dice-benchdiff-cluster.json -tolerance 0.4

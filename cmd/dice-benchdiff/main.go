@@ -4,8 +4,14 @@
 //
 // Usage:
 //
-//	dice-benchdiff -mode hub  -baseline BENCH_hub.json  -fresh /tmp/fresh.json [-tolerance 0.15]
-//	dice-benchdiff -mode eval -baseline BENCH_eval.json -fresh /tmp/fresh.json [-tolerance 0.15]
+//	dice-benchdiff -mode hub     -baseline BENCH_hub.json     -fresh /tmp/fresh.json [-tolerance 0.15]
+//	dice-benchdiff -mode eval    -baseline BENCH_eval.json    -fresh /tmp/fresh.json [-tolerance 0.15]
+//	dice-benchdiff -mode cluster -baseline BENCH_cluster.json -fresh /tmp/fresh.json [-tolerance 0.15]
+//
+// A baseline that does not exist yet is not a failure: a benchmark
+// introduced in the same change has a fresh file but no committed
+// baseline, so the gate prints a notice and passes (the next commit of
+// the fresh file becomes the baseline). A missing fresh file still fails.
 //
 // Raw events/sec depends on the machine, so the gate compares
 // machine-normalized ratios that cancel hardware speed out of the
@@ -20,6 +26,12 @@
 //     (wall_clock_ms / Σ train_ms). Training is a pure-compute yardstick
 //     that rescales with the machine; the ratio tracks the evaluation hot
 //     path relative to it.
+//   - cluster: federation efficiency (events_per_sec / solo_events_per_sec).
+//     Both runs replay the same streams in the same process, so the ratio
+//     isolates the overhead of HTTP routing, proxying, and migration from
+//     machine speed. The fresh run must also report bit_identical — the
+//     cluster reproduced the solo gateway's output exactly through a
+//     migration and a fail-over.
 package main
 
 import (
@@ -45,6 +57,14 @@ type evalBench struct {
 	} `json:"datasets"`
 }
 
+// clusterBench mirrors the BENCH_cluster.json fields the gate reads.
+type clusterBench struct {
+	EventsPerSec     float64 `json:"events_per_sec"`
+	SoloEventsPerSec float64 `json:"solo_events_per_sec"`
+	Efficiency       float64 `json:"efficiency"`
+	BitIdentical     bool    `json:"bit_identical"`
+}
+
 func main() {
 	mode := flag.String("mode", "hub", "which benchmark schema to compare: hub or eval")
 	baseline := flag.String("baseline", "", "committed baseline JSON")
@@ -64,13 +84,24 @@ func run(mode, baseline, fresh string, tolerance float64) error {
 	if tolerance < 0 || tolerance >= 1 {
 		return fmt.Errorf("tolerance %v out of range [0, 1)", tolerance)
 	}
+	if _, err := os.Stat(fresh); err != nil {
+		return fmt.Errorf("fresh benchmark missing: %w", err)
+	}
+	if _, err := os.Stat(baseline); os.IsNotExist(err) {
+		// A benchmark introduced in this change has no committed baseline
+		// yet; committing the fresh file creates one for the next run.
+		fmt.Printf("%s perf gate: no baseline at %s yet, skipping comparison (commit the fresh file to create one)\n", mode, baseline)
+		return nil
+	}
 	switch mode {
 	case "hub":
 		return diffHub(baseline, fresh, tolerance)
 	case "eval":
 		return diffEval(baseline, fresh, tolerance)
+	case "cluster":
+		return diffCluster(baseline, fresh, tolerance)
 	default:
-		return fmt.Errorf("unknown mode %q (want hub or eval)", mode)
+		return fmt.Errorf("unknown mode %q (want hub, eval, or cluster)", mode)
 	}
 }
 
@@ -134,6 +165,33 @@ func diffEval(baseline, fresh string, tolerance float64) error {
 	if curRatio > ceil {
 		return fmt.Errorf("evaluation wall-clock regressed: ratio %.3f > %.3f (baseline %.3f + %d%%)",
 			curRatio, ceil, baseRatio, int(tolerance*100))
+	}
+	return nil
+}
+
+// diffCluster gates on federation efficiency (cluster throughput over solo
+// throughput, same process): higher is better, and a fresh ratio more than
+// tolerance below the baseline fails. Bit-identity is non-negotiable.
+func diffCluster(baseline, fresh string, tolerance float64) error {
+	var base, cur clusterBench
+	if err := load(baseline, &base); err != nil {
+		return err
+	}
+	if err := load(fresh, &cur); err != nil {
+		return err
+	}
+	if base.Efficiency <= 0 || cur.Efficiency <= 0 {
+		return fmt.Errorf("efficiency missing: baseline=%v fresh=%v (regenerate with dice-eval -exp cluster)", base.Efficiency, cur.Efficiency)
+	}
+	if !cur.BitIdentical {
+		return fmt.Errorf("fresh run reports bit_identical=false: cluster output diverged from solo replay")
+	}
+	floor := base.Efficiency * (1 - tolerance)
+	fmt.Printf("cluster perf gate: baseline efficiency %.3f, fresh %.3f (floor %.3f, raw %s events/sec fresh vs %s solo)\n",
+		base.Efficiency, cur.Efficiency, floor, fmtRate(cur.EventsPerSec), fmtRate(cur.SoloEventsPerSec))
+	if cur.Efficiency < floor {
+		return fmt.Errorf("cluster efficiency regressed: %.3f < %.3f (baseline %.3f - %d%%)",
+			cur.Efficiency, floor, base.Efficiency, int(tolerance*100))
 	}
 	return nil
 }

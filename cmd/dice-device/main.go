@@ -8,7 +8,7 @@
 //	            [-from 300] [-hours 6] [-speed 600]
 //	            [-fault fail-stop:light-kitchen:60]
 //	            [-chaos seed=42,drop=0.1,dup=0.05,reorder=0.02,delay=5ms]
-//	            [-wire binary|json]
+//	            [-wire binary|json] [-retries 4]
 //
 // -wire selects the report encoding: "binary" (the default) sends DWB1
 // batch payloads through the gateway's pooled zero-alloc decode path;
@@ -54,6 +54,7 @@ func run() error {
 	faultSpec := flag.String("fault", "", "inject CLASS:DEVICE:ONSETMIN into the replay")
 	chaosSpec := flag.String("chaos", "", "inject transport faults, e.g. seed=42,drop=0.1,dup=0.05")
 	homeID := flag.String("home", "", "tenant home ID behind a multi-home hub (reports to /report/<home>)")
+	retries := flag.Int("retries", 0, "reissue a timed-out exchange up to N times with exponential backoff + jitter")
 	wireFmt := flag.String("wire", "binary", "wire encoding for reports: binary (DWB1 batches) or json (legacy)")
 	flag.Parse()
 
@@ -99,6 +100,7 @@ func run() error {
 		}
 	}
 	agent.Home = *homeID
+	agent.Retries = *retries
 	switch *wireFmt {
 	case "binary":
 		agent.Format = gateway.WireBinary

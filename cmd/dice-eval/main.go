@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines|hub|recovery]
+//	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines|hub|recovery|cluster]
 //	          [-datasets houseA,twor,...] [-trials N] [-seed N] [-csv]
 //	          [-workers N] [-benchjson FILE]
 //	          [-hub-homes M] [-hub-shards S] [-hub-hours H] [-hubjson FILE]
 //	          [-recovery-hours H] [-recoveryjson FILE]
+//	          [-cluster-nodes N] [-cluster-homes M] [-cluster-hours H] [-clusterjson FILE]
 //
 // `-trials 100` reproduces the paper-scale run (the default is 40 to keep
 // the full ten-dataset sweep under a minute on a laptop). `-workers` sizes
@@ -27,6 +28,13 @@
 // from checkpoint + WAL tail, verifying the recovered state is
 // bit-identical; the numbers land in BENCH_recovery.json
 // (`-recoveryjson`).
+//
+// `-exp cluster` benchmarks the federated hub cluster: N in-process nodes
+// share a durable state tree, M homes stream DWB1 batches over HTTP, and
+// mid-replay the bench live-migrates one tenant and kills one node. It
+// reports federation efficiency (cluster vs solo throughput), migration
+// and fail-over latency, and the bit-identity verdict; the numbers land in
+// BENCH_cluster.json (`-clusterjson`).
 package main
 
 import (
@@ -65,6 +73,10 @@ func run() error {
 	hubJSON := flag.String("hubjson", "BENCH_hub.json", "write the -exp hub result to this JSON file (empty = off)")
 	recHours := flag.Int("recovery-hours", 2, "replayed stream hours for -exp recovery")
 	recJSON := flag.String("recoveryjson", "BENCH_recovery.json", "write the -exp recovery result to this JSON file (empty = off)")
+	clusterNodes := flag.Int("cluster-nodes", 3, "federated hub nodes for -exp cluster (the last one is killed mid-stream)")
+	clusterHomes := flag.Int("cluster-homes", 6, "tenants spread across the cluster for -exp cluster")
+	clusterHours := flag.Int("cluster-hours", 2, "replayed stream hours per home for -exp cluster")
+	clusterJSON := flag.String("clusterjson", "BENCH_cluster.json", "write the -exp cluster result to this JSON file (empty = off)")
 	flag.Parse()
 
 	specs, err := selectSpecs(*dsFlag)
@@ -141,6 +153,13 @@ func run() error {
 			Hours: *recHours,
 			Seed:  *seed,
 		}, *recJSON)
+	case "cluster":
+		return runClusterBench(eval.ClusterBench{
+			Nodes: *clusterNodes,
+			Homes: *clusterHomes,
+			Hours: *clusterHours,
+			Seed:  *seed,
+		}, *clusterJSON)
 	case "actuators":
 		return runActuators(specs, *seed, proto, *workers, emit)
 	case "multifault":
@@ -260,6 +279,43 @@ func runHubBench(o eval.HubBench, jsonPath string) error {
 	}
 	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("write hub bench json: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
+}
+
+// runClusterBench federates N in-process hub nodes, replays every home's
+// stream through them while live-migrating one tenant and killing one
+// node, and lands the throughput/recovery numbers in BENCH_cluster.json.
+func runClusterBench(o eval.ClusterBench, jsonPath string) error {
+	res, err := eval.RunClusterBench(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster bench: %d homes x %dh across %d nodes (one killed, one migration)\n",
+		res.Homes, res.Hours, res.Nodes)
+	fmt.Printf("  train     %8.1f ms (shared context)\n", res.TrainMS)
+	fmt.Printf("  replay    %8.1f ms  (%d events, %d alerts; batches of %d over HTTP)\n",
+		res.WallClockMS, res.Events, res.Alerts, res.BatchSize)
+	fmt.Printf("  rate      %8.0f events/sec  (solo %8.0f, efficiency %.3f, bit-identical=%v)\n",
+		res.EventsPerSec, res.SoloEventsPerSec, res.Efficiency, res.BitIdentical)
+	fmt.Printf("  migration %8.1f ms drain-and-handoff\n", res.MigrationMS)
+	fmt.Printf("  fail-over %8.1f ms to re-adopt the dead node's homes (%.0f ms silence budget)\n",
+		res.FailoverRecoverMS, res.FailoverDetectMS)
+	fmt.Printf("  counters  %d handoffs, %d failovers, %d replacements, %d retries\n",
+		res.Handoffs, res.Failovers, res.Replacements, res.Retries)
+	if !res.BitIdentical {
+		return fmt.Errorf("cluster replay diverged from solo gateways")
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write cluster bench json: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 	return nil

@@ -47,6 +47,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/event"
@@ -256,6 +257,7 @@ type (
 const (
 	TenantHealthy     = hub.HealthHealthy
 	TenantDegraded    = hub.HealthDegraded
+	TenantMigrating   = hub.HealthMigrating
 	TenantQuarantined = hub.HealthQuarantined
 	TenantEvicted     = hub.HealthEvicted
 
@@ -265,10 +267,13 @@ const (
 )
 
 // Hub overload errors: ErrShed is TryIngest's full-queue rejection,
-// ErrDeadline is blocking Ingest giving up after the configured deadline.
+// ErrDeadline is blocking Ingest giving up after the configured deadline,
+// ErrTenantMigrating is an ingest bouncing off a home mid-handoff (retry
+// after the adoption lands).
 var (
-	ErrShed     = hub.ErrShed
-	ErrDeadline = hub.ErrDeadline
+	ErrShed            = hub.ErrShed
+	ErrDeadline        = hub.ErrDeadline
+	ErrTenantMigrating = hub.ErrMigrating
 )
 
 // ParseWALSyncPolicy maps the -fsync flag values (always|batch|never) onto
@@ -281,6 +286,48 @@ var (
 	WithGatewayConfig   = gateway.WithConfig
 	WithGatewayLiveness = gateway.WithLiveness
 	WithGatewayAlertBuf = gateway.WithAlertBuffer
+)
+
+// Re-exported federated hub cluster (internal/cluster). N nodes place
+// homes by rendezvous hashing over a static peer table — no coordinator —
+// and share one durable state tree: a tenant moves between nodes by
+// drain-and-handoff (ExportTenant → checksummed envelope → Adopt, verified
+// bit-identical), and a node death is detected by heartbeat and its homes
+// cold-restored on survivors. Every inter-node call retries with
+// exponential backoff + jitter.
+type (
+	// ClusterNode is one member of a federated hub cluster.
+	ClusterNode = cluster.Node
+	// ClusterClient streams DWB1 batches into any node, following moves.
+	ClusterClient = cluster.Client
+	// ClusterOption configures a ClusterNode at construction.
+	ClusterOption = cluster.Option
+	// ClusterResolver materializes a home's trained context on demand.
+	ClusterResolver = cluster.Resolver
+	// ExportedTenant is the drain-and-handoff envelope (checkpoint + WAL
+	// tail + expected counters).
+	ExportedTenant = hub.ExportedTenant
+)
+
+// NewClusterNode builds one cluster node; Start serves and gossips.
+func NewClusterNode(id string, opts ...ClusterOption) (*ClusterNode, error) {
+	return cluster.New(id, opts...)
+}
+
+// ClusterOwner is the rendezvous placement function: which node of nodes
+// owns home. Deterministic and order-independent.
+func ClusterOwner(home string, nodes []string) string { return cluster.Owner(home, nodes) }
+
+// Cluster node options, re-exported from internal/cluster.
+var (
+	WithClusterListen      = cluster.WithListen
+	WithClusterPeers       = cluster.WithPeers
+	WithClusterCatalog     = cluster.WithCatalog
+	WithClusterHubOptions  = cluster.WithHubOptions
+	WithClusterHeartbeat   = cluster.WithHeartbeat
+	WithClusterRetry       = cluster.WithRetry
+	WithClusterCallTimeout = cluster.WithCallTimeout
+	WithClusterTransport   = cluster.WithTransport
 )
 
 // Binary batch wire format (internal/wire): the length-prefixed,

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with the same seeded fault model the
+// datagram wrappers apply to CoAP links, adapted to request/response calls:
+// drop (the request errors before it is sent), fixed delay, and jitter.
+// Because a dropped request never reaches the wire, the caller's retry
+// discipline sees exactly what a refused connection looks like — faults
+// never create a second delivery of a request that already landed, so the
+// cluster's exactly-once ack contract survives any drop probability.
+//
+// On top of the seeded faults, two runtime switches let a drill reshape the
+// topology mid-run: Partition(host) makes every call to that host fail, and
+// Slow(host, d) stretches its calls by a fixed extra latency. Both are
+// keyed by the request URL's Host and safe for concurrent use.
+type Transport struct {
+	inner http.RoundTripper
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	cfg         Config
+	partitioned map[string]bool
+	slowed      map[string]time.Duration
+
+	stats Stats
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with seeded
+// fault injection. Only Drop, Delay, and Jitter from cfg apply — dup,
+// reorder, and corrupt have no honest meaning for a reliable byte-stream
+// call and are ignored.
+func NewTransport(inner http.RoundTripper, cfg Config) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{
+		inner:       inner,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		cfg:         cfg,
+		partitioned: make(map[string]bool),
+		slowed:      make(map[string]time.Duration),
+	}
+}
+
+// ErrInjected marks a failure manufactured by the transport, so tests can
+// tell injected faults from real ones.
+type ErrInjected struct{ Host, Why string }
+
+func (e *ErrInjected) Error() string {
+	return fmt.Sprintf("chaos: injected %s for %s", e.Why, e.Host)
+}
+
+// Partition cuts or restores the link to host (as it appears in request
+// URLs). While cut, every call errors without reaching the wire.
+func (t *Transport) Partition(host string, cut bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cut {
+		t.partitioned[host] = true
+	} else {
+		delete(t.partitioned, host)
+	}
+}
+
+// Slow adds a fixed extra latency to every call to host; zero restores it.
+func (t *Transport) Slow(host string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d <= 0 {
+		delete(t.slowed, host)
+	} else {
+		t.slowed[host] = d
+	}
+}
+
+// Stats snapshots the fault counters: Sent counts calls offered, Delivered
+// calls that reached the inner transport, Dropped seeded or partition kills.
+func (t *Transport) Stats() Stats { return snapshot(&t.stats) }
+
+// RoundTrip applies the fault plan and forwards to the inner transport.
+// All seeded decisions happen before the request is sent, under one lock in
+// call order, so a given seed produces one deterministic fault sequence.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	t.mu.Lock()
+	atomic.AddInt64(&t.stats.Sent, 1)
+	if t.partitioned[host] {
+		atomic.AddInt64(&t.stats.Dropped, 1)
+		t.mu.Unlock()
+		return nil, &ErrInjected{Host: host, Why: "partition"}
+	}
+	if t.cfg.Drop > 0 && t.rng.Float64() < t.cfg.Drop {
+		atomic.AddInt64(&t.stats.Dropped, 1)
+		t.mu.Unlock()
+		return nil, &ErrInjected{Host: host, Why: "drop"}
+	}
+	delay := t.cfg.Delay + t.slowed[host]
+	if t.cfg.Jitter > 0 {
+		delay += time.Duration(t.rng.Int63n(int64(t.cfg.Jitter)))
+	}
+	atomic.AddInt64(&t.stats.Delivered, 1)
+	t.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return t.inner.RoundTrip(req)
+}

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/wire"
+)
+
+// TestClusterChaosKillDrill is the acceptance drill: three nodes under
+// seeded link chaos ingest six homes while the drill partitions one link,
+// slows another, live-migrates a tenant, and SIGKILLs a node mid-stream.
+// Every home's final stats and last Explain trace must still equal a solo
+// gateway replay, the dead node's homes must be re-adopted by survivors,
+// and the merged /metrics must show the fail-over and retry counters.
+func TestClusterChaosKillDrill(t *testing.T) {
+	h, cctx := trained(t)
+	const homes = 6
+	catalog := make([]string, homes)
+	streams := make(map[string][]event.Event, homes)
+	wantStats := make(map[string]gateway.Stats, homes)
+	wantAlerts := make(map[string][]gateway.Alert, homes)
+	for i := 0; i < homes; i++ {
+		home := fmt.Sprintf("home-%02d", i)
+		catalog[i] = home
+		streams[home] = homeStream(t, h, i)
+		wantStats[home], wantAlerts[home] = soloRun(t, cctx, streams[home])
+	}
+
+	// Every node gets its own seeded chaos transport on the inter-node
+	// links; the drill reshapes topology through them at runtime.
+	transports := make(map[string]*chaos.Transport, 3)
+	tc := newTestCluster(t, []string{"a", "b", "c"}, cctx, catalog, func(id string) []Option {
+		ct := chaos.NewTransport(nil, chaos.Config{Seed: int64(len(id)) + 7, Drop: 0.02})
+		transports[id] = ct
+		return []Option{WithTransport(ct)}
+	})
+	// The client rides a dropping link too: every retry it takes shows up
+	// in its own resend discipline, never as a duplicate apply (drops are
+	// injected before the request reaches the wire).
+	clientChaos := chaos.NewTransport(nil, chaos.Config{Seed: 99, Drop: 0.05})
+	client := &Client{
+		Base:    tc.node("a").Addr(),
+		HC:      &http.Client{Transport: clientChaos},
+		Retries: 12,
+		Backoff: 25 * time.Millisecond,
+	}
+
+	// Senders take the gate read-side per batch; the orchestrator's write
+	// lock freezes the cluster between acked batches, which is what keeps
+	// the SIGKILL exactly-once: no un-acked batch is ever in flight when
+	// the node dies.
+	var gate sync.RWMutex
+	var sent atomic.Int64
+	var wg sync.WaitGroup
+	progress := func() {
+		sent.Add(1)
+	}
+	for _, home := range catalog {
+		wg.Add(1)
+		go func(home string) {
+			defer wg.Done()
+			evts := streams[home]
+			var buf []byte
+			for lo := 0; lo < len(evts); lo += 64 {
+				hi := lo + 64
+				if hi > len(evts) {
+					hi = len(evts)
+				}
+				buf = wire.AppendReport(buf[:0], evts[lo:hi])
+				gate.RLock()
+				err := client.Send(context.Background(), home, buf)
+				gate.RUnlock()
+				if err != nil {
+					t.Errorf("send %s batch @%d: %v", home, lo, err)
+					return
+				}
+				progress()
+			}
+			buf = wire.AppendAdvance(buf[:0], streamEnd)
+			gate.RLock()
+			err := client.Send(context.Background(), home, buf)
+			gate.RUnlock()
+			if err != nil {
+				t.Errorf("advance %s: %v", home, err)
+			}
+		}(home)
+	}
+
+	waitSent := func(n int64) {
+		deadline := time.Now().Add(30 * time.Second)
+		for sent.Load() < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("drill stalled at %d acked batches waiting for %d", sent.Load(), n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: partition the a↔b link briefly (long enough for suspicion,
+	// far short of a death verdict) and slow a→c. Ingest must ride the
+	// retries straight through.
+	waitSent(10)
+	addrB, addrC := tc.node("b").Addr(), tc.node("c").Addr()
+	transports["a"].Partition(addrB, true)
+	transports["b"].Partition(tc.node("a").Addr(), true)
+	transports["a"].Slow(addrC, 10*time.Millisecond)
+	time.Sleep(600 * time.Millisecond)
+	transports["a"].Partition(addrB, false)
+	transports["b"].Partition(tc.node("a").Addr(), false)
+	transports["a"].Slow(addrC, 0)
+
+	// Phase 2: live-migrate a home between the two nodes that will survive,
+	// so the drill covers a handoff and a fail-over in the same run (and
+	// the handoff counter outlives the kill). Freeze senders so the
+	// 409-bounce window stays deterministic for the oracle.
+	waitSent(20)
+	var migSrc *Node
+	victim := ""
+	for _, home := range catalog {
+		if host := tc.hostOf(t, home); host.id != "c" {
+			migSrc, victim = host, home
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("placement put every home on node c; drill cannot cover a survivor handoff")
+	}
+	migDst := "a"
+	if migSrc.id == "a" {
+		migDst = "b"
+	}
+	gate.Lock()
+	if err := migSrc.Migrate(context.Background(), victim, migDst); err != nil {
+		gate.Unlock()
+		t.Fatalf("migrate %s %s→%s: %v", victim, migSrc.id, migDst, err)
+	}
+	gate.Unlock()
+
+	// Phase 3: SIGKILL node c between acked batches. Survivors must
+	// declare it dead and cold-restore its homes from the shared
+	// checkpoint + WAL state within the heartbeat/backoff budget.
+	waitSent(35)
+	gate.Lock()
+	tc.node("c").Kill()
+	killedAt := time.Now()
+	gate.Unlock()
+
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	recovery := time.Since(killedAt)
+
+	// Every home must end on a survivor, bit-identical to solo.
+	for _, home := range catalog {
+		host := tc.hostOf(t, home)
+		if host.id == "c" {
+			t.Fatalf("home %s still on the killed node", home)
+		}
+		if err := host.h.Drain(home); err != nil {
+			t.Fatal(err)
+		}
+		tn, _ := host.h.Tenant(home)
+		if got := tn.Stats(); got != wantStats[home] {
+			t.Errorf("%s on %s stats diverged:\n cluster: %+v\n solo:    %+v", home, host.id, got, wantStats[home])
+		}
+		last, ok := tn.LastAlert()
+		if len(wantAlerts[home]) == 0 {
+			if ok {
+				t.Errorf("%s raised an alert solo never did", home)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("%s lost its last alert across the drill", home)
+			continue
+		}
+		want := wantAlerts[home][len(wantAlerts[home])-1]
+		if alertJSON(t, last) != alertJSON(t, want) {
+			t.Errorf("%s last alert Explain diverged:\n cluster: %s\n solo:    %s",
+				home, alertJSON(t, last), alertJSON(t, want))
+		}
+	}
+	t.Logf("drill: stream completed %v after the kill (detection + re-adoption + replay)", recovery)
+
+	// The drill's scars must be visible on the merged exposition.
+	resp, err := http.Get("http://" + tc.node("a").Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, metric := range []string{metricFailovers, metricHandoffs, metricRetries, metricReplacements} {
+		total := int64(0)
+		for _, n := range tc.nodes {
+			if n.id == "c" {
+				continue
+			}
+			switch metric {
+			case metricFailovers:
+				total += n.met.failovers.Value()
+			case metricHandoffs:
+				total += n.met.handoffs.Value()
+			case metricRetries:
+				total += n.met.retries.Value()
+			case metricReplacements:
+				total += n.met.replacements.Value()
+			}
+		}
+		if total == 0 {
+			t.Errorf("%s stayed zero across the whole drill", metric)
+		}
+		if !strings.Contains(text, metric+"{node=") {
+			t.Errorf("merged /metrics is missing %s with a node label", metric)
+		}
+	}
+	if clientChaos.Stats().Dropped == 0 {
+		t.Error("client chaos dropped nothing; the drill exercised no client retries")
+	}
+}

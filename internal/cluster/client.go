@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a minimal cluster ingest client: it talks to any one node
+// (which routes or proxies as needed) and retries retryable failures —
+// link errors, 503 sheds, 409 mid-migration bounces — with the same
+// jittered exponential backoff the nodes use among themselves. A nil-error
+// return means some node acked the batch as durably applied.
+type Client struct {
+	// Base is the host:port of any cluster node.
+	Base string
+	// HC is the HTTP client; nil uses a default. Drills inject a
+	// chaos-wrapped transport here.
+	HC *http.Client
+	// Retries bounds re-attempts after the first try (default 8 — the
+	// client outlives a full migration or fail-over window).
+	Retries int
+	// Backoff is the base retry delay (default 50ms).
+	Backoff time.Duration
+}
+
+func (c *Client) hc() *http.Client {
+	if c.HC != nil {
+		return c.HC
+	}
+	return http.DefaultClient
+}
+
+// Send posts one binary batch (wire.AppendReport or wire.AppendAdvance
+// bytes) for home and retries until a node acks it durably applied.
+func (c *Client) Send(ctx context.Context, home string, payload []byte) error {
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 8
+	}
+	url := "http://" + c.Base + "/cluster/ingest/" + home
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.post(ctx, url, payload)
+		if lastErr == nil {
+			return nil
+		}
+		if attempt >= retries || !retryable(lastErr) || ctx.Err() != nil {
+			return lastErr
+		}
+		if err := sleepBackoff(ctx, c.Backoff, attempt); err != nil {
+			return lastErr
+		}
+	}
+}
+
+func (c *Client) post(ctx context.Context, url string, payload []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) //nolint:errcheck // best-effort error text
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return &errStatus{code: resp.StatusCode, body: string(data)}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/hub"
+)
+
+// Migrate drains home on this node and hands its live state to target:
+// the tenant enters Migrating (new ops bounce with a retryable 409), a
+// barrier settles the queue, and the checksummed checkpoint envelope plus
+// WAL tail ship to the target, which adopts and verifies the restored
+// counters against the donor's before serving. The shipping call gets the
+// full retry/backoff treatment; if it still fails, the export re-adopts
+// locally from the same envelope, so a failed migration degrades to "the
+// home never moved" rather than "the home is gone".
+func (n *Node) Migrate(ctx context.Context, home, target string) error {
+	if target == n.id {
+		return fmt.Errorf("cluster: migrate %q: target is this node", home)
+	}
+	p, ok := n.peers[target]
+	if !ok {
+		return fmt.Errorf("cluster: migrate %q: unknown target node %q", home, target)
+	}
+	if p.state.Load() == peerDead {
+		return fmt.Errorf("cluster: migrate %q: target node %q is dead", home, target)
+	}
+	// The exporting flag covers the dead zone between local eviction and
+	// confirmed remote adoption: ingests and hosted-probes for the home
+	// answer "mid-handoff, retry" instead of racing an adopter into
+	// double-hosting.
+	n.setExporting(home, true)
+	defer n.setExporting(home, false)
+	exp, err := n.h.ExportTenant(home)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(exp)
+	if err != nil {
+		return n.readopt(home, exp, err)
+	}
+	if _, err := n.call(ctx, http.MethodPost, "http://"+p.addr+"/cluster/adopt", body); err != nil {
+		return n.readopt(home, exp, err)
+	}
+	n.setHint(home, target)
+	n.met.handoffs.Inc()
+	return nil
+}
+
+// readopt rolls a failed handoff back: the tenant was already exported
+// (evicted, WAL closed), so the only safe recovery is to adopt the
+// envelope ourselves — the same code path the target would have run.
+func (n *Node) readopt(home string, exp *hub.ExportedTenant, cause error) error {
+	if n.o.resolve == nil {
+		return fmt.Errorf("cluster: migrate %q failed with no resolver to re-adopt: %w", home, cause)
+	}
+	cctx, gwOpts, rerr := n.o.resolve(home)
+	if rerr == nil {
+		_, rerr = n.h.Adopt(exp, cctx, gwOpts...)
+	}
+	if rerr != nil {
+		return fmt.Errorf("cluster: migrate %q failed (%v) and local re-adopt failed: %w", home, cause, rerr)
+	}
+	n.setHint(home, "")
+	return fmt.Errorf("cluster: migrate %q: target unreachable, re-adopted locally: %w", home, cause)
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/hub"
+)
+
+// heartbeatMsg is the gossip payload: just identity — liveness is the
+// signal, the timestamp is taken by the receiver.
+type heartbeatMsg struct {
+	From string `json:"from"`
+}
+
+// heartbeatLoop pings every peer each interval. Each ping is a single
+// attempt (the next tick is the retry), and a successful response is proof
+// of life for the peer just as an inbound heartbeat would be — so a
+// one-way partition degrades to suspicion on both sides, not a split where
+// only one side notices.
+func (n *Node) heartbeatLoop() {
+	defer n.loops.Done()
+	body, _ := json.Marshal(heartbeatMsg{From: n.id}) //nolint:errcheck // fixed struct
+	tick := time.NewTicker(n.o.heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+		}
+		for _, p := range n.alivePeerListAll() {
+			go func(p *peer) {
+				ctx, cancel := context.WithTimeout(context.Background(), n.o.callTimeout)
+				defer cancel()
+				if _, err := n.doOnce(ctx, http.MethodPost, "http://"+p.addr+"/cluster/heartbeat", body); err == nil {
+					n.markSeen(p)
+				}
+			}(p)
+		}
+	}
+}
+
+// alivePeerListAll returns every peer, dead ones included — heartbeats
+// keep probing the dead so a restarted node is re-admitted.
+func (n *Node) alivePeerListAll() []*peer {
+	out := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// markSeen records proof of life. A peer returning from the dead rejoins
+// the placement population immediately; the homes it used to own stay
+// wherever they are hosted now (hosting wins over placement — see
+// ensureLocal), so a rejoin never yanks live tenants around.
+func (n *Node) markSeen(p *peer) {
+	p.lastSeen.Store(time.Now().UnixNano())
+	if p.state.Swap(peerAlive) == peerDead {
+		n.refreshPeerGauges()
+	}
+}
+
+// monitorLoop is the failure detector: a peer silent past suspectAfter is
+// suspect, past deadAfter dead. Death is the expensive transition — it
+// triggers a re-placement sweep adopting every catalog home this node now
+// owns — so it sits behind the longer timeout, while suspicion is cheap
+// and only shows up on the gauge (and in drills, as an early warning).
+func (n *Node) monitorLoop() {
+	defer n.loops.Done()
+	period := n.o.heartbeat / 2
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now().UnixNano()
+		for _, p := range n.peers {
+			silent := time.Duration(now - p.lastSeen.Load())
+			switch {
+			case silent > n.o.deadAfter:
+				if p.state.Swap(peerDead) != peerDead {
+					n.refreshPeerGauges()
+					n.failover(p)
+				}
+			case silent > n.o.suspectAfter:
+				if p.state.CompareAndSwap(peerAlive, peerSuspect) {
+					n.refreshPeerGauges()
+				}
+			}
+		}
+	}
+}
+
+func (n *Node) refreshPeerGauges() {
+	var alive, suspect int64
+	for _, p := range n.peers {
+		switch p.state.Load() {
+		case peerAlive:
+			alive++
+		case peerSuspect:
+			suspect++
+		}
+	}
+	n.met.alivePeers.Set(alive)
+	n.met.suspectPeers.Set(suspect)
+}
+
+// failover re-places a dead peer's share of the catalog. Rendezvous
+// hashing guarantees the only homes whose owner changed are the dead
+// node's, so the sweep adopts exactly: catalog homes that (a) this node
+// now owns, (b) are not already hosted here, and (c) no live peer hosts.
+// Each adoption is a cold restore from the shared checkpoint + WAL state
+// the dead node left behind — the same recovery path a process restart
+// takes, proven bit-identical by the recovery oracle.
+func (n *Node) failover(dead *peer) {
+	n.met.failovers.Inc()
+	alive := n.aliveNodes()
+	ctx, cancel := context.WithTimeout(context.Background(), n.o.callTimeout*time.Duration(n.o.retries+1))
+	defer cancel()
+	for _, home := range n.o.catalog {
+		if Owner(home, alive) != n.id {
+			continue
+		}
+		if _, err := n.ensureLocal(ctx, home); err != nil {
+			// The home stays down until the next ingest retries the
+			// adoption; counting it as an ingest error keeps it visible.
+			continue
+		}
+		if err := n.h.Drain(home); err != nil && err != hub.ErrClosed {
+			continue
+		}
+	}
+	n.mu.Lock()
+	for home, id := range n.hints {
+		if id == dead.id {
+			delete(n.hints, home)
+		}
+	}
+	n.mu.Unlock()
+}

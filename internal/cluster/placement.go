@@ -1,0 +1,76 @@
+// Package cluster federates several hub nodes into one coordinator-less
+// detection fabric. Every node knows the full peer list; home placement is
+// rendezvous (highest-random-weight) hashing over the nodes currently
+// believed alive, so any node can answer "who owns this home" locally and
+// all nodes converge on the same answer without electing anything. A home's
+// durable state (checkpoint + WAL) lives in a state directory the nodes
+// share, so ownership can move two ways: a live drain-and-handoff that
+// ships the running tenant's state between nodes, and a cold fail-over
+// where survivors re-place a dead node's homes and restore them from disk.
+// Either way the restored tenant must reproduce the donor's counters
+// bit-for-bit — the same oracle the single-node crash drills gate on.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// score is the rendezvous weight of (node, home): a 64-bit FNV-1a over the
+// node ID, a NUL separator (so "ab"+"c" and "a"+"bc" cannot collide), and
+// the home ID, pushed through a finalizer mix. The finalizer matters: raw
+// FNV-1a barely diffuses trailing-byte differences into the high bits, so
+// without it the node whose ID hashes highest would win every home and the
+// "distribution" would be one node hosting everything. Every node computes
+// the same weights from the same inputs — that determinism is the whole
+// coordination protocol.
+func score(node, home string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(node)) //nolint:errcheck // fnv never fails
+	f.Write([]byte{0})    //nolint:errcheck // fnv never fails
+	f.Write([]byte(home)) //nolint:errcheck // fnv never fails
+	return mix64(f.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a fixed bijective avalanche so every
+// input bit flips each output bit with probability ~1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the rendezvous owner of home among nodes: the node with
+// the highest weight, ties broken lexicographically so the answer is total.
+// An empty node list returns "". Unlike mod-N hashing, removing one node
+// re-places only that node's homes — every other home keeps its owner,
+// which is what bounds fail-over work to the dead node's share.
+func Owner(home string, nodes []string) string {
+	var best string
+	var bestScore uint64
+	for _, n := range nodes {
+		s := score(n, home)
+		if best == "" || s > bestScore || (s == bestScore && n < best) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// Placement maps every home to its owner, owners to sorted home lists.
+func Placement(homes, nodes []string) map[string][]string {
+	out := make(map[string][]string, len(nodes))
+	for _, h := range homes {
+		o := Owner(h, nodes)
+		if o != "" {
+			out[o] = append(out[o], h)
+		}
+	}
+	for _, hs := range out {
+		sort.Strings(hs)
+	}
+	return out
+}

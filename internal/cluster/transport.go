@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// maxCallBackoff caps the exponential inter-node retry delay.
+const maxCallBackoff = 2 * time.Second
+
+// errStatus carries a non-2xx peer response through the retry loop.
+type errStatus struct {
+	code int
+	body string
+}
+
+func (e *errStatus) Error() string {
+	return fmt.Sprintf("cluster: peer status %d: %s", e.code, e.body)
+}
+
+// retryable reports whether a call failure is worth another attempt:
+// transport errors (the link, not the request), 5xx (peer overloaded or
+// mid-crash), and 409 (tenant mid-migration — the next attempt will land
+// on the new owner). 4xx other than 409 means the request itself is wrong
+// and retrying cannot fix it.
+func retryable(err error) bool {
+	var se *errStatus
+	if errors.As(err, &se) {
+		return se.code == http.StatusConflict || se.code >= 500
+	}
+	return true
+}
+
+// call issues one inter-node request with bounded retries and full-jitter
+// exponential backoff. Every retry is counted on the node's
+// dice_cluster_retries_total; the caller sees only the final outcome.
+// A nil-error return always carries a 2xx response body.
+func (n *Node) call(ctx context.Context, method, url string, body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := n.doOnce(ctx, method, url, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= n.o.retries || !retryable(err) || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		n.met.retries.Inc()
+		if err := sleepBackoff(ctx, n.o.retryBackoff, attempt); err != nil {
+			return nil, lastErr
+		}
+	}
+}
+
+// sleepBackoff waits out one retry delay: exponential from base by attempt,
+// capped at maxCallBackoff, with full jitter on the top half so a herd of
+// callers retrying the same struggling peer does not re-synchronize into
+// periodic thundering. Returns early (with ctx.Err) on cancellation.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	delay := base << attempt
+	if delay > maxCallBackoff || delay <= 0 {
+		delay = maxCallBackoff
+	}
+	delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+	select {
+	case <-time.After(delay):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// doOnce is a single attempt of call.
+func (n *Node) doOnce(ctx context.Context, method, url string, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, n.o.callTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := string(data)
+		if len(msg) > 256 {
+			msg = msg[:256]
+		}
+		return nil, &errStatus{code: resp.StatusCode, body: msg}
+	}
+	return data, nil
+}

@@ -178,6 +178,44 @@ var ckptMagic = [8]byte{'D', 'I', 'C', 'E', 'C', 'K', 'S', '1'}
 
 var ckptCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
+// EncodeCheckpoint renders a checkpoint as its checksummed envelope bytes
+// (magic + CRC32-C + JSON) — the same format WriteCheckpoint persists, as
+// an in-memory value a handoff can ship between nodes. DecodeCheckpoint
+// verifies and reverses it.
+func EncodeCheckpoint(cp *Checkpoint) ([]byte, error) {
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: checkpoint encode: %w", err)
+	}
+	out := make([]byte, 12+len(payload))
+	copy(out[:8], ckptMagic[:])
+	binary.LittleEndian.PutUint32(out[8:12], crc32.Checksum(payload, ckptCRCTable))
+	copy(out[12:], payload)
+	return out, nil
+}
+
+// DecodeCheckpoint parses envelope bytes produced by EncodeCheckpoint (or
+// read whole from a WriteCheckpoint file), verifying the checksum (damage
+// reports ErrCorruptCheckpoint) and migrating older schemas — including
+// pre-envelope bare-JSON payloads — forward.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) >= 12 && bytes.Equal(data[:8], ckptMagic[:]) {
+		want := binary.LittleEndian.Uint32(data[8:12])
+		data = data[12:]
+		if crc32.Checksum(data, ckptCRCTable) != want {
+			return nil, fmt.Errorf("%w: envelope fails CRC", ErrCorruptCheckpoint)
+		}
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("gateway: parse checkpoint: %w", err)
+	}
+	if err := cp.Migrate(); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
 // WriteCheckpoint atomically persists a checkpoint: write to a temp file in
 // the same directory, fsync, rename over the target, fsync the directory.
 // A crash mid-write leaves the previous checkpoint intact; readers never
@@ -191,18 +229,12 @@ func WriteCheckpoint(path string, cp *Checkpoint) error {
 		return fmt.Errorf("gateway: checkpoint temp: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	payload, err := json.Marshal(cp)
+	env, err := EncodeCheckpoint(cp)
 	if err != nil {
 		tmp.Close()
-		return fmt.Errorf("gateway: checkpoint encode: %w", err)
+		return err
 	}
-	var hdr [12]byte
-	copy(hdr[:8], ckptMagic[:])
-	binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(payload, ckptCRCTable))
-	if _, err := tmp.Write(hdr[:]); err == nil {
-		_, err = tmp.Write(payload)
-	}
-	if err != nil {
+	if _, err := tmp.Write(env); err != nil {
 		tmp.Close()
 		return fmt.Errorf("gateway: checkpoint write: %w", err)
 	}
@@ -235,19 +267,12 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gateway: read checkpoint: %w", err)
 	}
-	if len(data) >= 12 && bytes.Equal(data[:8], ckptMagic[:]) {
-		want := binary.LittleEndian.Uint32(data[8:12])
-		data = data[12:]
-		if crc32.Checksum(data, ckptCRCTable) != want {
+	cp, err := DecodeCheckpoint(data)
+	if err != nil {
+		if errors.Is(err, ErrCorruptCheckpoint) {
 			return nil, fmt.Errorf("%w: %s fails CRC", ErrCorruptCheckpoint, path)
 		}
-	}
-	var cp Checkpoint
-	if err := json.Unmarshal(data, &cp); err != nil {
-		return nil, fmt.Errorf("gateway: parse checkpoint %s: %w", path, err)
-	}
-	if err := cp.Migrate(); err != nil {
 		return nil, fmt.Errorf("gateway: checkpoint %s: %w", path, err)
 	}
-	return &cp, nil
+	return cp, nil
 }

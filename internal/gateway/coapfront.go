@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -239,6 +240,20 @@ type Agent struct {
 	// go to /report/{home}, /advance/{home}, /stats/{home} instead of the
 	// bare single-gateway paths.
 	Home string
+	// Retries bounds how many times a timed-out exchange is reissued as a
+	// fresh request, with exponential backoff + jitter between attempts —
+	// the layer above the CON retransmission schedule, for outages that
+	// outlast a whole ladder (gateway restart, tenant migration). Zero (the
+	// default) keeps the single-exchange behaviour. Each reissue is a new
+	// exchange (new Message ID), so the gateway's dedup cache does not
+	// absorb it: enable retries only against idempotent resources or when
+	// at-least-once reporting is acceptable.
+	Retries int
+	// RetryBackoff is the base delay before the first reissue (default
+	// 250ms); it doubles per attempt, capped at 5s, with uniform jitter of
+	// up to half the delay added so synchronized agents do not stampede a
+	// recovering gateway.
+	RetryBackoff time.Duration
 }
 
 // path renders a resource path, suffixed with the tenant segment when the
@@ -364,12 +379,36 @@ func (a *Agent) Stats() (Stats, error) {
 	return s, nil
 }
 
+// maxRetryBackoff caps the exponential reissue delay.
+const maxRetryBackoff = 5 * time.Second
+
 func (a *Agent) do(req *coap.Message) (*coap.Message, error) {
 	timeout := a.Timeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	return a.cli.Do(ctx, req)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		resp, err := a.cli.Do(ctx, req)
+		cancel()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= a.Retries {
+			return nil, lastErr
+		}
+		base := a.RetryBackoff
+		if base <= 0 {
+			base = 250 * time.Millisecond
+		}
+		delay := base << attempt
+		if delay > maxRetryBackoff || delay <= 0 {
+			delay = maxRetryBackoff
+		}
+		// Full-jitter on the top half: uniform in [delay/2, delay).
+		delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		time.Sleep(delay)
+	}
 }

@@ -632,6 +632,63 @@ func (g *Gateway) RecoverWAL() error {
 	return nil
 }
 
+// ImportTail adopts a WAL tail shipped from another node: the frames are
+// appended to the local log (continuing the donor's sequence space via
+// SkipTo when the local log is fresh) and then applied through the replay
+// path, exactly as RecoverWAL would have applied them from local disk.
+// Call it after RestoreCheckpoint on the shipped checkpoint and before any
+// live traffic.
+//
+// Two properties matter for a correct adoption. First, application runs
+// with the replaying flag set, so the tail's clock movements do not consume
+// the pending liveness rebase — the rebase must wait for the first live
+// event on the new node, where a handoff gap longer than the silence
+// threshold reads as downtime (last-seen stamps shift) instead of marking
+// every device in the home dark. Second, the frames reach the log before
+// they mutate state, preserving the log-before-apply invariant a crash
+// mid-adoption depends on.
+func (g *Gateway) ImportTail(frames [][]byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	base := g.walSeq
+	if g.wal != nil {
+		if g.wal.LastSeq() == 0 && base > 0 {
+			// Fresh local log: continue the donor's sequence space so the
+			// restored checkpoint's WALSeq stays meaningful here — a crash
+			// after this append recovers by replaying past it as usual.
+			if err := g.wal.SkipTo(base); err != nil {
+				return err
+			}
+		}
+		if len(frames) > 0 {
+			last, err := g.wal.AppendBatch(frames)
+			if err != nil {
+				return fmt.Errorf("gateway: import tail: %w", err)
+			}
+			base = last - uint64(len(frames))
+		}
+	}
+	g.replaying = true
+	for i, p := range frames {
+		rec, err := wal.DecodeRecord(p)
+		if err != nil {
+			g.replaying = false
+			return fmt.Errorf("gateway: import tail frame %d: %w", i, err)
+		}
+		g.applyRecordLocked(base+uint64(i)+1, rec)
+	}
+	g.replaying = false
+	if g.wal != nil {
+		if last := g.wal.LastSeq(); last > g.walSeq {
+			g.walSeq = last
+		}
+	} else {
+		g.walSeq = base + uint64(len(frames))
+	}
+	g.rebasePending = true
+	return nil
+}
+
 // applyRecordLocked applies one replayed op, converting a panic into a
 // dead-letter entry + skip instead of letting it wedge recovery.
 func (g *Gateway) applyRecordLocked(seq uint64, rec wal.Record) {

@@ -391,6 +391,12 @@ type Hub struct {
 	tel    *telemetry.Registry
 	met    hubMetrics
 	o      options
+
+	// killed models a SIGKILL for crash drills: once set, workers discard
+	// queued data ops (a real kill would lose them too) and Kill closes the
+	// WALs without a final checkpoint, so recovery must come from the
+	// durable state exactly as it would after a process death.
+	killed atomic.Bool
 }
 
 // New builds an empty hub; homes arrive via Register.
@@ -460,6 +466,15 @@ func (h *Hub) worker(s *shard) {
 	for o := range s.ops {
 		s.depth.Add(-1)
 		s.opsCnt.Inc()
+		if h.killed.Load() && o.kind != opBarrier && o.kind != opStall {
+			// Post-kill: queued data ops vanish, exactly as they would have
+			// inside a process that took SIGKILL mid-flight.
+			if o.kind == opIngestBatch {
+				*o.evs = (*o.evs)[:0]
+				batchPool.Put(o.evs)
+			}
+			continue
+		}
 		switch o.kind {
 		case opBarrier:
 			close(o.done)
@@ -643,6 +658,13 @@ func (h *Hub) enqueue(home string, o op, block bool) error {
 	t, ok := h.tenants[home]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownHome, home)
+	}
+	if Health(t.health.Load()) == HealthMigrating && o.kind != opBarrier && o.kind != opStall {
+		// Mid-handoff: the exported state will not cover this op, so the
+		// caller must re-route it to the new owner (retry until the adopt
+		// lands). Barriers still pass — the drain inside the migration
+		// depends on them.
+		return fmt.Errorf("%w: %q", ErrMigrating, home)
 	}
 	o.t = t
 	s := h.shardForLocked(home)
@@ -1017,4 +1039,41 @@ func (h *Hub) Close() error {
 		}
 	}
 	return first
+}
+
+// Kill is Close with the power cord pulled: the in-process stand-in for
+// SIGKILL that crash and fail-over drills use. Queued data ops are
+// discarded, no final checkpoint is written, and the WALs close without a
+// parting fsync — recovery must come entirely from the checkpoint + WAL
+// bytes already on disk, exactly as it would after a real process death.
+// (Goroutines are still reaped, because the drill shares our process.)
+func (h *Hub) Kill() {
+	h.killed.Store(true)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	for _, s := range h.shards {
+		close(s.ops)
+	}
+	ts := make([]*tenant, 0, len(h.tenants))
+	for _, t := range h.tenants {
+		ts = append(ts, t)
+	}
+	shards := h.shards
+	h.mu.Unlock()
+
+	for _, s := range shards {
+		<-s.done
+	}
+	for _, t := range ts {
+		t.sup.Lock()
+		t.stopForwarderLocked()
+		t.sup.Unlock()
+		if t.wl != nil {
+			t.wl.Close() //nolint:errcheck // dying; durability already on disk
+		}
+	}
 }

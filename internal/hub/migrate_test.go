@@ -1,0 +1,135 @@
+package hub
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// TestHubExportAdoptShippedTail is the drain-and-handoff unit drill with
+// nothing shared between the hubs: the envelope alone (checkpoint + WAL
+// tail) must carry the tenant, and the adopted tenant must finish the
+// stream bit-identical to a solo gateway.
+func TestHubExportAdoptShippedTail(t *testing.T) {
+	h, cctx := trained(t)
+	stream := homeStream(t, h, 1) // odd home: produces real alerts
+	wantStats, wantAlerts := soloRun(t, cctx, stream)
+
+	const home = "home-01"
+	dirA := t.TempDir()
+	src, err := New(WithShards(2), WithWALDir(dirA), WithCheckpointDir(dirA), WithAlertBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := src.Register(home, cctx, tenantGwOpts...); err != nil {
+		t.Fatal(err)
+	}
+	half := len(stream) / 2
+	if err := src.IngestBatch(home, stream[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Drain(home); err != nil {
+		t.Fatal(err)
+	}
+
+	exp, err := src.ExportTenant(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Home != home || len(exp.Checkpoint) == 0 {
+		t.Fatalf("export envelope: home=%q, %d checkpoint bytes", exp.Home, len(exp.Checkpoint))
+	}
+	// The export is an eviction: the source no longer serves the home.
+	if _, ok := src.Tenant(home); ok {
+		t.Fatal("source still hosts the tenant after export")
+	}
+	if err := src.Ingest(home, stream[half]); !errors.Is(err, ErrUnknownHome) {
+		t.Fatalf("ingest after export = %v, want ErrUnknownHome", err)
+	}
+
+	// The envelope must round-trip through its wire encoding — that is
+	// what actually crosses the node boundary.
+	wireBytes, err := json.Marshal(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shipped ExportedTenant
+	if err := json.Unmarshal(wireBytes, &shipped); err != nil {
+		t.Fatal(err)
+	}
+
+	dirB := t.TempDir()
+	dst, err := New(WithShards(2), WithWALDir(dirB), WithCheckpointDir(dirB), WithAlertBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if _, err := dst.Adopt(&shipped, cctx, tenantGwOpts...); err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+
+	if err := dst.IngestBatch(home, stream[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Advance(home, streamEnd); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Drain(home); err != nil {
+		t.Fatal(err)
+	}
+	tn, ok := dst.Tenant(home)
+	if !ok {
+		t.Fatal("adopted tenant vanished")
+	}
+	if got := tn.Stats(); got != wantStats {
+		t.Fatalf("adopted stats diverged:\n hub:  %+v\n solo: %+v", got, wantStats)
+	}
+	last, ok := tn.LastAlert()
+	if !ok || len(wantAlerts) == 0 {
+		t.Fatalf("alert coverage lost: hub has alert=%v, solo raised %d", ok, len(wantAlerts))
+	}
+	gotJSON, _ := json.Marshal(last)
+	wantJSON, _ := json.Marshal(wantAlerts[len(wantAlerts)-1])
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("last alert diverged:\n hub:  %s\n solo: %s", gotJSON, wantJSON)
+	}
+
+	// The adopted WAL continues the donor's sequence space: a crash right
+	// now must recover from the destination's own disk, bit-identical.
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(WithShards(2), WithWALDir(dirB), WithCheckpointDir(dirB), WithAlertBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rt, err := re.Register(home, cctx, tenantGwOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Stats(); got != wantStats {
+		t.Fatalf("post-adopt recovery diverged:\n hub:  %+v\n solo: %+v", got, wantStats)
+	}
+}
+
+// TestHubExportTenantUnknown: exporting a home the hub does not host is an
+// error, not an empty envelope.
+func TestHubExportTenantUnknown(t *testing.T) {
+	_, cctx := trained(t)
+	hb, err := New(WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Close()
+	if _, err := hb.Register("present", cctx, tenantGwOpts...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hb.ExportTenant("absent"); !errors.Is(err, ErrUnknownHome) {
+		t.Fatalf("ExportTenant(absent) = %v, want ErrUnknownHome", err)
+	}
+}

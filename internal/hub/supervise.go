@@ -12,6 +12,9 @@ import (
 //
 //	Healthy     — applying ops normally
 //	Degraded    — alive, but the overload policy shed events for it recently
+//	Migrating   — mid-handoff to another node: ops already queued still
+//	              apply (they are covered by the exported state), new ones
+//	              are rejected with ErrMigrating so the caller re-routes
 //	Quarantined — its gateway panicked; ops are dropped while the supervisor
 //	              rebuilds it from checkpoint + WAL (or forever, once the
 //	              circuit breaker has tripped)
@@ -21,6 +24,10 @@ type Health int32
 const (
 	HealthHealthy Health = iota
 	HealthDegraded
+	// HealthMigrating sits below HealthQuarantined so applyOp's drop
+	// threshold (>= Quarantined) still applies the queued ops a migration
+	// barrier is waiting on.
+	HealthMigrating
 	HealthQuarantined
 	HealthEvicted
 )
@@ -31,6 +38,8 @@ func (s Health) String() string {
 		return "healthy"
 	case HealthDegraded:
 		return "degraded"
+	case HealthMigrating:
+		return "migrating"
 	case HealthQuarantined:
 		return "quarantined"
 	case HealthEvicted:

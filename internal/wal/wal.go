@@ -590,6 +590,62 @@ func (l *Log) Replay(after uint64, fn func(seq uint64, payload []byte) error) er
 	return nil
 }
 
+// ExportTail collects copies of every durable record with sequence number
+// greater than after, in order — the WAL half of a tenant handoff envelope:
+// the receiving node appends these frames to its own log and replays them
+// on top of the shipped checkpoint. Like Replay, the export stops silently
+// at the first torn or corrupt frame (counted), so it ships exactly the
+// prefix a local recovery would have applied. Safe while the log is open as
+// long as no Append runs concurrently — the exporter drains ingest first.
+func (l *Log) ExportTail(after uint64) ([][]byte, error) {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+	var out [][]byte
+	var prevLast uint64
+	for i, s := range segs {
+		if i > 0 && s.firstSeq != prevLast+1 {
+			l.met.corrupt.Inc()
+			return out, nil
+		}
+		last, _, err := l.scanSegment(&s, after, func(seq uint64, payload []byte) error {
+			out = append(out, append([]byte(nil), payload...))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if last == 0 && s.size > segHeaderSize {
+			l.met.corrupt.Inc()
+			return out, nil
+		}
+		if last != 0 {
+			prevLast = last
+		} else {
+			prevLast = s.firstSeq - 1
+		}
+	}
+	return out, nil
+}
+
+// SkipTo advances an empty log's sequence counter so its first append is
+// assigned seq+1 — how an adopting node continues a migrated tenant's
+// sequence space instead of restarting at 1, keeping the shipped
+// checkpoint's WALSeq meaningful against the new node's log. It refuses on
+// a log that already holds records.
+func (l *Log) SkipTo(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if len(l.segs) != 0 || l.seq != 0 {
+		return fmt.Errorf("wal: SkipTo(%d) on non-empty log (last seq %d)", seq, l.seq)
+	}
+	l.seq = seq
+	return nil
+}
+
 // TruncateThrough deletes sealed segments whose every record has sequence
 // number <= seq — called after a checkpoint covering seq has been made
 // durable. The active segment is never deleted, so the log always keeps a

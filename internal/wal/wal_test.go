@@ -508,3 +508,168 @@ func TestWALAppendBatchRotates(t *testing.T) {
 		t.Fatalf("replayed %d records, want 65", len(recs))
 	}
 }
+
+// TestWALTornTailMidBatch is the torn-write property for AppendBatch: a
+// crash can land at any byte inside the one vectored write a batch issues.
+// For every truncation point across the batch region, Open must repair the
+// segment to the longest valid frame prefix — the records of the batch
+// whose frames are fully on disk — replay exactly that prefix, and accept
+// continuation appends.
+func TestWALTornTailMidBatch(t *testing.T) {
+	master := t.TempDir()
+	l, err := Open(master, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pre = 5   // records appended one at a time before the batch
+	const batch = 8 // records in the single AppendBatch write
+	appendN(t, l, 0, pre)
+	var payloads [][]byte
+	var backing []byte
+	for i := pre; i < pre+batch; i++ {
+		off := len(backing)
+		backing = testRecord(i).AppendTo(backing)
+		payloads = append(payloads, backing[off:])
+	}
+	seq, err := l.AppendBatch(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(pre + batch); seq != want {
+		t.Fatalf("batch seq = %d, want %d", seq, want)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(master, "*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %v (%v)", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := frameHeader + recordSize
+	if want := segHeaderSize + (pre+batch)*frame; len(data) != want {
+		t.Fatalf("segment is %d bytes, want %d", len(data), want)
+	}
+
+	// Cut everywhere from "batch entirely lost" to "last batch frame torn
+	// one byte short": the survivors must always be a clean record prefix.
+	batchStart := segHeaderSize + pre*frame
+	for cut := batchStart; cut < len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(segs[0])), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lt, err := Open(dir, Options{Sync: SyncNever})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		complete := (cut - segHeaderSize) / frame
+		if got := lt.LastSeq(); got != uint64(complete) {
+			t.Fatalf("cut %d: LastSeq = %d, want %d", cut, got, complete)
+		}
+		recs := replayAll(t, lt, 0)
+		if len(recs) != complete {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(recs), complete)
+		}
+		for i, r := range recs {
+			if r != testRecord(i) {
+				t.Fatalf("cut %d: record %d = %+v, want %+v", cut, i, r, testRecord(i))
+			}
+		}
+		var buf []byte
+		buf = testRecord(complete).AppendTo(buf)
+		if cseq, err := lt.Append(buf); err != nil || cseq != uint64(complete)+1 {
+			t.Fatalf("cut %d: continuation append seq %d err %v", cut, cseq, err)
+		}
+		lt.Close()
+	}
+}
+
+// TestWALExportTail: the shipped tail is exactly the records a local replay
+// past the same cursor would apply, byte for byte, and a torn final frame is
+// silently excluded.
+func TestWALExportTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	appendN(t, l, 0, n)
+
+	const after = 12
+	tail, err := l.ExportTail(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != n-after {
+		t.Fatalf("exported %d records after %d, want %d", len(tail), after, n-after)
+	}
+	for i, payload := range tail {
+		r, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("tail record %d: %v", i, err)
+		}
+		if r != testRecord(after+i) {
+			t.Fatalf("tail record %d = %+v, want %+v", i, r, testRecord(after+i))
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final frame one byte short: the export stops at the last
+	// complete record instead of shipping a frame no replay would apply.
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[0], data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lt, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lt.Close()
+	torn, err := lt.ExportTail(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(torn) != n-after-1 {
+		t.Fatalf("torn export returned %d records, want %d", len(torn), n-after-1)
+	}
+}
+
+// TestWALSkipTo: an adopting node continues the donor's sequence space; a
+// log that already holds records refuses the jump.
+func TestWALSkipTo(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.SkipTo(41); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	buf = testRecord(0).AppendTo(buf)
+	seq, err := l.Append(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 {
+		t.Fatalf("first append after SkipTo(41) got seq %d, want 42", seq)
+	}
+	if err := l.SkipTo(100); err == nil {
+		t.Fatal("SkipTo on a non-empty log must refuse")
+	}
+	recs := replayAll(t, l, 41)
+	if len(recs) != 1 || recs[0] != testRecord(0) {
+		t.Fatalf("replay after 41 = %+v", recs)
+	}
+}
