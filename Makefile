@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-telemetry race-hub race-cluster bench bench-scan bench-eval bench-hub bench-recovery bench-cluster fuzz-smoke perf-gate
+.PHONY: check vet staticcheck build test race race-telemetry race-hub race-cluster race-drift bench bench-scan bench-eval bench-hub bench-recovery bench-cluster bench-drift fuzz-smoke perf-gate
 
-check: vet staticcheck build race-telemetry race-hub race-cluster race fuzz-smoke perf-gate
+check: vet staticcheck build race-telemetry race-hub race-cluster race-drift race fuzz-smoke perf-gate
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,12 @@ race-hub:
 race-cluster:
 	$(GO) test -race -run 'TestCluster' ./internal/cluster/
 
+# Online-adaptation drill under the race detector: adapter admission and
+# decay, plus the gateway's adapt → checkpoint → restore → rollback path,
+# which must reproduce detector output and Explain traces bit for bit.
+race-drift:
+	$(GO) test -race -run 'Adapt' ./internal/core/ ./internal/gateway/
+
 # Full benchmark sweep (regenerates every table/figure on the scaled-down
 # protocol).
 bench:
@@ -72,6 +78,13 @@ bench-recovery:
 bench-cluster:
 	$(GO) run ./cmd/dice-eval -exp cluster
 
+# Online-adaptation drill: static vs adaptive detector on a drifted stream,
+# plus post-adaptation fault injection → BENCH_drift.json. The run itself
+# errors when the adaptive arm misses a fault or fails to beat the static
+# arm's false alarms.
+bench-drift:
+	$(GO) run ./cmd/dice-eval -exp drift
+
 # Short fuzz passes over the two wire decoders (binary batch + CoAP). Long
 # campaigns run the same targets with a bigger -fuzztime.
 fuzz-smoke:
@@ -87,3 +100,5 @@ perf-gate:
 	$(GO) run ./cmd/dice-benchdiff -mode hub -baseline BENCH_hub.json -fresh /tmp/dice-benchdiff-hub.json
 	$(GO) run ./cmd/dice-eval -exp cluster -clusterjson /tmp/dice-benchdiff-cluster.json >/dev/null
 	$(GO) run ./cmd/dice-benchdiff -mode cluster -baseline BENCH_cluster.json -fresh /tmp/dice-benchdiff-cluster.json -tolerance 0.4
+	$(GO) run ./cmd/dice-eval -exp drift -driftjson /tmp/dice-benchdiff-drift.json >/dev/null
+	$(GO) run ./cmd/dice-benchdiff -mode drift -baseline BENCH_drift.json -fresh /tmp/dice-benchdiff-drift.json

@@ -165,7 +165,7 @@ func BenchmarkFig52Latency(b *testing.B) {
 // sensors). The paper's bound is 50 ms per window.
 func BenchmarkFig53ComputeTime(b *testing.B) {
 	t := benchTrained(b, "hh102")
-	det, err := core.NewDetector(t.Context, core.Config{})
+	det, err := core.New(t.Context)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func scanBenchContext(b *testing.B, size int) (*core.Context, *bitvec.Vec, *bitv
 		thre[i] = 20
 	}
 	layout := window.NewLayout(reg)
-	ctx, err := core.NewContext(layout, time.Minute, thre)
+	cb, err := core.NewContextBuilder(layout, time.Minute, thre)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -287,12 +287,16 @@ func scanBenchContext(b *testing.B, size int) (*core.Context, *bitvec.Vec, *bitv
 		}
 		seeds[i] = v
 	}
-	for ctx.NumGroups() < size {
+	for cb.NumGroups() < size {
 		g := seeds[rng.Intn(len(seeds))].Clone()
 		for f := rng.Intn(8); f > 0; f-- {
 			g.Flip(rng.Intn(nbits))
 		}
-		ctx.AddGroup(g)
+		cb.AddGroup(g)
+	}
+	ctx, err := cb.Build()
+	if err != nil {
+		b.Fatal(err)
 	}
 	member, err := ctx.Group(size / 2)
 	if err != nil {

@@ -7,6 +7,7 @@
 //	dice-benchdiff -mode hub     -baseline BENCH_hub.json     -fresh /tmp/fresh.json [-tolerance 0.15]
 //	dice-benchdiff -mode eval    -baseline BENCH_eval.json    -fresh /tmp/fresh.json [-tolerance 0.15]
 //	dice-benchdiff -mode cluster -baseline BENCH_cluster.json -fresh /tmp/fresh.json [-tolerance 0.15]
+//	dice-benchdiff -mode drift   -baseline BENCH_drift.json   -fresh /tmp/fresh.json [-tolerance 0.15]
 //
 // A baseline that does not exist yet is not a failure: a benchmark
 // introduced in the same change has a fresh file but no committed
@@ -32,6 +33,13 @@
 //     machine speed. The fresh run must also report bit_identical — the
 //     cluster reproduced the solo gateway's output exactly through a
 //     migration and a fail-over.
+//   - drift: the false-alarm reduction (1 - adaptive/static false alarms)
+//     the adapter achieves on the drifted stream. The quantity is a count
+//     ratio from a deterministic replay — no hardware term at all — so a
+//     drop beyond the tolerance means the adaptation logic itself got
+//     worse. A fresh run in which the adaptive arm misses any injected
+//     fault, or fails to beat the static arm outright, fails regardless of
+//     tolerance.
 package main
 
 import (
@@ -63,6 +71,18 @@ type clusterBench struct {
 	SoloEventsPerSec float64 `json:"solo_events_per_sec"`
 	Efficiency       float64 `json:"efficiency"`
 	BitIdentical     bool    `json:"bit_identical"`
+}
+
+// driftBench mirrors the BENCH_drift.json fields the gate reads.
+type driftBench struct {
+	Static struct {
+		FalseAlarms int `json:"false_alarms"`
+	} `json:"static"`
+	Adaptive struct {
+		FalseAlarms  int `json:"false_alarms"`
+		MissedFaults int `json:"missed_faults"`
+	} `json:"adaptive"`
+	ReductionPct float64 `json:"false_alarm_reduction_pct"`
 }
 
 func main() {
@@ -100,8 +120,10 @@ func run(mode, baseline, fresh string, tolerance float64) error {
 		return diffEval(baseline, fresh, tolerance)
 	case "cluster":
 		return diffCluster(baseline, fresh, tolerance)
+	case "drift":
+		return diffDrift(baseline, fresh, tolerance)
 	default:
-		return fmt.Errorf("unknown mode %q (want hub, eval, or cluster)", mode)
+		return fmt.Errorf("unknown mode %q (want hub, eval, cluster, or drift)", mode)
 	}
 }
 
@@ -192,6 +214,39 @@ func diffCluster(baseline, fresh string, tolerance float64) error {
 	if cur.Efficiency < floor {
 		return fmt.Errorf("cluster efficiency regressed: %.3f < %.3f (baseline %.3f - %d%%)",
 			cur.Efficiency, floor, base.Efficiency, int(tolerance*100))
+	}
+	return nil
+}
+
+// diffDrift gates on the adapter's false-alarm reduction: higher is
+// better, and a fresh reduction more than tolerance below the baseline
+// fails. Correctness floors are absolute: the adaptive arm must miss zero
+// injected faults and must beat the static arm's false-alarm count.
+func diffDrift(baseline, fresh string, tolerance float64) error {
+	var base, cur driftBench
+	if err := load(baseline, &base); err != nil {
+		return err
+	}
+	if err := load(fresh, &cur); err != nil {
+		return err
+	}
+	if cur.Adaptive.MissedFaults > 0 {
+		return fmt.Errorf("adaptive arm missed %d injected faults: adaptation taught the detector to excuse faults", cur.Adaptive.MissedFaults)
+	}
+	if cur.Adaptive.FalseAlarms >= cur.Static.FalseAlarms {
+		return fmt.Errorf("adaptation no longer reduces false alarms: adaptive %d >= static %d",
+			cur.Adaptive.FalseAlarms, cur.Static.FalseAlarms)
+	}
+	if base.ReductionPct <= 0 || cur.ReductionPct <= 0 {
+		return fmt.Errorf("false_alarm_reduction_pct missing: baseline=%v fresh=%v (regenerate with dice-eval -exp drift)",
+			base.ReductionPct, cur.ReductionPct)
+	}
+	floor := base.ReductionPct * (1 - tolerance)
+	fmt.Printf("drift gate: baseline false-alarm reduction %.1f%%, fresh %.1f%% (floor %.1f%%, adaptive %d vs static %d alarms, 0 missed faults)\n",
+		base.ReductionPct, cur.ReductionPct, floor, cur.Adaptive.FalseAlarms, cur.Static.FalseAlarms)
+	if cur.ReductionPct < floor {
+		return fmt.Errorf("false-alarm reduction regressed: %.1f%% < %.1f%% (baseline %.1f%% - %d%%)",
+			cur.ReductionPct, floor, base.ReductionPct, int(tolerance*100))
 	}
 	return nil
 }

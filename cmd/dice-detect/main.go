@@ -57,7 +57,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	det, err := core.NewDetector(ctx, core.Config{})
+	det, err := core.New(ctx)
 	if err != nil {
 		return err
 	}

@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines|hub|recovery|cluster]
+//	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines|hub|recovery|cluster|drift]
 //	          [-datasets houseA,twor,...] [-trials N] [-seed N] [-csv]
 //	          [-workers N] [-benchjson FILE]
 //	          [-hub-homes M] [-hub-shards S] [-hub-hours H] [-hubjson FILE]
 //	          [-recovery-hours H] [-recoveryjson FILE]
 //	          [-cluster-nodes N] [-cluster-homes M] [-cluster-hours H] [-clusterjson FILE]
+//	          [-drift-days D] [-drift-extra A] [-drift-admit N] [-driftjson FILE]
 //
 // `-trials 100` reproduces the paper-scale run (the default is 40 to keep
 // the full ten-dataset sweep under a minute on a laptop). `-workers` sizes
@@ -35,6 +36,14 @@
 // reports federation efficiency (cluster vs solo throughput), migration
 // and fail-over latency, and the bit-identity verdict; the numbers land in
 // BENCH_cluster.json (`-clusterjson`).
+//
+// `-exp drift` benchmarks online context adaptation: a context trained on
+// the original routine replays a drifted stream (the residents adopt
+// `-drift-extra` new activities) through a static detector and an
+// adapter-backed one, then injects sensor faults after the adaptation
+// window. The adaptive arm must cut the static arm's false alarms without
+// missing a single injected fault; the numbers land in BENCH_drift.json
+// (`-driftjson`).
 package main
 
 import (
@@ -77,6 +86,10 @@ func run() error {
 	clusterHomes := flag.Int("cluster-homes", 6, "tenants spread across the cluster for -exp cluster")
 	clusterHours := flag.Int("cluster-hours", 2, "replayed stream hours per home for -exp cluster")
 	clusterJSON := flag.String("clusterjson", "BENCH_cluster.json", "write the -exp cluster result to this JSON file (empty = off)")
+	driftDays := flag.Int("drift-days", 0, "days of drifted behaviour for -exp drift (0 = bench default)")
+	driftExtra := flag.Int("drift-extra", 0, "new activities the residents adopt for -exp drift (0 = bench default)")
+	driftAdmit := flag.Int("drift-admit", 0, "adapter admission threshold for -exp drift (0 = bench default)")
+	driftJSON := flag.String("driftjson", "BENCH_drift.json", "write the -exp drift result to this JSON file (empty = off)")
 	flag.Parse()
 
 	specs, err := selectSpecs(*dsFlag)
@@ -160,6 +173,12 @@ func run() error {
 			Hours: *clusterHours,
 			Seed:  *seed,
 		}, *clusterJSON)
+	case "drift":
+		return runDriftBench(eval.DriftBench{
+			DriftDays:       *driftDays,
+			ExtraActivities: *driftExtra,
+			AdmitAfter:      *driftAdmit,
+		}, *driftJSON)
 	case "actuators":
 		return runActuators(specs, *seed, proto, *workers, emit)
 	case "multifault":
@@ -344,6 +363,39 @@ func runRecoveryBench(o eval.RecoveryBench, jsonPath string) error {
 	}
 	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("write recovery bench json: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
+}
+
+// runDriftBench replays a seeded behaviour drift through a static and an
+// adaptive detector and scores false alarms plus post-adaptation fault
+// detection. The result lands in BENCH_drift.json.
+func runDriftBench(o eval.DriftBench, jsonPath string) error {
+	res, benchErr := eval.RunDriftBench(o)
+	if res != nil {
+		fmt.Printf("drift bench: %dh training, %d drift days (+%d activities), %d fault trials\n",
+			res.TrainHours, res.DriftDays, res.ExtraActivities, res.Trials)
+		fmt.Printf("  static   %3d false alarms, %4d violation windows, %d/%d faults missed  (%.1f ms replay)\n",
+			res.Static.FalseAlarms, res.Static.ViolationWindows, res.Static.MissedFaults, res.Trials, res.Static.ReplayMS)
+		fmt.Printf("  adaptive %3d false alarms, %4d violation windows, %d/%d faults missed  (%.1f ms replay)\n",
+			res.Adaptive.FalseAlarms, res.Adaptive.ViolationWindows, res.Adaptive.MissedFaults, res.Trials, res.Adaptive.ReplayMS)
+		fmt.Printf("  adapted  epoch %d: %d->%d groups (+%d admitted), %d edges admitted, %d decayed; %.1f%% fewer false alarms\n",
+			res.FinalEpoch, res.BaseGroups, res.AdaptedGroups, res.GroupsAdmitted,
+			res.EdgesAdmitted, res.DecayedEdges, res.FalseAlarmReductionPct)
+	}
+	if benchErr != nil {
+		return benchErr
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write drift bench json: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 	return nil

@@ -10,6 +10,7 @@
 //	             [-shards 4] [-checkpoint-dir ./ckpt] [-checkpoint-interval 30s]
 //	             [-wal-dir ./wal] [-fsync batch] [-ingest-deadline 0]
 //	             [-idle-evict 0] [-liveness 30m] [-http :8080]
+//	             [-adapt] [-admit-after 30]
 //
 // -homes points at a directory with one subdirectory per home; each
 // subdirectory is a dataset directory (manifest.json) that also holds the
@@ -37,6 +38,15 @@
 // picks the durability/throughput trade-off; a tenant whose pipeline
 // panics is quarantined, dead-lettered, and rebuilt from checkpoint + WAL
 // without touching its siblings (see /tenants/{home}/health).
+//
+// With -adapt each home's context keeps learning online: recurring new
+// behaviour the detector did not explain as a fault is admitted after
+// -admit-after sightings, stale transitions decay away, and every
+// adaptation is published as a new immutable context version the
+// detector swaps to atomically. Checkpoints pin the exact version in
+// use, so a restart (or restoring an older checkpoint to roll a bad
+// adaptation back) lands on precisely the context that was scanning.
+// Inspect a home's version at /tenants/{home}/context.
 package main
 
 import (
@@ -138,6 +148,8 @@ func run() error {
 	walDir := flag.String("wal-dir", "", "directory for per-home write-ahead logs (<home>/*.wal); empty disables the WAL")
 	fsync := flag.String("fsync", "batch", "WAL fsync policy: always (no acknowledged loss), batch (bounded loss, amortized flushes), never (OS page cache)")
 	ingestDeadline := flag.Duration("ingest-deadline", 0, "max wait on a full shard queue before shedding; 0 keeps pure backpressure")
+	adapt := flag.Bool("adapt", false, "adapt each home's context online: admit recurring new behaviour, decay stale transitions, publish versioned snapshots (see /tenants/{home}/context)")
+	admitAfter := flag.Int("admit-after", 0, "sightings before -adapt admits a new behaviour (0 = library default)")
 	flag.Parse()
 
 	defs, err := discoverHomes(*homesDir, *dataDir, *ctxFile)
@@ -182,14 +194,23 @@ func run() error {
 	}
 	defer h.Close()
 
+	gwOpts := []gateway.Option{
+		gateway.WithConfig(core.Config{}),
+		gateway.WithLiveness(*liveness),
+	}
+	if *adapt {
+		var aOpts []core.AdapterOption
+		if *admitAfter > 0 {
+			aOpts = append(aOpts, core.WithAdmitAfter(*admitAfter))
+		}
+		gwOpts = append(gwOpts, gateway.WithAdaptation(aOpts...))
+	}
 	for _, def := range defs {
 		cctx, devices, err := loadContext(def)
 		if err != nil {
 			return fmt.Errorf("home %s: %w", def.name, err)
 		}
-		if _, err := h.Register(def.name, cctx,
-			gateway.WithConfig(core.Config{}),
-			gateway.WithLiveness(*liveness)); err != nil {
+		if _, err := h.Register(def.name, cctx, gwOpts...); err != nil {
 			return err
 		}
 		fmt.Printf("home %-16s %3d devices, %d groups\n", def.name, devices, cctx.NumGroups())

@@ -139,6 +139,8 @@ func run() error {
 	retries := flag.Int("retries", 4, "inter-node call retries (exponential backoff + jitter)")
 	backoff := flag.Duration("retry-backoff", 50*time.Millisecond, "base delay before the first inter-node retry")
 	callTimeout := flag.Duration("call-timeout", 5*time.Second, "per-attempt timeout on inter-node calls")
+	adapt := flag.Bool("adapt", false, "adapt each hosted home's context online (versioned snapshots, checkpoint-pinned; see /tenants/{home}/context)")
+	admitAfter := flag.Int("admit-after", 0, "sightings before -adapt admits a new behaviour (0 = library default)")
 	flag.Parse()
 
 	if *nodeID == "" {
@@ -173,10 +175,18 @@ func run() error {
 		if err != nil {
 			return nil, nil, err
 		}
-		return cctx, []gateway.Option{
+		opts := []gateway.Option{
 			gateway.WithConfig(core.Config{}),
 			gateway.WithLiveness(*liveness),
-		}, nil
+		}
+		if *adapt {
+			var aOpts []core.AdapterOption
+			if *admitAfter > 0 {
+				aOpts = append(aOpts, core.WithAdmitAfter(*admitAfter))
+			}
+			opts = append(opts, gateway.WithAdaptation(aOpts...))
+		}
+		return cctx, opts, nil
 	}
 
 	hubOpts := []hub.Option{hub.WithShards(*shards)}

@@ -30,7 +30,7 @@
 //	for _, w := range history { trainer.Learn(w) }
 //	ctx, _ := trainer.Context()
 //
-//	det, _ := dice.NewDetector(ctx, dice.Config{})
+//	det, _ := dice.New(ctx)
 //	for _, w := range live {
 //	    res, _ := det.Process(w)
 //	    if res.Alert != nil { fmt.Println("faulty:", res.Alert.Devices) }
@@ -123,6 +123,16 @@ type (
 	ExplainStep = core.ExplainStep
 	// Option configures a Detector at construction (see New).
 	Option = core.Option
+	// ContextBuilder is the sole mutation path for contexts: it accumulates
+	// groups and transitions, then Build seals an immutable Context version.
+	ContextBuilder = core.ContextBuilder
+	// Adapter evolves a context online from confirmed-non-faulty windows,
+	// publishing each adaptation as a new immutable Context version.
+	Adapter = core.Adapter
+	// AdapterOption configures an Adapter (WithAdmitAfter, WithDecay, ...).
+	AdapterOption = core.AdapterOption
+	// AdapterState is the adapter's checkpointable candidate ledger.
+	AdapterState = core.AdapterState
 	// Telemetry is the zero-dependency metrics registry detectors and
 	// gateways report into; its WriteText emits Prometheus text format.
 	Telemetry = telemetry.Registry
@@ -168,14 +178,6 @@ func New(ctx *Context, opts ...Option) (*Detector, error) {
 	return core.New(ctx, opts...)
 }
 
-// NewDetector builds a real-time detector from a config struct.
-//
-// Deprecated: use New with options; extra options may be appended here
-// for a gradual migration.
-func NewDetector(ctx *Context, cfg Config, opts ...Option) (*Detector, error) {
-	return core.NewDetector(ctx, cfg, opts...)
-}
-
 // NewTelemetry returns an empty metrics registry to pass to WithTelemetry.
 func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
 
@@ -191,10 +193,34 @@ var (
 )
 
 // LoadContext reads a context saved with Context.Save and binds it to the
-// layout.
+// layout. Both the checksummed DICECKS1 envelope and the legacy plain-JSON
+// form load; integrity failures surface as ErrCorruptContext.
 func LoadContext(r io.Reader, layout *Layout) (*Context, error) {
 	return core.LoadContext(r, layout)
 }
+
+// ErrCorruptContext marks a saved context that failed its checksum or
+// fingerprint verification.
+var ErrCorruptContext = core.ErrCorruptContext
+
+// NewContextBuilder starts an empty epoch-0 context (Trainer does this for
+// you; use Context.Derive to adapt an existing version).
+func NewContextBuilder(layout *Layout, duration time.Duration, valueThre []float64) (*ContextBuilder, error) {
+	return core.NewContextBuilder(layout, duration, valueThre)
+}
+
+// NewAdapter returns an online context adapter over a trained context.
+func NewAdapter(base *Context, opts ...AdapterOption) (*Adapter, error) {
+	return core.NewAdapter(base, opts...)
+}
+
+// Adapter options, re-exported from internal/core.
+var (
+	WithAdmitAfter       = core.WithAdmitAfter
+	WithDecay            = core.WithDecay
+	WithMaxPending       = core.WithMaxPending
+	WithAdapterTelemetry = core.WithAdapterTelemetry
+)
 
 // Re-exported multi-tenant hub. A Hub runs many homes behind one process:
 // each registered home owns a private detector pipeline, events are routed
@@ -217,6 +243,10 @@ type (
 	GatewayOption = gateway.Option
 	// GatewayStats is a snapshot of one tenant's pipeline counters.
 	GatewayStats = gateway.Stats
+	// ContextInfo describes a tenant's active context version (epoch,
+	// fingerprint, lineage) and its online-adaptation progress; served on
+	// GET /tenants/{home}/context.
+	ContextInfo = gateway.ContextInfo
 )
 
 // NewHub builds an empty hub; homes arrive via Register.
@@ -281,11 +311,17 @@ var (
 func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return wal.ParseSyncPolicy(s) }
 
 // Tenant gateway options, re-exported from internal/gateway for use with
-// Hub.Register.
+// Hub.Register. WithGatewayAdaptation turns on online context adaptation
+// for the tenant: the detector's context evolves behind the versioned,
+// immutable Context API (admission after sustained observation, exponential
+// decay), every tenant keeps its own independent epoch sequence, and
+// checkpoints pin the exact version so a bad adaptation rolls back through
+// the normal restore path.
 var (
-	WithGatewayConfig   = gateway.WithConfig
-	WithGatewayLiveness = gateway.WithLiveness
-	WithGatewayAlertBuf = gateway.WithAlertBuffer
+	WithGatewayConfig     = gateway.WithConfig
+	WithGatewayLiveness   = gateway.WithLiveness
+	WithGatewayAlertBuf   = gateway.WithAlertBuffer
+	WithGatewayAdaptation = gateway.WithAdaptation
 )
 
 // Re-exported federated hub cluster (internal/cluster). N nodes place

@@ -52,7 +52,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if ctx.NumGroups() == 0 {
 		t.Fatal("no groups")
 	}
-	det, err := NewDetector(ctx, Config{})
+	det, err := New(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestFacadeContextPersistence(t *testing.T) {
 	if loaded.NumGroups() != ctx.NumGroups() {
 		t.Errorf("groups after reload: %d vs %d", loaded.NumGroups(), ctx.NumGroups())
 	}
-	if _, err := NewDetector(loaded, Config{}); err != nil {
+	if _, err := New(loaded); err != nil {
 		t.Fatalf("detector from reloaded context: %v", err)
 	}
 }
@@ -121,10 +121,10 @@ func TestFacadeDeviceWeights(t *testing.T) {
 	}
 	// Weighting the kitchen motion sensor as critical must not break
 	// normal operation.
-	det, err := NewDetector(ctx, Config{
+	det, err := New(ctx, WithConfig(Config{
 		Weights:     map[DeviceID]float64{0: 10},
 		WeightAlarm: 5,
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,7 +42,7 @@ func main() {
 		ctx.NumGroups(), ctx.CorrelationDegree())
 
 	// 4. Run the real-time phase; the motion sensor dies at minute 95.
-	det, err := dice.NewDetector(ctx, dice.Config{})
+	det, err := dice.New(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

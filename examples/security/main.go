@@ -86,7 +86,7 @@ func mustLookup(h *simhome.Home, name string) device.ID {
 }
 
 func runAttack(home *simhome.Home, ctx *core.Context, a attack) {
-	det, err := core.NewDetector(ctx, core.Config{})
+	det, err := core.New(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

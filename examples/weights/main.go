@@ -67,7 +67,7 @@ func main() {
 }
 
 func run(home *simhome.Home, ctx *core.Context, gas, sound device.ID, cfg core.Config) {
-	det, err := core.NewDetector(ctx, cfg)
+	det, err := core.New(ctx, core.WithConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}

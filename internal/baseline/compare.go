@@ -28,7 +28,7 @@ func (d *DICEDetector) Train(layout *window.Layout, windows []*window.Observatio
 	if err != nil {
 		return err
 	}
-	det, err := core.NewDetector(ctx, d.cfg)
+	det, err := core.New(ctx, core.WithConfig(d.cfg))
 	if err != nil {
 		return err
 	}

@@ -209,12 +209,12 @@ func TestServerShedsWhenQueueFull(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(conn, func(req *Message) *Message {
+	srv, err := Serve(conn, func(req *Message) *Message {
 		atomic.AddInt64(&calls, 1)
 		entered <- struct{}{}
 		<-release
 		return &Message{Code: CodeChanged}
-	}, ServerConfig{Workers: 1, QueueDepth: 1})
+	}, WithWorkers(1), WithQueueDepth(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,10 +293,10 @@ func TestDedupExportRestoreRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv2, err := NewServer(lc, func(req *Message) *Message {
+	srv2, err := Serve(lc, func(req *Message) *Message {
 		atomic.AddInt64(&calls, 1)
 		return &Message{Code: CodeChanged, Payload: []byte("v2")}
-	}, ServerConfig{})
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

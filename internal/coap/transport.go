@@ -207,13 +207,6 @@ func ListenAndServe(addr string, handler Handler, opts ...ServerOption) (*Server
 	return s, nil
 }
 
-// NewServer serves CoAP on an existing packet conn with a config struct.
-//
-// Deprecated: use Serve with options; this shim forwards to it.
-func NewServer(conn net.PacketConn, handler Handler, cfg ServerConfig) (*Server, error) {
-	return Serve(conn, handler, WithServerConfig(cfg))
-}
-
 // Serve serves CoAP on an existing packet conn (which may be a
 // fault-injecting wrapper) and takes ownership of it. The returned server
 // is already serving. It is ServeContext with a background context —

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/device"
+)
+
+// AdapterState is the adapter's durable state for checkpointing: the
+// candidate ledger and window clock, everything needed to resume admission
+// exactly where it stopped. The published context itself is checkpointed
+// separately (it travels with the detector as an epoch-pinned payload);
+// reinforcement counts not yet published are deliberately excluded — they
+// only matter through edges becoming possible, which happens via explicit
+// admission, so a restore re-accumulates them without changing what the
+// detector flags.
+type AdapterState struct {
+	// Windows is the adapter's window clock (drives the decay cadence).
+	Windows uint64 `json:"windows"`
+	// PrevGroup / PrevBits / PrevActs reconstruct the previous-window
+	// transition anchor: the known group ID (NoGroup when the previous set
+	// was unseen), the unseen set's bit string ("" otherwise), and the
+	// actuators fired in the previous window.
+	PrevGroup int         `json:"prev_group"`
+	PrevBits  string      `json:"prev_bits,omitempty"`
+	PrevActs  []device.ID `json:"prev_acts,omitempty"`
+	// Pending and Edges are the candidate ledgers.
+	Pending []PendingSetState  `json:"pending,omitempty"`
+	Edges   []PendingEdgeState `json:"edges,omitempty"`
+	// Lifetime counters, restored so telemetry survives recovery.
+	GroupsAdmitted int64 `json:"groups_admitted"`
+	EdgesAdmitted  int64 `json:"edges_admitted"`
+	DecayedEdges   int64 `json:"decayed_edges"`
+}
+
+// PendingSetState serializes one candidate state set.
+type PendingSetState struct {
+	Bits        string           `json:"bits"`
+	Count       int              `json:"count"`
+	FirstWindow uint64           `json:"first_window"`
+	Devices     []device.ID      `json:"devices,omitempty"`
+	Preds       map[int]int64    `json:"preds,omitempty"`
+	PredKeys    map[string]int64 `json:"pred_keys,omitempty"`
+	Succs       map[int]int64    `json:"succs,omitempty"`
+	PredActs    map[int]int64    `json:"pred_acts,omitempty"`
+	ActsAfter   map[int]int64    `json:"acts_after,omitempty"`
+}
+
+// PendingEdgeState serializes one candidate transition.
+type PendingEdgeState struct {
+	Kind  CheckKind `json:"kind"`
+	From  int       `json:"from"`
+	To    int       `json:"to"`
+	Count int       `json:"count"`
+}
+
+// ExportState snapshots the adapter's durable state.
+func (a *Adapter) ExportState() *AdapterState {
+	st := &AdapterState{
+		Windows:        a.windows,
+		PrevGroup:      a.prevID,
+		PrevBits:       a.prevKey,
+		PrevActs:       append([]device.ID(nil), a.prevActs...),
+		GroupsAdmitted: a.groupsAdmitted,
+		EdgesAdmitted:  a.edgesAdmitted,
+		DecayedEdges:   a.decayedEdges,
+	}
+	var keys []string
+	for key := range a.pending {
+		keys = append(keys, key)
+	}
+	sortStrings(keys)
+	for _, key := range keys {
+		p := a.pending[key]
+		st.Pending = append(st.Pending, PendingSetState{
+			Bits:        key,
+			Count:       p.count,
+			FirstWindow: p.firstWindow,
+			Devices:     append([]device.ID(nil), p.devices...),
+			Preds:       copyIntCounts(p.preds),
+			PredKeys:    copyStrCounts(p.predKeys),
+			Succs:       copyIntCounts(p.succs),
+			PredActs:    copyIntCounts(p.predActs),
+			ActsAfter:   copyIntCounts(p.actsAfter),
+		})
+	}
+	for k, n := range a.edges {
+		st.Edges = append(st.Edges, PendingEdgeState{Kind: k.kind, From: k.from, To: k.to, Count: n})
+	}
+	sortEdgeStates(st.Edges)
+	return st
+}
+
+// RestoreState replaces the adapter's durable state with a snapshot taken
+// by ExportState. The adapter must have been built over the same context
+// version the snapshot was taken against.
+func (a *Adapter) RestoreState(st *AdapterState) error {
+	if st == nil {
+		return fmt.Errorf("core: nil adapter state")
+	}
+	pending := make(map[string]*pendingSet, len(st.Pending))
+	for _, ps := range st.Pending {
+		v, err := bitvec.Parse(ps.Bits)
+		if err != nil {
+			return fmt.Errorf("core: adapter state: %w", err)
+		}
+		if v.Len() != a.vec.Len() {
+			return fmt.Errorf("core: adapter state: pending set has %d bits, layout wants %d", v.Len(), a.vec.Len())
+		}
+		pending[ps.Bits] = &pendingSet{
+			vec:         v,
+			count:       ps.Count,
+			firstWindow: ps.FirstWindow,
+			devices:     append([]device.ID(nil), ps.Devices...),
+			preds:       orEmpty(copyIntCounts(ps.Preds)),
+			predKeys:    orEmptyStr(copyStrCounts(ps.PredKeys)),
+			succs:       orEmpty(copyIntCounts(ps.Succs)),
+			predActs:    orEmpty(copyIntCounts(ps.PredActs)),
+			actsAfter:   orEmpty(copyIntCounts(ps.ActsAfter)),
+		}
+	}
+	edges := make(map[edgeKey]int, len(st.Edges))
+	for _, es := range st.Edges {
+		edges[edgeKey{es.Kind, es.From, es.To}] = es.Count
+	}
+	a.pending = pending
+	a.edges = edges
+	a.windows = st.Windows
+	a.prevID = st.PrevGroup
+	a.prevKey = st.PrevBits
+	a.prevPend = pending[st.PrevBits]
+	a.prevActs = append(a.prevActs[:0], st.PrevActs...)
+	a.groupsAdmitted = st.GroupsAdmitted
+	a.edgesAdmitted = st.EdgesAdmitted
+	a.decayedEdges = st.DecayedEdges
+	return nil
+}
+
+func copyIntCounts(m map[int]int64) map[int]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[int]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyStrCounts(m map[string]int64) map[string]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func orEmpty(m map[int]int64) map[int]int64 {
+	if m == nil {
+		return make(map[int]int64)
+	}
+	return m
+}
+
+func orEmptyStr(m map[string]int64) map[string]int64 {
+	if m == nil {
+		return make(map[string]int64)
+	}
+	return m
+}
+
+func sortEdgeStates(s []PendingEdgeState) {
+	less := func(x, y PendingEdgeState) bool {
+		if x.Kind != y.Kind {
+			return x.Kind < y.Kind
+		}
+		if x.From != y.From {
+			return x.From < y.From
+		}
+		return x.To < y.To
+	}
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,8 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"hash/fnv"
 	"io"
 	"math/bits"
 	"sort"
@@ -23,12 +28,25 @@ const NoGroup = -1
 // group search unnecessary.
 const NoDistance = -1
 
-// Context is the output of the precomputation phase: the group catalogue
-// (unique sensor state sets) and the three transition matrices.
+// Context is an immutable snapshot of the extracted context: the group
+// catalogue (unique sensor state sets) and the three transition matrices.
+// Construction goes through a ContextBuilder (the Trainer's output, or a
+// copy-on-write derivation of an earlier version via Derive); once built, a
+// Context never changes, so the detector's scan path needs no locking and a
+// published version can be swapped in atomically. Each version carries an
+// epoch and a content fingerprint chained to its parent's, which is what
+// lets a checkpoint pin — and a rollback verify — the exact context a
+// detector was running against.
 type Context struct {
 	layout    *window.Layout
 	duration  time.Duration
 	valueThre []float64
+
+	// Version identity: epoch 0 is the trained base; each adaptation
+	// publishes epoch+1 with parent = the previous version's fingerprint.
+	epoch       uint64
+	parent      string
+	fingerprint string
 
 	groups   []*bitvec.Vec
 	groupIDs map[string]int
@@ -60,8 +78,9 @@ type Context struct {
 	actCounts    map[int]int64
 }
 
-// NewContext returns an empty context for the layout.
-func NewContext(layout *window.Layout, duration time.Duration, valueThre []float64) (*Context, error) {
+// newContext returns an empty mutable context for the layout; only the
+// builder path reaches it.
+func newContext(layout *window.Layout, duration time.Duration, valueThre []float64) (*Context, error) {
 	if layout == nil {
 		return nil, fmt.Errorf("core: nil layout")
 	}
@@ -85,8 +104,62 @@ func NewContext(layout *window.Layout, duration time.Duration, valueThre []float
 	}, nil
 }
 
+// clone deep-copies every structure a builder may mutate; the layout and
+// group vectors are immutable and shared.
+func (c *Context) clone() *Context {
+	out := &Context{
+		layout:      c.layout,
+		duration:    c.duration,
+		valueThre:   c.valueThre,
+		epoch:       c.epoch,
+		parent:      c.parent,
+		fingerprint: c.fingerprint,
+		groups:      append([]*bitvec.Vec(nil), c.groups...),
+		groupIDs:    make(map[string]int, len(c.groupIDs)),
+		scanWords:   c.scanWords,
+		matrix:      append([]uint64(nil), c.matrix...),
+		pops:        append([]int(nil), c.pops...),
+		popBuckets:  make([][]int, len(c.popBuckets)),
+		g2g:         c.g2g.Clone(),
+		g2a:         c.g2a.Clone(),
+		a2g:         c.a2g.Clone(),
+		effectCounts: make(map[int]map[device.ID]int64, len(c.effectCounts)),
+		actCounts:    make(map[int]int64, len(c.actCounts)),
+	}
+	for k, v := range c.groupIDs {
+		out.groupIDs[k] = v
+	}
+	for i, b := range c.popBuckets {
+		out.popBuckets[i] = append([]int(nil), b...)
+	}
+	for slot, row := range c.effectCounts {
+		dst := make(map[device.ID]int64, len(row))
+		for id, n := range row {
+			dst[id] = n
+		}
+		out.effectCounts[slot] = dst
+	}
+	for slot, n := range c.actCounts {
+		out.actCounts[slot] = n
+	}
+	return out
+}
+
 // Layout returns the device layout.
 func (c *Context) Layout() *window.Layout { return c.layout }
+
+// Epoch returns the context's version number: 0 for a freshly trained (or
+// legacy-loaded) context, +1 per published adaptation.
+func (c *Context) Epoch() uint64 { return c.epoch }
+
+// Fingerprint returns the version's content hash (16 hex digits over the
+// canonical persisted payload). Two contexts with the same fingerprint are
+// bit-identical for detection purposes.
+func (c *Context) Fingerprint() string { return c.fingerprint }
+
+// ParentFingerprint returns the fingerprint of the version this one was
+// derived from ("" for epoch 0).
+func (c *Context) ParentFingerprint() string { return c.parent }
 
 // Duration returns the window duration the context was trained at.
 func (c *Context) Duration() time.Duration { return c.duration }
@@ -115,9 +188,10 @@ func (c *Context) GroupID(v *bitvec.Vec) (int, bool) {
 	return id, true
 }
 
-// AddGroup interns v as a group, returning its (possibly pre-existing) ID.
-// The context keeps its own copy and folds it into the scan index.
-func (c *Context) AddGroup(v *bitvec.Vec) int {
+// addGroup interns v as a group, returning its (possibly pre-existing) ID.
+// The context keeps its own copy and folds it into the scan index. Only the
+// builder path reaches it: a published Context is immutable.
+func (c *Context) addGroup(v *bitvec.Vec) int {
 	key := v.Key()
 	if id, ok := c.groupIDs[key]; ok {
 		return id
@@ -139,20 +213,21 @@ func (c *Context) AddGroup(v *bitvec.Vec) int {
 	return id
 }
 
-// G2G returns the group-to-group transition chain.
+// G2G returns the group-to-group transition chain. Callers must treat it
+// as read-only; growing it goes through a ContextBuilder.
 func (c *Context) G2G() *markov.Chain { return c.g2g }
 
 // G2A returns the group-to-actuator transition chain (actuators are
-// identified by their layout slot).
+// identified by their layout slot). Read-only, as with G2G.
 func (c *Context) G2A() *markov.Chain { return c.g2a }
 
-// A2G returns the actuator-to-group transition chain.
+// A2G returns the actuator-to-group transition chain. Read-only, as with
+// G2G.
 func (c *Context) A2G() *markov.Chain { return c.a2g }
 
-// ObserveEffect records that `devices` had state-set bits rise in the same
-// window actuator slot `slot` activated. The trainer calls it per
-// activation.
-func (c *Context) ObserveEffect(slot int, devices []device.ID) {
+// observeEffect records that `devices` had state-set bits rise in the same
+// window actuator slot `slot` activated. Only the builder path reaches it.
+func (c *Context) observeEffect(slot int, devices []device.ID) {
 	c.actCounts[slot]++
 	row := c.effectCounts[slot]
 	if row == nil {
@@ -183,6 +258,92 @@ func (c *Context) EffectDevices(slot int, minFraction float64) []device.ID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// ContextBuilder is the single mutation path for contexts. A fresh builder
+// (NewContextBuilder) accumulates the precomputation phase; a derived one
+// (Context.Derive) is the copy-on-write path adaptation uses — it starts
+// from a deep working copy of the parent version, so the published parent
+// stays frozen while the builder admits groups and decays counts. Build
+// seals the current state into an immutable Context and leaves the builder
+// usable: each subsequent Build publishes the next epoch, chained to the
+// previous build's fingerprint.
+//
+// A builder is not safe for concurrent use; contexts it builds are.
+type ContextBuilder struct {
+	ctx *Context
+}
+
+// NewContextBuilder returns an empty builder for the layout: the start of
+// the version chain (its first Build publishes epoch 0).
+func NewContextBuilder(layout *window.Layout, duration time.Duration, valueThre []float64) (*ContextBuilder, error) {
+	ctx, err := newContext(layout, duration, valueThre)
+	if err != nil {
+		return nil, err
+	}
+	return &ContextBuilder{ctx: ctx}, nil
+}
+
+// Derive returns a builder seeded with a deep working copy of c, set up to
+// publish epoch c.Epoch()+1 with c as the parent. Group IDs are stable
+// across derivation: the catalogue is append-only, so every ID valid in c
+// names the same state set in every descendant version.
+func (c *Context) Derive() *ContextBuilder {
+	cl := c.clone()
+	cl.epoch = c.epoch + 1
+	cl.parent = c.fingerprint
+	cl.fingerprint = ""
+	return &ContextBuilder{ctx: cl}
+}
+
+// NumGroups returns the number of groups accumulated so far.
+func (b *ContextBuilder) NumGroups() int { return b.ctx.NumGroups() }
+
+// GroupID returns the ID of the group exactly matching v, or (NoGroup,
+// false).
+func (b *ContextBuilder) GroupID(v *bitvec.Vec) (int, bool) { return b.ctx.GroupID(v) }
+
+// AddGroup interns v as a group, returning its (possibly pre-existing) ID.
+func (b *ContextBuilder) AddGroup(v *bitvec.Vec) int { return b.ctx.addGroup(v) }
+
+// ObserveG2G counts one group-to-group transition.
+func (b *ContextBuilder) ObserveG2G(from, to int) { b.ctx.g2g.Observe(from, to) }
+
+// ObserveG2A counts one group-to-actuator-slot transition.
+func (b *ContextBuilder) ObserveG2A(from, slot int) { b.ctx.g2a.Observe(from, slot) }
+
+// ObserveA2G counts one actuator-slot-to-group transition.
+func (b *ContextBuilder) ObserveA2G(slot, to int) { b.ctx.a2g.Observe(slot, to) }
+
+// ObserveEffect records that `devices` had state-set bits rise in the same
+// window actuator slot `slot` activated.
+func (b *ContextBuilder) ObserveEffect(slot int, devices []device.ID) {
+	b.ctx.observeEffect(slot, devices)
+}
+
+// DecayChains ages all three transition matrices by factor (see
+// markov.Chain.Decay) and returns the total number of pruned edges.
+func (b *ContextBuilder) DecayChains(factor float64) int {
+	return b.ctx.g2g.Decay(factor) + b.ctx.g2a.Decay(factor) + b.ctx.a2g.Decay(factor)
+}
+
+// Build seals the builder's current state into an immutable Context,
+// computing its fingerprint. The builder remains usable and moves to the
+// next epoch: further mutation followed by another Build publishes the
+// child version of the one just returned.
+func (b *ContextBuilder) Build() (*Context, error) {
+	built := b.ctx
+	fp, err := built.computeFingerprint()
+	if err != nil {
+		return nil, err
+	}
+	built.fingerprint = fp
+	next := built.clone()
+	next.epoch = built.epoch + 1
+	next.parent = built.fingerprint
+	next.fingerprint = ""
+	b.ctx = next
+	return built, nil
 }
 
 // Candidates holds the result of scanning the group catalogue for a live
@@ -412,21 +573,41 @@ func (c *Context) CorrelationDegree() float64 {
 
 // contextJSON is the persisted form of a context. Groups are bit strings;
 // device names pin the layout so a context cannot be loaded against a
-// different deployment.
+// different deployment. Epoch/Parent carry the version chain; Fingerprint
+// is the content hash over this payload with the Fingerprint field empty.
 type contextJSON struct {
-	DurationMS int64                       `json:"duration_ms"`
-	Devices    []string                    `json:"devices"`
-	ValueThre  []float64                   `json:"value_thre"`
-	Groups     []string                    `json:"groups"`
-	G2G        *markov.Chain               `json:"g2g"`
-	G2A        *markov.Chain               `json:"g2a"`
-	A2G        *markov.Chain               `json:"a2g"`
-	Effects    map[int]map[device.ID]int64 `json:"effects,omitempty"`
-	ActCounts  map[int]int64               `json:"act_counts,omitempty"`
+	DurationMS  int64                       `json:"duration_ms"`
+	Devices     []string                    `json:"devices"`
+	ValueThre   []float64                   `json:"value_thre"`
+	Epoch       uint64                      `json:"epoch,omitempty"`
+	Parent      string                      `json:"parent,omitempty"`
+	Fingerprint string                      `json:"fingerprint,omitempty"`
+	Groups      []string                    `json:"groups"`
+	G2G         *markov.Chain               `json:"g2g"`
+	G2A         *markov.Chain               `json:"g2a"`
+	A2G         *markov.Chain               `json:"a2g"`
+	Effects     map[int]map[device.ID]int64 `json:"effects,omitempty"`
+	ActCounts   map[int]int64               `json:"act_counts,omitempty"`
 }
 
-// Save writes the context as JSON.
-func (c *Context) Save(w io.Writer) error {
+// ErrCorruptContext marks a saved context whose checksum envelope or
+// recorded fingerprint failed to verify — a torn write or bit rot, not a
+// schema problem. Callers that can retrain should treat it as "no context"
+// rather than restoring garbage.
+var ErrCorruptContext = errors.New("core: corrupt context")
+
+// ctxMagic opens the checksummed context envelope — the same DICECKS1
+// framing gateway checkpoints use: magic + 4-byte little-endian CRC32-C of
+// the JSON payload + the JSON. Files without the magic are pre-envelope
+// plain JSON and still readable.
+var ctxMagic = [8]byte{'D', 'I', 'C', 'E', 'C', 'K', 'S', '1'}
+
+var ctxCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// payloadJSON renders the canonical persisted payload. encoding/json sorts
+// map keys and the chains marshal their cells sorted, so identical content
+// always yields identical bytes — the property the fingerprint rests on.
+func (c *Context) payloadJSON(fingerprint string) ([]byte, error) {
 	devs := c.layout.Registry().All()
 	names := make([]string, len(devs))
 	for i, d := range devs {
@@ -436,28 +617,77 @@ func (c *Context) Save(w io.Writer) error {
 	for i, g := range c.groups {
 		groups[i] = g.String()
 	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(contextJSON{
-		DurationMS: c.duration.Milliseconds(),
-		Devices:    names,
-		ValueThre:  c.valueThre,
-		Groups:     groups,
-		G2G:        c.g2g,
-		G2A:        c.g2a,
-		A2G:        c.a2g,
-		Effects:    c.effectCounts,
-		ActCounts:  c.actCounts,
-	}); err != nil {
+	data, err := json.Marshal(contextJSON{
+		DurationMS:  c.duration.Milliseconds(),
+		Devices:     names,
+		ValueThre:   c.valueThre,
+		Epoch:       c.epoch,
+		Parent:      c.parent,
+		Fingerprint: fingerprint,
+		Groups:      groups,
+		G2G:         c.g2g,
+		G2A:         c.g2a,
+		A2G:         c.a2g,
+		Effects:     c.effectCounts,
+		ActCounts:   c.actCounts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: encode context: %w", err)
+	}
+	return data, nil
+}
+
+// computeFingerprint hashes the canonical payload (fingerprint field empty)
+// with 64-bit FNV-1a.
+func (c *Context) computeFingerprint() (string, error) {
+	data, err := c.payloadJSON("")
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(data) //nolint:errcheck // hash.Write never fails
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// Save writes the context in the checksummed DICECKS1 envelope: magic +
+// CRC32-C + canonical JSON payload (including epoch, parent, and
+// fingerprint), so a torn write is detected at load time instead of
+// poisoning a cold start.
+func (c *Context) Save(w io.Writer) error {
+	payload, err := c.payloadJSON(c.fingerprint)
+	if err != nil {
+		return fmt.Errorf("core: save context: %w", err)
+	}
+	var head [12]byte
+	copy(head[:8], ctxMagic[:])
+	binary.LittleEndian.PutUint32(head[8:12], crc32.Checksum(payload, ctxCRCTable))
+	if _, err := w.Write(head[:]); err != nil {
+		return fmt.Errorf("core: save context: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
 		return fmt.Errorf("core: save context: %w", err)
 	}
 	return nil
 }
 
 // LoadContext reads a context saved by Save and binds it to the layout,
-// verifying that the device names match position for position.
+// verifying that the device names match position for position. Enveloped
+// files are CRC-checked (damage reports ErrCorruptContext); legacy
+// plain-JSON saves still load, pinned to epoch 0.
 func LoadContext(r io.Reader, layout *window.Layout) (*Context, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load context: %w", err)
+	}
+	if len(data) >= 12 && bytes.Equal(data[:8], ctxMagic[:]) {
+		want := binary.LittleEndian.Uint32(data[8:12])
+		data = data[12:]
+		if crc32.Checksum(data, ctxCRCTable) != want {
+			return nil, fmt.Errorf("%w: envelope fails CRC", ErrCorruptContext)
+		}
+	}
 	var cj contextJSON
-	if err := json.NewDecoder(r).Decode(&cj); err != nil {
+	if err := json.Unmarshal(data, &cj); err != nil {
 		return nil, fmt.Errorf("core: load context: %w", err)
 	}
 	devs := layout.Registry().All()
@@ -469,7 +699,7 @@ func LoadContext(r io.Reader, layout *window.Layout) (*Context, error) {
 			return nil, fmt.Errorf("core: device %d is %q in context but %q in layout", i, name, devs[i].Name)
 		}
 	}
-	ctx, err := NewContext(layout, time.Duration(cj.DurationMS)*time.Millisecond, cj.ValueThre)
+	ctx, err := newContext(layout, time.Duration(cj.DurationMS)*time.Millisecond, cj.ValueThre)
 	if err != nil {
 		return nil, err
 	}
@@ -482,7 +712,7 @@ func LoadContext(r io.Reader, layout *window.Layout) (*Context, error) {
 		if v.Len() != wantBits {
 			return nil, fmt.Errorf("core: group %d has %d bits, layout wants %d", i, v.Len(), wantBits)
 		}
-		if got := ctx.AddGroup(v); got != i {
+		if got := ctx.addGroup(v); got != i {
 			return nil, fmt.Errorf("core: duplicate group %d in saved context", i)
 		}
 	}
@@ -501,5 +731,15 @@ func LoadContext(r io.Reader, layout *window.Layout) (*Context, error) {
 	if cj.ActCounts != nil {
 		ctx.actCounts = cj.ActCounts
 	}
+	ctx.epoch = cj.Epoch
+	ctx.parent = cj.Parent
+	fp, err := ctx.computeFingerprint()
+	if err != nil {
+		return nil, err
+	}
+	if cj.Fingerprint != "" && cj.Fingerprint != fp {
+		return nil, fmt.Errorf("%w: payload does not match recorded fingerprint %s", ErrCorruptContext, cj.Fingerprint)
+	}
+	ctx.fingerprint = fp
 	return ctx, nil
 }

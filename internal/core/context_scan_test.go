@@ -41,23 +41,30 @@ func randVec(rng *rand.Rand, n int, density float64) *bitvec.Vec {
 
 // randCatalogue interns size random groups clustered around a handful of
 // seed patterns, mimicking real catalogues where groups are near-neighbours
-// of each other rather than uniform noise.
-func randCatalogue(t testing.TB, rng *rand.Rand, ctx *Context, nbits, size int) {
+// of each other rather than uniform noise, and returns the sealed context.
+func randCatalogue(t testing.TB, rng *rand.Rand, layout *window.Layout, thre []float64, nbits, size int) *Context {
 	t.Helper()
+	cb, err := NewContextBuilder(layout, time.Minute, thre)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seeds := make([]*bitvec.Vec, 8)
 	for i := range seeds {
 		seeds[i] = randVec(rng, nbits, 0.25)
 	}
-	for len(ctxGroups(ctx)) < size {
+	for cb.NumGroups() < size {
 		g := seeds[rng.Intn(len(seeds))].Clone()
 		for f := rng.Intn(6); f > 0; f-- {
 			g.Flip(rng.Intn(nbits))
 		}
-		ctx.AddGroup(g)
+		cb.AddGroup(g)
 	}
+	ctx, err := cb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
 }
-
-func ctxGroups(c *Context) []*bitvec.Vec { return c.groups }
 
 // TestScanMatchesNaiveReference is the property-style equivalence test: the
 // indexed Scan must return identical Candidates to the retained naive
@@ -67,11 +74,7 @@ func TestScanMatchesNaiveReference(t *testing.T) {
 	nbits := layout.NumBinary() + BitsPerNumeric*layout.NumNumeric()
 	rng := rand.New(rand.NewSource(7))
 	for round := 0; round < 40; round++ {
-		ctx, err := NewContext(layout, time.Minute, thre)
-		if err != nil {
-			t.Fatal(err)
-		}
-		randCatalogue(t, rng, ctx, nbits, 1+rng.Intn(200))
+		ctx := randCatalogue(t, rng, layout, thre, nbits, 1+rng.Intn(200))
 		scratch := new(ScanScratch)
 		for q := 0; q < 25; q++ {
 			var query *bitvec.Vec
@@ -124,11 +127,7 @@ func TestScanWithScratchReuse(t *testing.T) {
 	layout, thre := wideLayout(t)
 	nbits := layout.NumBinary() + BitsPerNumeric*layout.NumNumeric()
 	rng := rand.New(rand.NewSource(11))
-	ctx, err := NewContext(layout, time.Minute, thre)
-	if err != nil {
-		t.Fatal(err)
-	}
-	randCatalogue(t, rng, ctx, nbits, 64)
+	ctx := randCatalogue(t, rng, layout, thre, nbits, 64)
 	scratch := new(ScanScratch)
 	q1 := randVec(rng, nbits, 0.25)
 	first := ctx.ScanWith(scratch, q1, 4)
@@ -156,11 +155,7 @@ func TestScanExactMatchAllocFree(t *testing.T) {
 	layout, thre := wideLayout(t)
 	nbits := layout.NumBinary() + BitsPerNumeric*layout.NumNumeric()
 	rng := rand.New(rand.NewSource(3))
-	ctx, err := NewContext(layout, time.Minute, thre)
-	if err != nil {
-		t.Fatal(err)
-	}
-	randCatalogue(t, rng, ctx, nbits, 256)
+	ctx := randCatalogue(t, rng, layout, thre, nbits, 256)
 	g, err := ctx.Group(100)
 	if err != nil {
 		t.Fatal(err)
@@ -185,11 +180,7 @@ func TestScanViolationPathAllocs(t *testing.T) {
 	layout, thre := wideLayout(t)
 	nbits := layout.NumBinary() + BitsPerNumeric*layout.NumNumeric()
 	rng := rand.New(rand.NewSource(5))
-	ctx, err := NewContext(layout, time.Minute, thre)
-	if err != nil {
-		t.Fatal(err)
-	}
-	randCatalogue(t, rng, ctx, nbits, 256)
+	ctx := randCatalogue(t, rng, layout, thre, nbits, 256)
 	g, err := ctx.Group(100)
 	if err != nil {
 		t.Fatal(err)
@@ -228,7 +219,7 @@ func TestDetectorCleanWindowAllocFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	det, err := NewDetector(ctx, Config{})
+	det, err := New(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

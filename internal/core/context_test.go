@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -10,10 +11,21 @@ import (
 	"repro/internal/bitvec"
 )
 
-func mustContext(t testing.TB) *Context {
+// mustBuilder returns a fresh epoch-0 builder over the toy core layout.
+func mustBuilder(t testing.TB) *ContextBuilder {
 	t.Helper()
 	l := coreLayout(t)
-	ctx, err := NewContext(l, time.Minute, []float64{20, 100})
+	cb, err := NewContextBuilder(l, time.Minute, []float64{20, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cb
+}
+
+// seal builds the context, failing the test on error.
+func seal(t testing.TB, cb *ContextBuilder) *Context {
+	t.Helper()
+	ctx, err := cb.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,33 +41,34 @@ func vec(t testing.TB, s string) *bitvec.Vec {
 	return v
 }
 
-func TestNewContextValidation(t *testing.T) {
+func TestNewContextBuilderValidation(t *testing.T) {
 	l := coreLayout(t)
-	if _, err := NewContext(nil, time.Minute, nil); err == nil {
+	if _, err := NewContextBuilder(nil, time.Minute, nil); err == nil {
 		t.Error("nil layout accepted")
 	}
-	if _, err := NewContext(l, time.Minute, []float64{1}); err == nil {
+	if _, err := NewContextBuilder(l, time.Minute, []float64{1}); err == nil {
 		t.Error("wrong threshold count accepted")
 	}
-	ctx, err := NewContext(l, 0, []float64{1, 2})
+	cb, err := NewContextBuilder(l, 0, []float64{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ctx.Duration() != DefaultDuration {
+	if ctx := seal(t, cb); ctx.Duration() != DefaultDuration {
 		t.Errorf("zero duration should default, got %v", ctx.Duration())
 	}
 }
 
 func TestAddGroupInterns(t *testing.T) {
-	ctx := mustContext(t)
+	cb := mustBuilder(t)
 	a := vec(t, "10000000")
 	b := vec(t, "01000000")
-	id0 := ctx.AddGroup(a)
-	id1 := ctx.AddGroup(b)
-	id0again := ctx.AddGroup(a.Clone())
+	id0 := cb.AddGroup(a)
+	id1 := cb.AddGroup(b)
+	id0again := cb.AddGroup(a.Clone())
 	if id0 != 0 || id1 != 1 || id0again != 0 {
 		t.Errorf("ids = %d, %d, %d", id0, id1, id0again)
 	}
+	ctx := seal(t, cb)
 	if ctx.NumGroups() != 2 {
 		t.Errorf("NumGroups = %d, want 2", ctx.NumGroups())
 	}
@@ -68,11 +81,11 @@ func TestAddGroupInterns(t *testing.T) {
 }
 
 func TestAddGroupCopies(t *testing.T) {
-	ctx := mustContext(t)
+	cb := mustBuilder(t)
 	a := vec(t, "10000000")
-	ctx.AddGroup(a)
+	cb.AddGroup(a)
 	a.Set(7) // mutate the caller's vector
-	g, err := ctx.Group(0)
+	g, err := seal(t, cb).Group(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,22 +95,23 @@ func TestAddGroupCopies(t *testing.T) {
 }
 
 func TestGroupErrors(t *testing.T) {
-	ctx := mustContext(t)
-	if _, err := ctx.Group(0); err == nil {
+	if _, err := seal(t, mustBuilder(t)).Group(0); err == nil {
 		t.Error("empty context returned a group")
 	}
-	ctx.AddGroup(vec(t, "10000000"))
-	if _, err := ctx.Group(-1); err == nil {
+	cb := mustBuilder(t)
+	cb.AddGroup(vec(t, "10000000"))
+	if _, err := seal(t, cb).Group(-1); err == nil {
 		t.Error("negative id accepted")
 	}
 }
 
 func TestScanFindsMain(t *testing.T) {
-	ctx := mustContext(t)
-	g0 := ctx.AddGroup(vec(t, "10000000"))
-	ctx.AddGroup(vec(t, "11000000")) // distance 1 from g0
-	ctx.AddGroup(vec(t, "11100000")) // distance 2 from g0
-	ctx.AddGroup(vec(t, "11111111")) // far away
+	cb := mustBuilder(t)
+	g0 := cb.AddGroup(vec(t, "10000000"))
+	cb.AddGroup(vec(t, "11000000")) // distance 1 from g0
+	cb.AddGroup(vec(t, "11100000")) // distance 2 from g0
+	cb.AddGroup(vec(t, "11111111")) // far away
+	ctx := seal(t, cb)
 
 	c := ctx.Scan(vec(t, "10000000"), 2)
 	if c.Main != g0 {
@@ -114,7 +128,7 @@ func TestScanFindsMain(t *testing.T) {
 }
 
 func TestScanEmptyCatalogue(t *testing.T) {
-	ctx := mustContext(t)
+	ctx := seal(t, mustBuilder(t))
 	c := ctx.Scan(vec(t, "10000000"), 2)
 	if c.Main != NoGroup {
 		t.Errorf("Main = %d, want NoGroup", c.Main)
@@ -131,10 +145,10 @@ func TestScanEmptyCatalogue(t *testing.T) {
 }
 
 func TestScanNoMainGroup(t *testing.T) {
-	ctx := mustContext(t)
-	g0 := ctx.AddGroup(vec(t, "11000000"))
-	ctx.AddGroup(vec(t, "00111111"))
-	c := ctx.Scan(vec(t, "10000000"), 1)
+	cb := mustBuilder(t)
+	g0 := cb.AddGroup(vec(t, "11000000"))
+	cb.AddGroup(vec(t, "00111111"))
+	c := seal(t, cb).Scan(vec(t, "10000000"), 1)
 	if c.Main != NoGroup {
 		t.Errorf("Main = %d, want NoGroup", c.Main)
 	}
@@ -147,12 +161,12 @@ func TestScanNoMainGroup(t *testing.T) {
 }
 
 func TestScanFallbackToNearest(t *testing.T) {
-	ctx := mustContext(t)
+	cb := mustBuilder(t)
 	// Both groups far from the query; candidate distance 1 finds none, so
 	// Scan falls back to the nearest set.
-	gNear := ctx.AddGroup(vec(t, "11110000")) // distance 3 from query
-	ctx.AddGroup(vec(t, "11111111"))          // distance 7
-	c := ctx.Scan(vec(t, "10000000"), 1)
+	gNear := cb.AddGroup(vec(t, "11110000")) // distance 3 from query
+	cb.AddGroup(vec(t, "11111111"))          // distance 7
+	c := seal(t, cb).Scan(vec(t, "10000000"), 1)
 	if c.Main != NoGroup {
 		t.Fatalf("Main = %d, want NoGroup", c.Main)
 	}
@@ -165,43 +179,106 @@ func TestScanFallbackToNearest(t *testing.T) {
 }
 
 func TestScanProbableOrderedByDistance(t *testing.T) {
-	ctx := mustContext(t)
-	gFar := ctx.AddGroup(vec(t, "01100000"))  // distance 3 from query
-	gNear := ctx.AddGroup(vec(t, "10100000")) // distance 1
-	c := ctx.Scan(vec(t, "10000000"), 3)
+	cb := mustBuilder(t)
+	gFar := cb.AddGroup(vec(t, "01100000"))  // distance 3 from query
+	gNear := cb.AddGroup(vec(t, "10100000")) // distance 1
+	c := seal(t, cb).Scan(vec(t, "10000000"), 3)
 	if len(c.Probable) != 2 || c.Probable[0] != gNear || c.Probable[1] != gFar {
 		t.Errorf("Probable = %v, want [%d %d]", c.Probable, gNear, gFar)
 	}
 }
 
 func TestCorrelationDegree(t *testing.T) {
-	ctx := mustContext(t)
-	if ctx.CorrelationDegree() != 0 {
+	if got := seal(t, mustBuilder(t)).CorrelationDegree(); got != 0 {
 		t.Error("empty context degree should be 0")
 	}
+	cb := mustBuilder(t)
 	// Group 1: binary 0 active + numeric slot 0 active (2 sensors).
 	// Layout bits: [b0 b1 | n0:skew n0:trend n0:mean | n1...]
-	ctx.AddGroup(vec(t, "10110000"))
+	cb.AddGroup(vec(t, "10110000"))
 	// Group 2: all four sensors active; three numeric-1 bits still one sensor.
-	ctx.AddGroup(vec(t, "11001111"))
+	cb.AddGroup(vec(t, "11001111"))
 	want := (2.0 + 4.0) / 2.0
-	if got := ctx.CorrelationDegree(); math.Abs(got-want) > 1e-12 {
+	if got := seal(t, cb).CorrelationDegree(); math.Abs(got-want) > 1e-12 {
 		t.Errorf("CorrelationDegree = %v, want %v", got, want)
+	}
+}
+
+// TestBuilderVersionChain: a builder publishes an epoch chain — each Build
+// seals an immutable snapshot whose parent hash pins its predecessor, and
+// Derive forks a copy-on-write working copy without touching the original.
+func TestBuilderVersionChain(t *testing.T) {
+	cb := mustBuilder(t)
+	g0 := cb.AddGroup(vec(t, "10000000"))
+	base := seal(t, cb)
+	if base.Epoch() != 0 {
+		t.Fatalf("trained context epoch = %d, want 0", base.Epoch())
+	}
+	if base.Fingerprint() == "" || base.ParentFingerprint() != "" {
+		t.Fatalf("base fingerprint/parent = %q/%q", base.Fingerprint(), base.ParentFingerprint())
+	}
+
+	db := base.Derive()
+	g1 := db.AddGroup(vec(t, "01000000"))
+	db.ObserveG2G(g0, g1)
+	next := seal(t, db)
+	if next.Epoch() != 1 || next.ParentFingerprint() != base.Fingerprint() {
+		t.Fatalf("derived epoch/parent = %d/%q, want 1/%q", next.Epoch(), next.ParentFingerprint(), base.Fingerprint())
+	}
+	if next.Fingerprint() == base.Fingerprint() {
+		t.Error("distinct versions share a fingerprint")
+	}
+	// The original version is untouched: group IDs are append-only and the
+	// base still knows nothing about the new group or transition.
+	if base.NumGroups() != 1 {
+		t.Errorf("base NumGroups = %d after derive, want 1", base.NumGroups())
+	}
+	if base.G2G().Possible(g0, g1) {
+		t.Error("derivation leaked a transition into the parent version")
+	}
+	if id, ok := next.GroupID(vec(t, "10000000")); !ok || id != g0 {
+		t.Errorf("derived version lost group %d: (%d, %v)", g0, id, ok)
+	}
+
+	// The same builder keeps publishing: a further Build chains onto next.
+	db.AddGroup(vec(t, "00100000"))
+	third := seal(t, db)
+	if third.Epoch() != 2 || third.ParentFingerprint() != next.Fingerprint() {
+		t.Errorf("third epoch/parent = %d/%q, want 2/%q", third.Epoch(), third.ParentFingerprint(), next.Fingerprint())
+	}
+}
+
+// TestFingerprintDeterministic: the fingerprint is a pure function of the
+// context's payload, so an identically rebuilt context reproduces it.
+func TestFingerprintDeterministic(t *testing.T) {
+	build := func() *Context {
+		cb := mustBuilder(t)
+		a := cb.AddGroup(vec(t, "10110000"))
+		b := cb.AddGroup(vec(t, "01001100"))
+		cb.ObserveG2G(a, b)
+		cb.ObserveG2A(a, 0)
+		cb.ObserveA2G(0, b)
+		return seal(t, cb)
+	}
+	c1, c2 := build(), build()
+	if c1.Fingerprint() != c2.Fingerprint() {
+		t.Errorf("identical builds disagree: %q vs %q", c1.Fingerprint(), c2.Fingerprint())
 	}
 }
 
 func TestContextSaveLoadRoundTrip(t *testing.T) {
 	l := coreLayout(t)
-	ctx, err := NewContext(l, 2*time.Minute, []float64{21.5, 98})
+	cb, err := NewContextBuilder(l, 2*time.Minute, []float64{21.5, 98})
 	if err != nil {
 		t.Fatal(err)
 	}
-	g0 := ctx.AddGroup(vec(t, "10110000"))
-	g1 := ctx.AddGroup(vec(t, "01001100"))
-	ctx.G2G().Observe(g0, g1)
-	ctx.G2G().Observe(g1, g1)
-	ctx.G2A().Observe(g0, 0)
-	ctx.A2G().Observe(0, g1)
+	g0 := cb.AddGroup(vec(t, "10110000"))
+	g1 := cb.AddGroup(vec(t, "01001100"))
+	cb.ObserveG2G(g0, g1)
+	cb.ObserveG2G(g1, g1)
+	cb.ObserveG2A(g0, 0)
+	cb.ObserveA2G(0, g1)
+	ctx := seal(t, cb)
 
 	var buf bytes.Buffer
 	if err := ctx.Save(&buf); err != nil {
@@ -230,21 +307,72 @@ func TestContextSaveLoadRoundTrip(t *testing.T) {
 	if thre[0] != 21.5 || thre[1] != 98 {
 		t.Errorf("thresholds = %v", thre)
 	}
+	if got.Epoch() != ctx.Epoch() || got.Fingerprint() != ctx.Fingerprint() {
+		t.Errorf("version lost: epoch %d/%d fingerprint %q/%q",
+			got.Epoch(), ctx.Epoch(), got.Fingerprint(), ctx.Fingerprint())
+	}
 }
 
-func TestLoadContextRejectsWrongLayout(t *testing.T) {
+// TestContextEnvelope: Save writes the checksummed DICECKS1 envelope; a
+// flipped payload byte surfaces as ErrCorruptContext, and a legacy
+// plain-JSON stream (no envelope) still loads.
+func TestContextEnvelope(t *testing.T) {
 	l := coreLayout(t)
-	ctx, err := NewContext(l, time.Minute, []float64{1, 2})
+	cb, err := NewContextBuilder(l, time.Minute, []float64{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx.AddGroup(vec(t, "10000000"))
+	cb.AddGroup(vec(t, "10000000"))
+	ctx := seal(t, cb)
 	var buf bytes.Buffer
 	if err := ctx.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	// Rename a device inside the saved JSON to simulate a layout mismatch.
-	text := buf.String()
+	raw := buf.Bytes()
+	if !bytes.HasPrefix(raw, []byte("DICECKS1")) {
+		t.Fatalf("saved context missing envelope magic: %q", raw[:8])
+	}
+
+	// Bit rot in the payload: CRC catches it.
+	rot := append([]byte(nil), raw...)
+	rot[len(rot)-2] ^= 0x40
+	if _, err := LoadContext(bytes.NewReader(rot), l); !errors.Is(err, ErrCorruptContext) {
+		t.Errorf("corrupt payload: err = %v, want ErrCorruptContext", err)
+	}
+
+	// Legacy fallback: the bare JSON payload (as written before the
+	// envelope existed) still loads.
+	legacy, err := LoadContext(bytes.NewReader(raw[12:]), l)
+	if err != nil {
+		t.Fatalf("legacy plain-JSON load: %v", err)
+	}
+	if legacy.Fingerprint() != ctx.Fingerprint() {
+		t.Errorf("legacy load fingerprint %q, want %q", legacy.Fingerprint(), ctx.Fingerprint())
+	}
+
+	// A tampered fingerprint field fails verification.
+	tampered := strings.Replace(string(raw[12:]), ctx.Fingerprint(), strings.Repeat("0", 16), 1)
+	if _, err := LoadContext(strings.NewReader(tampered), l); !errors.Is(err, ErrCorruptContext) {
+		t.Errorf("tampered fingerprint: err = %v, want ErrCorruptContext", err)
+	}
+}
+
+func TestLoadContextRejectsWrongLayout(t *testing.T) {
+	l := coreLayout(t)
+	cb, err := NewContextBuilder(l, time.Minute, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb.AddGroup(vec(t, "10000000"))
+	ctx := seal(t, cb)
+	var buf bytes.Buffer
+	if err := ctx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Work on the bare payload (legacy path) with the fingerprint blanked,
+	// so the layout checks are what reject the mutations rather than the
+	// integrity checks.
+	text := strings.Replace(buf.String()[12:], ctx.Fingerprint(), "", 1)
 	mutated := strings.Replace(text, "motion-a", "motion-X", 1)
 	if _, err := LoadContext(strings.NewReader(mutated), l); err == nil {
 		t.Error("renamed device accepted")

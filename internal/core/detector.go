@@ -175,16 +175,7 @@ type Detector struct {
 // actuator acted recently" when attributing missing effects.
 const recentActWindows = 15
 
-// NewDetector builds a detector over a trained context.
-//
-// Deprecated: use New with options; this shim forwards to
-// New(ctx, WithConfig(cfg), opts...) and exists so older config-struct
-// call sites keep compiling.
-func NewDetector(ctx *Context, cfg Config, opts ...Option) (*Detector, error) {
-	return New(ctx, append([]Option{WithConfig(cfg)}, opts...)...)
-}
-
-// newDetector is the single construction path behind New/NewDetector.
+// newDetector is the single construction path behind New.
 func newDetector(ctx *Context, o detOptions) (*Detector, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("core: nil context")
@@ -207,8 +198,40 @@ func newDetector(ctx *Context, o detOptions) (*Detector, error) {
 	}, nil
 }
 
-// Context returns the trained context the detector runs against.
+// Context returns the context snapshot the detector currently runs against.
 func (d *Detector) Context() *Context { return d.ctx }
+
+// SwapContext atomically replaces the context snapshot the detector scans
+// against. The caller must serialize it with Process (the gateway holds its
+// lock across both), and the new version must share the old one's layout,
+// thresholds, and group-ID prefix — the guarantees Derive provides — so the
+// detector's runtime state (previous group, episode references) stays valid
+// across the swap. Between swaps the detector reads one immutable snapshot,
+// which is what keeps the hot path allocation-free and bit-reproducible.
+func (d *Detector) SwapContext(ctx *Context) error {
+	if ctx == nil {
+		return fmt.Errorf("core: swap to nil context")
+	}
+	if ctx == d.ctx {
+		return nil
+	}
+	if ctx.Layout() != d.ctx.Layout() {
+		return fmt.Errorf("core: swap to context with different layout")
+	}
+	if ctx.NumGroups() < d.ctx.NumGroups() {
+		return fmt.Errorf("core: swap to context with %d groups, have %d (the catalogue is append-only)",
+			ctx.NumGroups(), d.ctx.NumGroups())
+	}
+	for id := 0; id < d.ctx.NumGroups(); id++ {
+		old, _ := d.ctx.Group(id)
+		neu, err := ctx.Group(id)
+		if err != nil || old.HammingDistance(neu) != 0 {
+			return fmt.Errorf("core: swap renames group %d (IDs must be stable)", id)
+		}
+	}
+	d.ctx = ctx
+	return nil
+}
 
 // Reset clears all runtime state (previous group, actuators, any in-flight
 // episode). Use it between independent segments.

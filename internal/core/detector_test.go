@@ -31,7 +31,7 @@ func oddObs(l *window.Layout, idx int) *window.Observation {
 
 func newTestDetector(t testing.TB, ctx *Context, cfg Config) *Detector {
 	t.Helper()
-	d, err := NewDetector(ctx, cfg)
+	d, err := New(ctx, WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,15 +60,19 @@ func feedNormal(t testing.TB, d *Detector, l *window.Layout, from, n int) int {
 }
 
 func TestNewDetectorValidation(t *testing.T) {
-	if _, err := NewDetector(nil, Config{}); err == nil {
+	if _, err := New(nil); err == nil {
 		t.Error("nil context accepted")
 	}
 	l := coreLayout(t)
-	empty, err := NewContext(l, time.Minute, []float64{0, 0})
+	cb, err := NewContextBuilder(l, time.Minute, []float64{0, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewDetector(empty, Config{}); err == nil {
+	empty, err := cb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(empty); err == nil {
 		t.Error("empty context accepted")
 	}
 }
@@ -450,7 +454,7 @@ func TestConfigNormalize(t *testing.T) {
 
 func BenchmarkDetectorProcessClean(b *testing.B) {
 	l, ctx := trainAlternating(b)
-	d, err := NewDetector(ctx, Config{})
+	d, err := New(ctx)
 	if err != nil {
 		b.Fatal(err)
 	}

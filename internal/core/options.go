@@ -59,8 +59,6 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 }
 
 // New builds a detector over a trained context with functional options.
-// It is the canonical constructor; NewDetector remains as a shim for the
-// older config-struct call sites.
 func New(ctx *Context, opts ...Option) (*Detector, error) {
 	var o detOptions
 	for _, opt := range opts {

@@ -180,7 +180,7 @@ func (pt *PartitionedTrainer) Detector(cfg Config) (*PartitionedDetector, error)
 		if err != nil {
 			return nil, fmt.Errorf("core: partition %q: %w", pt.subs[i].part.Name, err)
 		}
-		det, err := NewDetector(ctx, cfg)
+		det, err := New(ctx, WithConfig(cfg))
 		if err != nil {
 			return nil, err
 		}

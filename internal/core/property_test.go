@@ -19,12 +19,16 @@ import (
 func TestScanProperties(t *testing.T) {
 	l := coreLayout(t)
 	f := func(groupBits [][8]bool, queryBits [8]bool, maxDist uint8) bool {
-		ctx, err := NewContext(l, time.Minute, []float64{0, 0})
+		cb, err := NewContextBuilder(l, time.Minute, []float64{0, 0})
 		if err != nil {
 			return false
 		}
 		for _, gb := range groupBits {
-			ctx.AddGroup(bitvec.FromBools(gb[:]))
+			cb.AddGroup(bitvec.FromBools(gb[:]))
+		}
+		ctx, err := cb.Build()
+		if err != nil {
+			return false
 		}
 		if ctx.NumGroups() == 0 {
 			return true
@@ -134,7 +138,7 @@ func TestTrainerDetectorClosure(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		det, err := NewDetector(ctx, Config{})
+		det, err := New(ctx)
 		if err != nil {
 			return false
 		}

@@ -29,7 +29,8 @@ type Trainer struct {
 	duration time.Duration
 	welford  []stats.Welford
 	bin      *Binarizer
-	ctx      *Context
+	cb       *ContextBuilder
+	built    *Context
 
 	prevGroup int
 	prevVec   *bitvec.Vec
@@ -80,12 +81,12 @@ func (t *Trainer) FinishCalibration() error {
 	if err != nil {
 		return err
 	}
-	ctx, err := NewContext(t.layout, t.duration, thre)
+	cb, err := NewContextBuilder(t.layout, t.duration, thre)
 	if err != nil {
 		return err
 	}
 	t.bin = bin
-	t.ctx = ctx
+	t.cb = cb
 	return nil
 }
 
@@ -95,24 +96,27 @@ func (t *Trainer) Learn(o *window.Observation) error {
 	if t.bin == nil {
 		return fmt.Errorf("core: Learn called before FinishCalibration")
 	}
+	if t.built != nil {
+		return fmt.Errorf("core: Learn called after Context")
+	}
 	v, err := t.bin.StateSet(o)
 	if err != nil {
 		return err
 	}
-	g := t.ctx.AddGroup(v)
+	g := t.cb.AddGroup(v)
 	if t.prevGroup != NoGroup {
-		t.ctx.G2G().Observe(t.prevGroup, g)
+		t.cb.ObserveG2G(t.prevGroup, g)
 		// Case-2 statistics: group at t-1 -> actuators fired at t.
 		for _, act := range o.Actuated {
 			if slot, ok := t.layout.ActuatorSlot(act); ok {
-				t.ctx.G2A().Observe(t.prevGroup, slot)
+				t.cb.ObserveG2A(t.prevGroup, slot)
 			}
 		}
 	}
 	// Case-3 statistics: actuators fired at t-1 -> group at t.
 	for _, act := range t.prevActs {
 		if slot, ok := t.layout.ActuatorSlot(act); ok {
-			t.ctx.A2G().Observe(slot, g)
+			t.cb.ObserveA2G(slot, g)
 		}
 	}
 	// Effect statistics: sensors whose bits rose in the same window an
@@ -132,7 +136,7 @@ func (t *Trainer) Learn(o *window.Observation) error {
 			}
 			for _, act := range o.Actuated {
 				if slot, ok := t.layout.ActuatorSlot(act); ok {
-					t.ctx.ObserveEffect(slot, devs)
+					t.cb.ObserveEffect(slot, devs)
 				}
 			}
 		}
@@ -156,16 +160,26 @@ func (t *Trainer) ValueThre() ([]float64, error) {
 	return t.bin.ValueThre(), nil
 }
 
-// Context returns the trained context. It returns an error when no windows
-// have been learned — an empty context cannot detect anything.
+// Context seals and returns the trained context (epoch 0 of the version
+// chain). It returns an error when no windows have been learned — an empty
+// context cannot detect anything. Training ends here: the built snapshot is
+// cached, repeated calls return it, and further Learn calls are rejected.
 func (t *Trainer) Context() (*Context, error) {
-	if t.ctx == nil {
+	if t.built != nil {
+		return t.built, nil
+	}
+	if t.cb == nil {
 		return nil, fmt.Errorf("core: Context requested before FinishCalibration")
 	}
-	if t.ctx.NumGroups() == 0 {
+	if t.cb.NumGroups() == 0 {
 		return nil, fmt.Errorf("core: no windows learned; context is empty")
 	}
-	return t.ctx, nil
+	ctx, err := t.cb.Build()
+	if err != nil {
+		return nil, err
+	}
+	t.built = ctx
+	return t.built, nil
 }
 
 // TrainWindows is the batch convenience: it runs both passes over a slice

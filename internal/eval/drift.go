@@ -1,0 +1,307 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/faults"
+	"repro/internal/simhome"
+)
+
+// DriftBench configures the online-adaptation benchmark: a context is
+// trained on a home's original routine, the residents then adopt new
+// activities (seeded behaviour drift — every post-onset window is
+// legitimate), and the same drifted stream is replayed through a static
+// detector and an adapter-backed one. The static arm turns the new
+// routines into false alarms forever; the adaptive arm must absorb them —
+// and still catch real faults injected after it has adapted.
+type DriftBench struct {
+	// TrainHours is the precomputation prefix (default 72).
+	TrainHours int
+	// DriftDays is how many days of drifted behaviour each arm replays
+	// (default 8).
+	DriftDays int
+	// ExtraActivities is how many new ADLs the residents adopt (default 5).
+	ExtraActivities int
+	// Trials is the number of injected-fault trials per arm after the
+	// adaptation phase (default 12).
+	Trials int
+	// AdmitAfter overrides the adapter's sustained-observation threshold
+	// (default 5: the bench compresses weeks of routine change into a few
+	// simulated days, so the production threshold is scaled down with it).
+	AdmitAfter int
+	// Seed drives the simulation and fault placement (default 29).
+	Seed int64
+}
+
+func (o DriftBench) normalize() DriftBench {
+	if o.TrainHours <= 0 {
+		o.TrainHours = 72
+	}
+	if o.DriftDays <= 0 {
+		o.DriftDays = 8
+	}
+	if o.ExtraActivities <= 0 {
+		o.ExtraActivities = 5
+	}
+	if o.Trials <= 0 {
+		o.Trials = 12
+	}
+	if o.AdmitAfter <= 0 {
+		o.AdmitAfter = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 29
+	}
+	return o
+}
+
+// DriftArmResult is one arm's outcome over the drifted stream.
+type DriftArmResult struct {
+	// FalseAlarms is the number of concluded alerts on the fault-free
+	// drifted stream — every one of them blames healthy devices.
+	FalseAlarms int `json:"false_alarms"`
+	// ViolationWindows is the number of windows that raised any violation.
+	ViolationWindows int `json:"violation_windows"`
+	// MissedFaults is how many injected-fault trials the arm failed to
+	// detect after the fault's onset.
+	MissedFaults int `json:"missed_faults"`
+	// ReplayMS is the wall-clock cost of the arm's drift replay.
+	ReplayMS float64 `json:"replay_ms"`
+}
+
+// DriftBenchResult is the outcome of one drift benchmark run.
+type DriftBenchResult struct {
+	TrainHours      int   `json:"train_hours"`
+	DriftDays       int   `json:"drift_days"`
+	ExtraActivities int   `json:"extra_activities"`
+	DriftWindows    int   `json:"drift_windows"`
+	Trials          int   `json:"trials"`
+	AdmitAfter      int   `json:"admit_after"`
+	Seed            int64 `json:"seed"`
+
+	Static   DriftArmResult `json:"static"`
+	Adaptive DriftArmResult `json:"adaptive"`
+
+	// FalseAlarmReductionPct is how much of the static arm's false-alarm
+	// load adaptation removed (100 = all of it).
+	FalseAlarmReductionPct float64 `json:"false_alarm_reduction_pct"`
+
+	// Adaptation trajectory over the drift replay.
+	FinalEpoch     uint64 `json:"final_epoch"`
+	GroupsAdmitted int64  `json:"groups_admitted"`
+	EdgesAdmitted  int64  `json:"edges_admitted"`
+	DecayedEdges   int64  `json:"decayed_edges"`
+	BaseGroups     int    `json:"base_groups"`
+	AdaptedGroups  int    `json:"adapted_groups"`
+}
+
+// RunDriftBench trains a context on the original routine, replays the
+// drifted stream through both arms, then injects sensor faults into the
+// post-adaptation stream and scores detection per arm. It errors when the
+// adaptive arm misses a fault or fails to beat the static arm's
+// false-alarm count — the two properties the adapter exists to provide.
+func RunDriftBench(o DriftBench) (*DriftBenchResult, error) {
+	o = o.normalize()
+	spec := simhome.SpecDHouseA()
+	spec.Name = "drift-bench"
+	const trialSegW = 3 * 60 // 3h fault segments
+	trialW := 24 * 60        // one day of post-adaptation stream for trials
+	spec.Hours = o.TrainHours + o.DriftDays*24 + trialW/60
+	home, err := simhome.New(spec, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	trainW := o.TrainHours * 60
+	drifted, err := home.WithDrift(simhome.Drift{ExtraActivities: o.ExtraActivities, FromMinute: trainW})
+	if err != nil {
+		return nil, err
+	}
+
+	// Precompute on the shared prefix (bit-identical across base/drifted).
+	tr := core.NewTrainer(home.Layout(), time.Minute)
+	for i := 0; i < trainW; i++ {
+		if err := tr.Calibrate(home.Window(i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := tr.FinishCalibration(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < trainW; i++ {
+		if err := tr.Learn(home.Window(i)); err != nil {
+			return nil, err
+		}
+	}
+	cctx, err := tr.Context()
+	if err != nil {
+		return nil, err
+	}
+
+	driftW := o.DriftDays * 24 * 60
+	res := &DriftBenchResult{
+		TrainHours:      o.TrainHours,
+		DriftDays:       o.DriftDays,
+		ExtraActivities: o.ExtraActivities,
+		DriftWindows:    driftW,
+		Trials:          o.Trials,
+		AdmitAfter:      o.AdmitAfter,
+		Seed:            o.Seed,
+		BaseGroups:      cctx.NumGroups(),
+	}
+
+	// Static arm: the frozen context grinds through the drifted stream.
+	staticDet, err := core.New(cctx)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for i := trainW; i < trainW+driftW; i++ {
+		r, err := staticDet.Process(drifted.Window(i))
+		if err != nil {
+			return nil, err
+		}
+		if r.Violation != core.CheckNone {
+			res.Static.ViolationWindows++
+		}
+		if r.Alert != nil {
+			res.Static.FalseAlarms++
+		}
+	}
+	res.Static.ReplayMS = float64(time.Since(start).Microseconds()) / 1000
+
+	// Adaptive arm: same stream, same base context, adapter in the loop.
+	adaptDet, err := core.New(cctx)
+	if err != nil {
+		return nil, err
+	}
+	adapter, err := core.NewAdapter(cctx, core.WithAdmitAfter(o.AdmitAfter))
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := trainW; i < trainW+driftW; i++ {
+		w := drifted.Window(i)
+		r, err := adaptDet.Process(w)
+		if err != nil {
+			return nil, err
+		}
+		if r.Violation != core.CheckNone {
+			res.Adaptive.ViolationWindows++
+		}
+		if r.Alert != nil {
+			res.Adaptive.FalseAlarms++
+		}
+		pub, err := adapter.Observe(w, r)
+		if err != nil {
+			return nil, err
+		}
+		if pub != nil {
+			if err := adaptDet.SwapContext(pub); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Adaptive.ReplayMS = float64(time.Since(start).Microseconds()) / 1000
+	adapted := adapter.Context()
+	res.FinalEpoch = adapted.Epoch()
+	res.GroupsAdmitted = adapter.GroupsAdmitted()
+	res.EdgesAdmitted = adapter.EdgesAdmitted()
+	res.DecayedEdges = adapter.DecayedEdges()
+	res.AdaptedGroups = adapted.NumGroups()
+	if res.Static.FalseAlarms > 0 {
+		res.FalseAlarmReductionPct = 100 * (1 - float64(res.Adaptive.FalseAlarms)/float64(res.Static.FalseAlarms))
+	}
+
+	// Fault trials on the post-adaptation day: each trial injects one
+	// sensor fault into a 3h segment of the still-drifted stream and runs a
+	// fresh detector per arm. The adaptive arm scans the adapted context —
+	// admitting the new routines must not have taught it to excuse faults.
+	bin, err := core.NewBinarizer(home.Layout(), cctx.ValueThre())
+	if err != nil {
+		return nil, err
+	}
+	classes := faults.SensorTypes()
+	faultBase := trainW + driftW
+	numSegs := trialW / trialSegW
+	for trial := 0; trial < o.Trials; trial++ {
+		segBase := faultBase + (trial%numSegs)*trialSegW
+		onset := 45 + (trial*13)%45
+		pool, err := exercisedSensors(drifted, bin, segBase+onset, segBase+onset+45)
+		if err != nil {
+			return nil, err
+		}
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("eval: drift trial %d has no exercised sensors", trial)
+		}
+		f := faults.Fault{
+			Device: pool[trial%len(pool)],
+			Type:   classes[trial%len(classes)],
+			Onset:  onset,
+		}
+		for arm, ctx := range map[*DriftArmResult]*core.Context{&res.Static: cctx, &res.Adaptive: adapted} {
+			inj, err := faults.NewInjector(home.Layout(), o.Seed*31+int64(trial), f)
+			if err != nil {
+				return nil, err
+			}
+			det, err := core.New(ctx)
+			if err != nil {
+				return nil, err
+			}
+			detected := false
+			for w := 0; w < trialSegW; w++ {
+				r, err := det.Process(inj.Apply(drifted.Window(segBase+w), w))
+				if err != nil {
+					return nil, err
+				}
+				if r.Detected && w >= onset {
+					detected = true
+				}
+			}
+			if !detected {
+				arm.MissedFaults++
+			}
+		}
+	}
+
+	switch {
+	case res.Adaptive.MissedFaults > 0:
+		return res, fmt.Errorf("eval: adaptive arm missed %d of %d injected faults", res.Adaptive.MissedFaults, o.Trials)
+	case res.Adaptive.FalseAlarms >= res.Static.FalseAlarms:
+		return res, fmt.Errorf("eval: adaptation did not reduce false alarms (static %d, adaptive %d)",
+			res.Static.FalseAlarms, res.Adaptive.FalseAlarms)
+	}
+	return res, nil
+}
+
+// exercisedSensors lists the sensors with at least one active state-set bit
+// in windows [from, to) — faulting a silent device would leave the segment
+// byte-identical and the ground truth undefined.
+func exercisedSensors(h *simhome.Home, bin *core.Binarizer, from, to int) ([]device.ID, error) {
+	active := make(map[device.ID]bool)
+	var order []device.ID
+	for w := from; w < to; w++ {
+		v, err := bin.StateSet(h.Window(w))
+		if err != nil {
+			return nil, err
+		}
+		for _, bit := range v.Ones() {
+			id, err := bin.DeviceForBit(bit)
+			if err != nil {
+				return nil, err
+			}
+			if !active[id] {
+				active[id] = true
+				order = append(order, id)
+			}
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,212 @@
+package gateway
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simhome"
+)
+
+// driftedHome trains a context on a home's original routine and returns a
+// drifted view whose residents adopt new activities from the training
+// horizon onward — the benign-drift stream the adapter exists to absorb.
+func driftedHome(t testing.TB) (*simhome.Home, *core.Context, int) {
+	t.Helper()
+	spec := simhome.SpecDHouseA()
+	spec.Name = "gw-adapt-test"
+	spec.Hours = 72 + 4*24
+	h, err := simhome.New(spec, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainW := 72 * 60
+	tr := core.NewTrainer(h.Layout(), time.Minute)
+	for i := 0; i < trainW; i++ {
+		if err := tr.Calibrate(h.Window(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.FinishCalibration(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trainW; i++ {
+		if err := tr.Learn(h.Window(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, err := tr.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := h.WithDrift(simhome.Drift{ExtraActivities: 5, FromMinute: trainW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return drifted, ctx, trainW
+}
+
+// feedStream ingests the drifted home's events for stream minutes
+// [from, to) (relative to the training horizon) and advances the window
+// clock to the end of the range.
+func feedStream(t testing.TB, gw *Gateway, h *simhome.Home, trainW, from, to int) {
+	t.Helper()
+	for _, e := range h.Events(trainW+from, trainW+to) {
+		e.At -= time.Duration(trainW) * time.Minute
+		if err := gw.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.AdvanceTo(time.Duration(to) * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// alertsJSON renders alerts — including their Explain decision traces — as
+// JSON, the form the bit-identity comparison uses.
+func alertsJSON(t testing.TB, alerts []Alert) string {
+	t.Helper()
+	data, err := json.Marshal(alerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestGatewayAdaptationRollbackBitIdentical: a gateway adapts across
+// epochs on a drifted stream; a checkpoint pins the context version it
+// scanned at that moment. A second gateway restored from that checkpoint
+// replays the identical remainder of the stream and must produce
+// bit-identical output — same alerts, same Explain traces, same published
+// epochs — and restoring the pinned version over a later epoch is counted
+// as a rollback and lands the detector back on the exact pinned version.
+func TestGatewayAdaptationRollbackBitIdentical(t *testing.T) {
+	h, ctx, trainW := driftedHome(t)
+	adaptOpts := []core.AdapterOption{core.WithAdmitAfter(5)}
+	gw, err := New(ctx, WithAdaptation(adaptOpts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: one drifted day. The recurring new routine must have
+	// published at least one adapted version.
+	const phase1 = 24 * 60
+	const phase2End = phase1 + 12*60
+	feedStream(t, gw, h, trainW, 0, phase1)
+	info := gw.ContextInfo()
+	if !info.Adaptive || info.Epoch == 0 {
+		t.Fatalf("no adaptation after phase 1: %+v", info)
+	}
+	cp := gw.ExportCheckpoint()
+	if cp.Context == nil || cp.Context.Epoch != info.Epoch || cp.Adapter == nil {
+		t.Fatalf("checkpoint does not pin the adapted version: %+v", cp.Context)
+	}
+	drainAlerts(gw) // phase-1 alerts are not part of the comparison
+
+	// Phase 2 on the original gateway: the reference continuation.
+	feedStream(t, gw, h, trainW, phase1, phase2End)
+	wantAlerts := alertsJSON(t, drainAlerts(gw))
+	wantInfo := gw.ContextInfo()
+	wantStats := gw.Stats()
+
+	// A fresh gateway restored from the checkpoint replays the identical
+	// remainder: detector output and Explain traces must match bit for bit.
+	gw2, err := New(ctx, WithAdaptation(adaptOpts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gw2.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if got := gw2.ContextInfo(); got.Epoch != info.Epoch || got.Fingerprint != info.Fingerprint {
+		t.Fatalf("restored version = %d (%s), want %d (%s)", got.Epoch, got.Fingerprint, info.Epoch, info.Fingerprint)
+	}
+	feedStream(t, gw2, h, trainW, phase1, phase2End)
+	gotAlerts := alertsJSON(t, drainAlerts(gw2))
+	if gotAlerts != wantAlerts {
+		t.Errorf("restored continuation alerts diverge:\n got %s\nwant %s", gotAlerts, wantAlerts)
+	}
+	gotInfo := gw2.ContextInfo()
+	if gotInfo.Epoch != wantInfo.Epoch || gotInfo.Fingerprint != wantInfo.Fingerprint ||
+		gotInfo.GroupsAdmitted != wantInfo.GroupsAdmitted || gotInfo.EdgesAdmitted != wantInfo.EdgesAdmitted ||
+		gotInfo.Groups != wantInfo.Groups || gotInfo.PendingSets != wantInfo.PendingSets {
+		t.Errorf("restored continuation context diverges:\n got %+v\nwant %+v", gotInfo, wantInfo)
+	}
+	gotStats := gw2.Stats()
+	if gotStats.Windows != wantStats.Windows || gotStats.Violations != wantStats.Violations ||
+		gotStats.Alerts != wantStats.Alerts || gotStats.Events != wantStats.Events {
+		t.Errorf("restored continuation stats diverge:\n got %+v\nwant %+v", gotStats, wantStats)
+	}
+
+	// Rollback: the continuation may have adapted past the pin; restoring
+	// the checkpoint again repairs back to the pinned version and is
+	// counted. If it did not adapt further, the restore is a same-epoch
+	// rebuild and must not count as a rollback.
+	before := gw2.ContextInfo()
+	if err := gw2.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	after := gw2.ContextInfo()
+	if after.Epoch != cp.Context.Epoch || after.Fingerprint != cp.Context.Fingerprint {
+		t.Errorf("rollback landed on %d (%s), want %d (%s)", after.Epoch, after.Fingerprint, cp.Context.Epoch, cp.Context.Fingerprint)
+	}
+	wantRollbacks := int64(0)
+	if before.Epoch > cp.Context.Epoch {
+		wantRollbacks = 1
+	}
+	if after.Rollbacks != wantRollbacks {
+		t.Errorf("Rollbacks = %d, want %d (epoch %d -> %d)", after.Rollbacks, wantRollbacks, before.Epoch, cp.Context.Epoch)
+	}
+}
+
+// TestGatewayAdaptationReducesAlarms: on the same drifted stream, the
+// adaptive gateway must end up with fewer alerts than a static one, and
+// once its admissions converge the tail of the stream must be alert-free
+// while the static gateway keeps re-alarming on the same routines — the
+// product-level statement of what WithAdaptation buys.
+func TestGatewayAdaptationReducesAlarms(t *testing.T) {
+	h, ctx, trainW := driftedHome(t)
+	const streamEnd = 4 * 24 * 60
+	lastDay := func(alerts []Alert) int {
+		n := 0
+		for _, a := range alerts {
+			if a.ReportedAt >= 3*24*time.Hour {
+				n++
+			}
+		}
+		return n
+	}
+
+	static, err := New(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStream(t, static, h, trainW, 0, streamEnd)
+	staticLate := lastDay(drainAlerts(static))
+
+	adaptive, err := New(ctx, WithAdaptation(core.WithAdmitAfter(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStream(t, adaptive, h, trainW, 0, streamEnd)
+	adaptiveLate := lastDay(drainAlerts(adaptive))
+
+	ss, as := static.Stats(), adaptive.Stats()
+	if as.Alerts >= ss.Alerts {
+		t.Errorf("adaptive alerts = %d, static = %d; adaptation absorbed nothing", as.Alerts, ss.Alerts)
+	}
+	if staticLate == 0 {
+		t.Error("static gateway quiet on the last drifted day; the stream exercises nothing")
+	}
+	if adaptiveLate != 0 {
+		t.Errorf("adaptive gateway still alarming after convergence: %d last-day alerts", adaptiveLate)
+	}
+	info := adaptive.ContextInfo()
+	if info.Epoch == 0 || info.GroupsAdmitted == 0 || info.EdgesAdmitted == 0 {
+		t.Errorf("adaptive gateway never converged: %+v", info)
+	}
+	if tel := adaptive.Telemetry().SnapshotMap(); tel["dice_ctx_epoch"] == 0 {
+		t.Error("dice_ctx_epoch not exported")
+	}
+}

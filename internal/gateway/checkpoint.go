@@ -22,8 +22,14 @@ import (
 // migrates older schemas it understands and rejects the rest rather than
 // restoring garbage. v1 files (the original single-home schema, keyed
 // "version") migrate transparently to the v2 envelope (keyed "v", with an
-// optional tenant Home) on read.
-const CheckpointVersion = 2
+// optional tenant Home) on read; v2 files are valid v3 payloads with no
+// context version pin (adaptation arrived with v3), so their migration is
+// a relabel too.
+const CheckpointVersion = 3
+
+// checkpointV2 is the pre-adaptation envelope schema: same fields minus
+// the context version pin and adapter ledger.
+const checkpointV2 = 2
 
 // checkpointLegacyVersion is the pre-envelope schema: same payload fields,
 // version carried in a "version" key, no tenancy.
@@ -66,6 +72,25 @@ type Checkpoint struct {
 	// successful checkpoint write lets the owner truncate segments it
 	// covers. Zero when no WAL was attached.
 	WALSeq uint64 `json:"wal_seq,omitempty"`
+	// Context pins the context version the detector state refers to,
+	// carrying the full version payload so a restore can rebuild the
+	// detector on exactly that version — including rolling back to an
+	// earlier epoch after a bad adaptation. Nil for non-adaptive gateways,
+	// whose context is immutable and supplied at construction. Adapter is
+	// the matching candidate ledger.
+	Context *ContextCheckpoint `json:"context,omitempty"`
+	Adapter *core.AdapterState `json:"adapter,omitempty"`
+}
+
+// ContextCheckpoint is the versioned-context pin inside a checkpoint: the
+// epoch and hash chain identify the version, Data is the full DICECKS1
+// context envelope (Context.Save form) so restore needs nothing but the
+// layout.
+type ContextCheckpoint struct {
+	Epoch       uint64 `json:"epoch"`
+	Fingerprint string `json:"fingerprint"`
+	Parent      string `json:"parent,omitempty"`
+	Data        []byte `json:"data"`
 }
 
 // ExportCheckpoint snapshots the gateway's runtime state. The CoAP dedup
@@ -94,6 +119,19 @@ func (g *Gateway) ExportCheckpoint() *Checkpoint {
 			cp.Dark = append(cp.Dark, id)
 		}
 	}
+	if g.adapter != nil {
+		ctx := g.det.Context()
+		var buf bytes.Buffer
+		if err := ctx.Save(&buf); err == nil {
+			cp.Context = &ContextCheckpoint{
+				Epoch:       ctx.Epoch(),
+				Fingerprint: ctx.Fingerprint(),
+				Parent:      ctx.ParentFingerprint(),
+				Data:        buf.Bytes(),
+			}
+		}
+		cp.Adapter = g.adapter.ExportState()
+	}
 	return cp
 }
 
@@ -109,6 +147,11 @@ func (g *Gateway) RestoreCheckpoint(cp *Checkpoint) error {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if cp.Context != nil {
+		if err := g.restoreContextLocked(cp.Context, cp.Adapter); err != nil {
+			return err
+		}
+	}
 	if err := g.det.RestoreState(cp.Detector); err != nil {
 		return err
 	}
@@ -145,13 +188,59 @@ func (g *Gateway) RestoreCheckpoint(cp *Checkpoint) error {
 	return nil
 }
 
+// restoreContextLocked rebuilds the detector (and the adapter, when
+// adaptation is on) around the context version pinned in a checkpoint.
+// Restoring to an epoch below the current one is a rollback — the repair
+// path for a bad adaptation — and is counted as such.
+func (g *Gateway) restoreContextLocked(cc *ContextCheckpoint, ast *core.AdapterState) error {
+	if len(cc.Data) == 0 {
+		return fmt.Errorf("gateway: checkpoint context pin has no payload")
+	}
+	cur := g.det.Context()
+	ctx, err := core.LoadContext(bytes.NewReader(cc.Data), cur.Layout())
+	if err != nil {
+		return fmt.Errorf("gateway: checkpoint context: %w", err)
+	}
+	if ctx.Fingerprint() != cc.Fingerprint || ctx.Epoch() != cc.Epoch {
+		return fmt.Errorf("%w: context payload is epoch %d (%s), pin says epoch %d (%s)",
+			ErrCorruptCheckpoint, ctx.Epoch(), ctx.Fingerprint(), cc.Epoch, cc.Fingerprint)
+	}
+	if ctx.Fingerprint() != cur.Fingerprint() {
+		det, err := core.New(ctx, g.detOpts...)
+		if err != nil {
+			return err
+		}
+		if ctx.Epoch() < cur.Epoch() {
+			g.met.ctxRollbacks.Inc()
+		}
+		g.det = det
+	}
+	if g.adapt {
+		adapter, err := core.NewAdapter(g.det.Context(), g.adaptOpts...)
+		if err != nil {
+			return err
+		}
+		if ast != nil {
+			if err := adapter.RestoreState(ast); err != nil {
+				return err
+			}
+		}
+		g.adapter = adapter
+	}
+	return nil
+}
+
 // Migrate folds an older checkpoint schema forward to CheckpointVersion in
-// place. A v1 file is a valid v2 payload with the version under the legacy
-// key and no tenancy, so its migration is a relabel; anything else (a
-// future version, or a file with no recognizable version at all) errors.
+// place. A v1 file is a valid v3 payload with the version under the legacy
+// key and no tenancy, and a v2 file is a valid v3 payload with no context
+// pin, so both migrations are relabels; anything else (a future version,
+// or a file with no recognizable version at all) errors.
 func (cp *Checkpoint) Migrate() error {
 	switch {
 	case cp.V == CheckpointVersion:
+		return nil
+	case cp.V == checkpointV2:
+		cp.V = CheckpointVersion
 		return nil
 	case cp.V == 0 && cp.LegacyVersion == checkpointLegacyVersion:
 		cp.V = CheckpointVersion

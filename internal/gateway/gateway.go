@@ -62,6 +62,10 @@ const (
 	metricGwLiveness      = "dice_gateway_liveness_alerts_total"
 	metricGwDark          = "dice_gateway_dark_devices"
 	metricGwAlertLatency  = "dice_gateway_alert_latency_seconds"
+	// metricCtxRollbacks completes the dice_ctx_* adaptation series: the
+	// adapter owns epoch/admission/decay, the gateway owns rollbacks
+	// because checkpoint restore is where a bad adaptation gets undone.
+	metricCtxRollbacks = "dice_ctx_rollbacks_total"
 )
 
 // gwMetrics is the telemetry backing of Stats plus the alert-latency
@@ -75,6 +79,7 @@ type gwMetrics struct {
 	liveness      *telemetry.Counter
 	dark          *telemetry.Gauge
 	alertLatency  *telemetry.Histogram
+	ctxRollbacks  *telemetry.Counter
 }
 
 func newGwMetrics(reg *telemetry.Registry) gwMetrics {
@@ -87,6 +92,7 @@ func newGwMetrics(reg *telemetry.Registry) gwMetrics {
 		liveness:      reg.Counter(metricGwLiveness, "Fail-stop alerts raised by the silence tracker."),
 		dark:          reg.Gauge(metricGwDark, "Devices currently past the silence threshold."),
 		alertLatency:  reg.Histogram(metricGwAlertLatency, "Stream-time lag between detection and report, in seconds.", telemetry.ExpBuckets(60, 2, 8)),
+		ctxRollbacks:  reg.Counter(metricCtxRollbacks, "Context versions rolled back by checkpoint restore."),
 	}
 	// Registry instruments are get-or-create, but a fresh gateway's stats
 	// are zero by definition: when a supervised restart rebuilds a gateway
@@ -112,6 +118,16 @@ type Gateway struct {
 	tel     *telemetry.Registry
 	met     gwMetrics
 	horizon time.Duration
+
+	// Online adaptation: the adapter watches every processed window under
+	// the gateway lock and publishes new immutable context versions, which
+	// are swapped into the detector atomically between windows. detOpts and
+	// adaptOpts keep the construction recipes so a checkpoint restore can
+	// rebuild both onto a restored context version (rollback).
+	adapter   *core.Adapter
+	detOpts   []core.Option
+	adapt     bool
+	adaptOpts []core.AdapterOption
 
 	// lastAlert is the most recent alert emitted (delivered or dropped),
 	// kept for the /alerts/last explain endpoint.
@@ -165,6 +181,8 @@ type gwOptions struct {
 	home       string
 	ingestHook func(event.Event) error
 	deadLetter *wal.DeadLetter
+	adapt      bool
+	adaptOpts  []core.AdapterOption
 }
 
 // WithConfig sets the detector configuration.
@@ -238,6 +256,21 @@ func WithDeadLetter(d *wal.DeadLetter) Option {
 	return func(o *gwOptions) { o.deadLetter = d }
 }
 
+// WithAdaptation turns on online context adaptation: confirmed-non-faulty
+// windows feed a core.Adapter that admits new groups after sustained
+// observation, ages transition counts, and publishes each adaptation as a
+// new immutable context version the detector swaps to atomically. The
+// context version travels in checkpoints, so a bad adaptation rolls back
+// through the existing checkpoint/WAL machinery. Options tune the adapter
+// (core.WithAdmitAfter, core.WithDecay, ...); telemetry is wired to the
+// gateway's registry automatically.
+func WithAdaptation(opts ...core.AdapterOption) Option {
+	return func(o *gwOptions) {
+		o.adapt = true
+		o.adaptOpts = append(o.adaptOpts, opts...)
+	}
+}
+
 // New builds a gateway around a trained context with functional options.
 func New(ctx *core.Context, opts ...Option) (*Gateway, error) {
 	var o gwOptions
@@ -265,6 +298,8 @@ func New(ctx *core.Context, opts ...Option) (*Gateway, error) {
 		alerts:        make(chan Alert, o.alertBuf),
 		tel:           tel,
 		met:           newGwMetrics(tel),
+		detOpts:       detOpts,
+		adapt:         o.adapt,
 		liveThreshold: o.liveness,
 		lastSeen:      make(map[device.ID]time.Duration),
 		dark:          make(map[device.ID]bool),
@@ -272,6 +307,14 @@ func New(ctx *core.Context, opts ...Option) (*Gateway, error) {
 		home:          o.home,
 		ingestHook:    o.ingestHook,
 		deadLetter:    o.deadLetter,
+	}
+	if o.adapt {
+		g.adaptOpts = append([]core.AdapterOption{core.WithAdapterTelemetry(tel)}, o.adaptOpts...)
+		adapter, err := core.NewAdapter(ctx, g.adaptOpts...)
+		if err != nil {
+			return nil, err
+		}
+		g.adapter = adapter
 	}
 	if o.cp != nil {
 		if err := g.RestoreCheckpoint(o.cp); err != nil {
@@ -285,16 +328,6 @@ func New(ctx *core.Context, opts ...Option) (*Gateway, error) {
 // detector's, the window builder's, and (once ServeCoAP attaches one) the
 // CoAP server's. This is what /metrics exposes.
 func (g *Gateway) Telemetry() *telemetry.Registry { return g.tel }
-
-// SetLiveness sets the silence threshold at runtime.
-//
-// Deprecated: prefer WithLiveness at construction; this remains for
-// callers that toggle the tracker on a running gateway.
-func (g *Gateway) SetLiveness(threshold time.Duration) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.liveThreshold = threshold
-}
 
 // Alerts returns the alert channel. It is never closed; buffer overruns
 // increment Stats.AlertsDropped rather than blocking detection.
@@ -362,6 +395,51 @@ func (g *Gateway) LastAlert() (Alert, bool) {
 	a.Devices = append([]device.Device(nil), g.lastAlert.Devices...)
 	a.Explain = g.lastAlert.Explain.Clone()
 	return a, true
+}
+
+// ContextInfo describes the context version the detector currently scans
+// against, plus the adapter's progress when adaptation is on. It backs the
+// /context endpoint.
+type ContextInfo struct {
+	// Epoch / Fingerprint / Parent identify the version: epoch 0 is the
+	// trained base, each adaptation increments it, and the parent hash
+	// chains versions so a rollback is visible in the lineage.
+	Epoch       uint64 `json:"epoch"`
+	Fingerprint string `json:"fingerprint"`
+	Parent      string `json:"parent,omitempty"`
+	Groups      int    `json:"groups"`
+	// Adaptive reports whether online adaptation is enabled; the remaining
+	// fields are zero when it is not.
+	Adaptive       bool   `json:"adaptive"`
+	GroupsAdmitted int64  `json:"groups_admitted,omitempty"`
+	EdgesAdmitted  int64  `json:"edges_admitted,omitempty"`
+	DecayedEdges   int64  `json:"decayed_edges,omitempty"`
+	PendingSets    int    `json:"pending_sets,omitempty"`
+	Rollbacks      int64  `json:"rollbacks,omitempty"`
+	WindowsSeen    uint64 `json:"windows_seen,omitempty"`
+}
+
+// ContextInfo snapshots the active context version and adaptation state.
+func (g *Gateway) ContextInfo() ContextInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ctx := g.det.Context()
+	info := ContextInfo{
+		Epoch:       ctx.Epoch(),
+		Fingerprint: ctx.Fingerprint(),
+		Parent:      ctx.ParentFingerprint(),
+		Groups:      ctx.NumGroups(),
+		Adaptive:    g.adapter != nil,
+	}
+	if g.adapter != nil {
+		info.GroupsAdmitted = g.adapter.GroupsAdmitted()
+		info.EdgesAdmitted = g.adapter.EdgesAdmitted()
+		info.DecayedEdges = g.adapter.DecayedEdges()
+		info.PendingSets = g.adapter.PendingSets()
+		info.Rollbacks = g.met.ctxRollbacks.Value()
+		info.WindowsSeen = g.adapter.Windows()
+	}
+	return info
 }
 
 // DeviceLiveness is one device's silence-tracker state.
@@ -795,6 +873,20 @@ func (g *Gateway) processLocked(obs []*window.Observation) error {
 		}
 		if res.Alert != nil {
 			g.emit(res.Alert, d)
+		}
+		// The adapter sees every window with its verdict, under the same
+		// lock that serializes Process — a published version swaps in
+		// before the next window, never mid-scan.
+		if g.adapter != nil {
+			pub, err := g.adapter.Observe(o, res)
+			if err != nil {
+				return err
+			}
+			if pub != nil {
+				if err := g.det.SwapContext(pub); err != nil {
+					return err
+				}
+			}
 		}
 		g.builder.Recycle(o)
 	}

@@ -13,6 +13,7 @@ import (
 //	GET /alerts/last   the most recent alert with its Explain trace
 //	GET /stats         the Stats snapshot as JSON
 //	GET /liveness      the silence tracker as JSON
+//	GET /context       the active context version + adaptation progress
 //	GET /healthz       200 ok
 //	GET /debug/pprof/  the standard pprof index (profile, heap, trace, ...)
 //
@@ -38,6 +39,9 @@ func (g *Gateway) HTTPHandler() http.Handler {
 	})
 	mux.HandleFunc("/liveness", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, g.Liveness())
+	})
+	mux.HandleFunc("/context", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, g.ContextInfo())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n")) //nolint:errcheck // client went away

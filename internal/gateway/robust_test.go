@@ -334,11 +334,10 @@ func TestCheckpointV1Migration(t *testing.T) {
 
 func TestGatewayLiveness(t *testing.T) {
 	h, ctx := trainedHome(t)
-	gw, err := New(ctx, WithConfig(core.Config{}))
+	gw, err := New(ctx, WithConfig(core.Config{}), WithLiveness(40*time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw.SetLiveness(40 * time.Minute)
 
 	start := 3 * 24 * 60
 	evts := h.Events(start, start+30)

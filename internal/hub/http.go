@@ -21,6 +21,8 @@ import (
 //	GET /tenants/{home}/stats        one tenant's Stats (drained first)
 //	GET /tenants/{home}/alerts/last  the tenant's last alert with Explain
 //	GET /tenants/{home}/liveness     the tenant's silence tracker
+//	GET /tenants/{home}/context      the tenant's context version +
+//	                                 adaptation progress (drained first)
 //	GET /tenants/{home}/health       the tenant's supervision state
 //	                                 (healthy/degraded/quarantined/evicted)
 //	GET /healthz                     200 ok
@@ -75,6 +77,12 @@ func (h *Hub) HTTPHandler() http.Handler {
 	mux.HandleFunc("GET /tenants/{home}/liveness", func(w http.ResponseWriter, r *http.Request) {
 		if t, ok := lookup(w, r); ok {
 			writeJSON(w, t.Liveness())
+		}
+	})
+	mux.HandleFunc("GET /tenants/{home}/context", func(w http.ResponseWriter, r *http.Request) {
+		h.Drain(r.PathValue("home")) //nolint:errcheck // lookup below reports the miss
+		if t, ok := lookup(w, r); ok {
+			writeJSON(w, t.ContextInfo())
 		}
 	})
 	mux.HandleFunc("GET /tenants/{home}/health", func(w http.ResponseWriter, r *http.Request) {

@@ -258,6 +258,10 @@ func (tn *Tenant) LastAlert() (gateway.Alert, bool) { return tn.t.gateway().Last
 // Liveness snapshots the tenant's silence tracker.
 func (tn *Tenant) Liveness() []gateway.DeviceLiveness { return tn.t.gateway().Liveness() }
 
+// ContextInfo snapshots the tenant's active context version and, when the
+// gateway runs with adaptation, its online-adaptation progress.
+func (tn *Tenant) ContextInfo() gateway.ContextInfo { return tn.t.gateway().ContextInfo() }
+
 // Telemetry returns the tenant's private registry — the series that show
 // up under this tenant's home label on the hub's merged /metrics.
 func (tn *Tenant) Telemetry() *telemetry.Registry { return tn.t.tel }

@@ -120,6 +120,55 @@ func (c *Chain) TotalObservations() int64 {
 	return t
 }
 
+// Clone returns a deep copy of the chain. Adaptation derives each new
+// context version from its parent's chains, so published versions must
+// never share count maps with the working copy still being mutated.
+func (c *Chain) Clone() *Chain {
+	out := NewChain()
+	for a, row := range c.counts {
+		dst := make(map[int]int64, len(row))
+		for b, n := range row {
+			dst[b] = n
+		}
+		out.counts[a] = dst
+		out.rowTotals[a] = c.rowTotals[a]
+	}
+	return out
+}
+
+// Decay multiplies every count by factor (0 < factor < 1), flooring the
+// result; cells that decay below one observation are pruned — the
+// transition is forgotten and Possible turns false again. It returns the
+// number of pruned edges. This is the exponential aging behind online
+// context adaptation: stale behavior fades instead of vetoing the
+// transition check forever. A factor outside (0, 1) is a no-op.
+func (c *Chain) Decay(factor float64) int {
+	if factor <= 0 || factor >= 1 {
+		return 0
+	}
+	pruned := 0
+	for a, row := range c.counts {
+		var total int64
+		for b, n := range row {
+			scaled := int64(float64(n) * factor)
+			if scaled < 1 {
+				delete(row, b)
+				pruned++
+				continue
+			}
+			row[b] = scaled
+			total += scaled
+		}
+		if len(row) == 0 {
+			delete(c.counts, a)
+			delete(c.rowTotals, a)
+			continue
+		}
+		c.rowTotals[a] = total
+	}
+	return pruned
+}
+
 // Merge folds another chain's counts into c.
 func (c *Chain) Merge(o *Chain) {
 	for a, row := range o.counts {

@@ -1,0 +1,105 @@
+package simhome
+
+import "fmt"
+
+// Drift describes a seeded behaviour change in the residents' routine:
+// from FromMinute (rounded up to the next midnight — routines change
+// between days, not mid-activity) the household adopts ExtraActivities
+// additional ADLs from the canonical pool, beyond the spec's original
+// list. The new activities exercise room states the original recording
+// never produced, so a context trained before the onset sees legitimate
+// state sets it has no groups for — the benign-drift condition the online
+// adapter exists to absorb.
+//
+// Drift is NOT a fault: every post-onset window is normal behaviour, just
+// behaviour the training horizon missed.
+type Drift struct {
+	// ExtraActivities is how many templates past the spec's NumActivities
+	// the residents add (taken in pool order, so a given count is a
+	// deterministic activity set).
+	ExtraActivities int
+	// FromMinute is the drift onset in absolute recording minutes; the
+	// effective onset is the first midnight at or after it.
+	FromMinute int
+}
+
+// WithDrift returns a view of the home whose residents follow the drifted
+// routine. The underlying home is shared and unmodified; windows before
+// the onset day are bit-identical to the base home's, so a detector can be
+// trained on the shared prefix and evaluated across the change. Drift
+// composes with WithActuatorFaults in either order.
+func (h *Home) WithDrift(d Drift) (*Home, error) {
+	if d.ExtraActivities <= 0 {
+		return nil, fmt.Errorf("simhome: %s: drift needs at least 1 extra activity", h.spec.Name)
+	}
+	n := h.spec.NumActivities
+	if n+d.ExtraActivities > len(activityPool) {
+		return nil, fmt.Errorf("simhome: %s: drift wants %d activities, pool has %d",
+			h.spec.Name, n+d.ExtraActivities, len(activityPool))
+	}
+	if d.FromMinute < 0 {
+		d.FromMinute = 0
+	}
+
+	view := *h
+	// The extended list appends past the base list (which already carries
+	// the transit pseudo-activity when the home has a hall), so every span
+	// index recorded against the base list stays valid.
+	view.acts = append(append([]ActivityTemplate(nil), h.acts...), activityPool[n:n+d.ExtraActivities]...)
+
+	// Re-resolve activity rooms over the extended list with the same
+	// rotation walk New uses; the prefix assignments come out identical.
+	view.actRooms = make([][]string, h.spec.Residents)
+	for r := 0; r < h.spec.Residents; r++ {
+		view.actRooms[r] = make([]string, len(view.acts))
+		catCounts := make(map[RoomCategory]int)
+		for i, a := range view.acts {
+			rooms := h.spec.Rooms[a.Category]
+			if a.Category == CatAway || len(rooms) == 0 {
+				view.actRooms[r][i] = ""
+				continue
+			}
+			view.actRooms[r][i] = rooms[(catCounts[a.Category]+r)%len(rooms)]
+			catCounts[a.Category]++
+		}
+	}
+
+	transitIdx := -1
+	if len(h.spec.Rooms[CatHall]) > 0 {
+		transitIdx = n
+	}
+	driftDay := (d.FromMinute + minutesPerDay - 1) / minutesPerDay
+	total := h.spec.Hours * 60
+	view.lines = make([][]span, h.spec.Residents)
+	for r := range view.lines {
+		view.lines[r] = buildDriftTimeline(h.acts, view.acts, h.seed, r, total, transitIdx, driftDay)
+	}
+	return &view, nil
+}
+
+// buildDriftTimeline is buildTimeline with a per-day activity list: days
+// before driftDay schedule from the base list, days at or after it from
+// the drifted list. Each day's rng is keyed on (seed, day) alone, so the
+// pre-drift days reproduce the base home's spans bit for bit.
+func buildDriftTimeline(base, drifted []ActivityTemplate, seed int64, resident, totalMinutes, transitIdx, driftDay int) []span {
+	var out []span
+	days := (totalMinutes + minutesPerDay - 1) / minutesPerDay
+	for d := 0; d < days; d++ {
+		acts := base
+		if d >= driftDay {
+			acts = drifted
+		}
+		day := appendDay(nil, acts, seed, d, transitIdx)
+		if resident > 0 {
+			day = shiftSpans(day, resident*residentLag)
+		}
+		out = append(out, day...)
+	}
+	for len(out) > 0 && out[len(out)-1].startMin >= totalMinutes {
+		out = out[:len(out)-1]
+	}
+	if len(out) > 0 && out[len(out)-1].endMin > totalMinutes {
+		out[len(out)-1].endMin = totalMinutes
+	}
+	return out
+}

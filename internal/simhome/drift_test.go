@@ -1,0 +1,81 @@
+package simhome
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDriftPrefixBitIdentical: every window before the drift onset day is
+// bit-identical to the base home's — the property that lets experiments
+// train on the shared prefix and attribute every post-onset difference to
+// the drift alone.
+func TestDriftPrefixBitIdentical(t *testing.T) {
+	base, err := New(tinySpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const from = minutesPerDay // onset at the second midnight
+	drifted, err := base.WithDrift(Drift{ExtraActivities: 4, FromMinute: from})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < from; idx++ {
+		if !reflect.DeepEqual(base.Window(idx), drifted.Window(idx)) {
+			t.Fatalf("window %d differs before drift onset", idx)
+		}
+	}
+}
+
+// TestDriftChangesPostOnsetDays: after the onset the drifted view's
+// recording diverges from the base — the new activities actually appear.
+func TestDriftChangesPostOnsetDays(t *testing.T) {
+	base, err := New(tinySpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := base.WithDrift(Drift{ExtraActivities: 6, FromMinute: minutesPerDay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(drifted.Activities()), len(base.Activities())+6; got != want {
+		t.Fatalf("drifted activity list has %d entries, want %d", got, want)
+	}
+	diff := false
+	for idx := minutesPerDay; idx < base.Windows() && !diff; idx++ {
+		diff = !reflect.DeepEqual(base.Window(idx), drifted.Window(idx))
+	}
+	if !diff {
+		t.Error("drifted recording never diverges after onset")
+	}
+	// The base home is untouched by the derivation.
+	if len(base.Activities()) != len(tinySpecActs(t, base)) {
+		t.Error("base activity list mutated")
+	}
+}
+
+func tinySpecActs(t *testing.T, h *Home) []ActivityTemplate {
+	t.Helper()
+	acts, err := Activities(h.Spec().NumActivities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Spec().Rooms[CatHall]) > 0 {
+		acts = append(acts, TransitTemplate)
+	}
+	return acts
+}
+
+// TestDriftValidation: a zero-activity drift and one that overruns the
+// pool are rejected.
+func TestDriftValidation(t *testing.T) {
+	base, err := New(tinySpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.WithDrift(Drift{ExtraActivities: 0}); err == nil {
+		t.Error("zero extra activities accepted")
+	}
+	if _, err := base.WithDrift(Drift{ExtraActivities: 999}); err == nil {
+		t.Error("pool-overrunning drift accepted")
+	}
+}

@@ -278,7 +278,7 @@ func TestContextLearnable(t *testing.T) {
 		t.Errorf("correlation degree %.2f implausible", deg)
 	}
 
-	det, err := core.NewDetector(ctx, core.Config{})
+	det, err := core.New(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
