@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-telemetry race-hub race-cluster race-drift bench bench-scan bench-eval bench-hub bench-recovery bench-cluster bench-drift fuzz-smoke perf-gate
+.PHONY: check vet staticcheck build test race race-telemetry race-hub race-cluster race-drift race-timing bench bench-scan bench-eval bench-hub bench-recovery bench-cluster bench-drift bench-timing fuzz-smoke perf-gate
 
-check: vet staticcheck build race-telemetry race-hub race-cluster race-drift race fuzz-smoke perf-gate
+check: vet staticcheck build race-telemetry race-hub race-cluster race-drift race-timing race fuzz-smoke perf-gate
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +51,12 @@ race-cluster:
 race-drift:
 	$(GO) test -race -run 'Adapt' ./internal/core/ ./internal/gateway/
 
+# Timing-check drill under the race detector: the pluggable check pipeline,
+# interval-sketch reinforcement, and the checkpoint path that must resume
+# dwell/last-fire state bit for bit.
+race-timing:
+	$(GO) test -race -run 'Timing' ./internal/core/ ./internal/gateway/ ./internal/faults/
+
 # Full benchmark sweep (regenerates every table/figure on the scaled-down
 # protocol).
 bench:
@@ -85,11 +91,19 @@ bench-cluster:
 bench-drift:
 	$(GO) run ./cmd/dice-eval -exp drift
 
-# Short fuzz passes over the two wire decoders (binary batch + CoAP). Long
-# campaigns run the same targets with a bigger -fuzztime.
+# Timing-check drill: structural-only vs timing-aware arms on stream-stretch
+# faults → BENCH_timing.json. The run itself errors when the timing arm
+# catches <80% of the structurally missed faults or flags any clean window.
+bench-timing:
+	$(GO) run ./cmd/dice-eval -exp timing
+
+# Short fuzz passes over the wire decoders (binary batch + CoAP) and the
+# interval-sketch codec. Long campaigns run the same targets with a bigger
+# -fuzztime.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeBatch$$' -fuzztime 5s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz 'FuzzMessageUnmarshal$$' -fuzztime 5s ./internal/coap/
+	$(GO) test -run '^$$' -fuzz 'FuzzIntervalSketch$$' -fuzztime 5s ./internal/markov/
 
 # CI perf gate: regenerate the hub benchmark and fail on a >15% regression
 # of the binary-path speedup vs the committed BENCH_hub.json. The gate
@@ -102,3 +116,5 @@ perf-gate:
 	$(GO) run ./cmd/dice-benchdiff -mode cluster -baseline BENCH_cluster.json -fresh /tmp/dice-benchdiff-cluster.json -tolerance 0.4
 	$(GO) run ./cmd/dice-eval -exp drift -driftjson /tmp/dice-benchdiff-drift.json >/dev/null
 	$(GO) run ./cmd/dice-benchdiff -mode drift -baseline BENCH_drift.json -fresh /tmp/dice-benchdiff-drift.json
+	$(GO) run ./cmd/dice-eval -exp timing -timingjson /tmp/dice-benchdiff-timing.json >/dev/null
+	$(GO) run ./cmd/dice-benchdiff -mode timing -baseline BENCH_timing.json -fresh /tmp/dice-benchdiff-timing.json

@@ -8,6 +8,7 @@
 //	dice-benchdiff -mode eval    -baseline BENCH_eval.json    -fresh /tmp/fresh.json [-tolerance 0.15]
 //	dice-benchdiff -mode cluster -baseline BENCH_cluster.json -fresh /tmp/fresh.json [-tolerance 0.15]
 //	dice-benchdiff -mode drift   -baseline BENCH_drift.json   -fresh /tmp/fresh.json [-tolerance 0.15]
+//	dice-benchdiff -mode timing  -baseline BENCH_timing.json  -fresh /tmp/fresh.json [-tolerance 0.15]
 //
 // A baseline that does not exist yet is not a failure: a benchmark
 // introduced in the same change has a fresh file but no committed
@@ -40,6 +41,11 @@
 //     worse. A fresh run in which the adaptive arm misses any injected
 //     fault, or fails to beat the static arm outright, fails regardless of
 //     tolerance.
+//   - timing: the share of structurally-missed timing faults the timing
+//     check catches (catch_pct) — a count ratio from a deterministic
+//     replay, no hardware term. Correctness floors are absolute: the fresh
+//     run must catch at least 80% and must report zero timing-flagged
+//     clean windows and zero extra false alarms.
 package main
 
 import (
@@ -85,6 +91,15 @@ type driftBench struct {
 	ReductionPct float64 `json:"false_alarm_reduction_pct"`
 }
 
+// timingBench mirrors the BENCH_timing.json fields the gate reads.
+type timingBench struct {
+	CatchPct             float64 `json:"catch_pct"`
+	StructuralMissed     int     `json:"structural_missed"`
+	TimingCaughtOfMissed int     `json:"timing_caught_of_missed"`
+	CleanTimingFlags     int     `json:"clean_timing_flags"`
+	ExtraFalseAlarms     int     `json:"extra_false_alarms"`
+}
+
 func main() {
 	mode := flag.String("mode", "hub", "which benchmark schema to compare: hub or eval")
 	baseline := flag.String("baseline", "", "committed baseline JSON")
@@ -122,8 +137,10 @@ func run(mode, baseline, fresh string, tolerance float64) error {
 		return diffCluster(baseline, fresh, tolerance)
 	case "drift":
 		return diffDrift(baseline, fresh, tolerance)
+	case "timing":
+		return diffTiming(baseline, fresh, tolerance)
 	default:
-		return fmt.Errorf("unknown mode %q (want hub, eval, cluster, or drift)", mode)
+		return fmt.Errorf("unknown mode %q (want hub, eval, cluster, drift, or timing)", mode)
 	}
 }
 
@@ -247,6 +264,44 @@ func diffDrift(baseline, fresh string, tolerance float64) error {
 	if cur.ReductionPct < floor {
 		return fmt.Errorf("false-alarm reduction regressed: %.1f%% < %.1f%% (baseline %.1f%% - %d%%)",
 			cur.ReductionPct, floor, base.ReductionPct, int(tolerance*100))
+	}
+	return nil
+}
+
+// diffTiming gates on the timing check's catch rate over structurally
+// missed faults: higher is better, and a fresh rate more than tolerance
+// below the baseline fails. Correctness floors are absolute: at least 80%
+// caught, zero timing-flagged clean windows, zero extra false alarms, and
+// a non-vacuous structural miss count.
+func diffTiming(baseline, fresh string, tolerance float64) error {
+	var base, cur timingBench
+	if err := load(baseline, &base); err != nil {
+		return err
+	}
+	if err := load(fresh, &cur); err != nil {
+		return err
+	}
+	if cur.CleanTimingFlags > 0 {
+		return fmt.Errorf("timing check flagged %d clean windows: the check now raises false alarms", cur.CleanTimingFlags)
+	}
+	if cur.ExtraFalseAlarms > 0 {
+		return fmt.Errorf("timing arm raised %d extra clean false alarms", cur.ExtraFalseAlarms)
+	}
+	if cur.StructuralMissed == 0 {
+		return fmt.Errorf("structural arm missed nothing: the benchmark is vacuous (regenerate with dice-eval -exp timing)")
+	}
+	if cur.CatchPct < 80 {
+		return fmt.Errorf("timing check caught %.0f%% of structurally missed faults, floor is 80%%", cur.CatchPct)
+	}
+	if base.CatchPct <= 0 {
+		return fmt.Errorf("catch_pct missing from baseline (regenerate with dice-eval -exp timing)")
+	}
+	floor := base.CatchPct * (1 - tolerance)
+	fmt.Printf("timing gate: baseline catch %.0f%%, fresh %.0f%% (floor %.0f%%, %d/%d structurally-missed faults caught, 0 clean flags)\n",
+		base.CatchPct, cur.CatchPct, floor, cur.TimingCaughtOfMissed, cur.StructuralMissed)
+	if cur.CatchPct < floor {
+		return fmt.Errorf("timing catch rate regressed: %.0f%% < %.0f%% (baseline %.0f%% - %d%%)",
+			cur.CatchPct, floor, base.CatchPct, int(tolerance*100))
 	}
 	return nil
 }

@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines|hub|recovery|cluster|drift]
+//	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines|hub|recovery|cluster|drift|timing]
 //	          [-datasets houseA,twor,...] [-trials N] [-seed N] [-csv]
 //	          [-workers N] [-benchjson FILE]
 //	          [-hub-homes M] [-hub-shards S] [-hub-hours H] [-hubjson FILE]
 //	          [-recovery-hours H] [-recoveryjson FILE]
 //	          [-cluster-nodes N] [-cluster-homes M] [-cluster-hours H] [-clusterjson FILE]
 //	          [-drift-days D] [-drift-extra A] [-drift-admit N] [-driftjson FILE]
+//	          [-timing-delay W] [-timing-trials N] [-timingjson FILE]
 //
 // `-trials 100` reproduces the paper-scale run (the default is 40 to keep
 // the full ten-dataset sweep under a minute on a laptop). `-workers` sizes
@@ -44,6 +45,13 @@
 // window. The adaptive arm must cut the static arm's false alarms without
 // missing a single injected fault; the numbers land in BENCH_drift.json
 // (`-driftjson`).
+//
+// `-exp timing` benchmarks the time-aware transition checks: timing faults
+// (delayed actuators, slowly degrading sensors) that are structurally
+// invisible are replayed through a structural-only detector and a
+// timing-aware one. The timing arm must catch at least 80% of what the
+// structural arm misses while flagging zero clean windows; the numbers land
+// in BENCH_timing.json (`-timingjson`).
 package main
 
 import (
@@ -90,6 +98,9 @@ func run() error {
 	driftExtra := flag.Int("drift-extra", 0, "new activities the residents adopt for -exp drift (0 = bench default)")
 	driftAdmit := flag.Int("drift-admit", 0, "adapter admission threshold for -exp drift (0 = bench default)")
 	driftJSON := flag.String("driftjson", "BENCH_drift.json", "write the -exp drift result to this JSON file (empty = off)")
+	timingDelay := flag.Int("timing-delay", 0, "hold windows per delayed trigger for -exp timing (0 = bench default)")
+	timingTrials := flag.Int("timing-trials", 0, "fault trials for -exp timing (0 = bench default)")
+	timingJSON := flag.String("timingjson", "BENCH_timing.json", "write the -exp timing result to this JSON file (empty = off)")
 	flag.Parse()
 
 	specs, err := selectSpecs(*dsFlag)
@@ -179,6 +190,11 @@ func run() error {
 			ExtraActivities: *driftExtra,
 			AdmitAfter:      *driftAdmit,
 		}, *driftJSON)
+	case "timing":
+		return runTimingBench(eval.TimingBench{
+			DelayWindows: *timingDelay,
+			Trials:       *timingTrials,
+		}, *timingJSON)
 	case "actuators":
 		return runActuators(specs, *seed, proto, *workers, emit)
 	case "multifault":
@@ -396,6 +412,39 @@ func runDriftBench(o eval.DriftBench, jsonPath string) error {
 	}
 	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("write drift bench json: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
+}
+
+// runTimingBench replays stream-stretch timing faults through a
+// structural-only and a timing-aware detector and scores the timing check's
+// added detection against its clean-replay false alarms. The result lands
+// in BENCH_timing.json.
+func runTimingBench(o eval.TimingBench, jsonPath string) error {
+	res, benchErr := eval.RunTimingBench(o)
+	if res != nil {
+		fmt.Printf("timing bench: %dh training, %dh clean replay, %d trials (delay %d windows, %d groups)\n",
+			res.TrainHours, res.CleanHours, res.Trials, res.DelayWindows, res.Groups)
+		fmt.Printf("  structural %d/%d trials caught, %d clean false alarms (%d violation windows)\n",
+			res.Structural.Caught, res.Trials, res.Structural.CleanFalseAlarms, res.Structural.CleanViolationWindows)
+		fmt.Printf("  timing     %d/%d trials caught, %d clean false alarms (%d violation windows, %d timing-flagged)\n",
+			res.Timing.Caught, res.Trials, res.Timing.CleanFalseAlarms, res.Timing.CleanViolationWindows, res.CleanTimingFlags)
+		fmt.Printf("  headline   %d/%d structurally-missed faults caught by the timing check (%.0f%%), %d cause=timing detections, %+d extra false alarms\n",
+			res.TimingCaughtOfMissed, res.StructuralMissed, res.CatchPct, res.TimingCauseDetections, res.ExtraFalseAlarms)
+	}
+	if benchErr != nil {
+		return benchErr
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write timing bench json: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 	return nil

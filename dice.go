@@ -123,6 +123,17 @@ type (
 	ExplainStep = core.ExplainStep
 	// Option configures a Detector at construction (see New).
 	Option = core.Option
+	// Check is one pluggable stage of the detector's violation pipeline;
+	// DefaultChecks returns the built-in sequence and WithChecks replaces it.
+	Check = core.Check
+	// CheckInput is the per-window evidence a Check inspects.
+	CheckInput = core.CheckInput
+	// Finding is a Check's verdict: the cause, the suspects, and (for the
+	// timing check) the interval evidence.
+	Finding = core.Finding
+	// TimingEvidence explains a cause=timing flag: the observed gap, the
+	// learned band, and the edge's histogram.
+	TimingEvidence = core.TimingEvidence
 	// ContextBuilder is the sole mutation path for contexts: it accumulates
 	// groups and transitions, then Build seals an immutable Context version.
 	ContextBuilder = core.ContextBuilder
@@ -138,7 +149,9 @@ type (
 	Telemetry = telemetry.Registry
 )
 
-// Violation causes.
+// Violation causes. CheckTiming flags a structurally valid transition whose
+// inter-window gap falls outside the interval band learned during training
+// (Cause.Family() == FamilyTiming).
 const (
 	CheckNone        = core.CheckNone
 	CheckCorrelation = core.CheckCorrelation
@@ -146,7 +159,28 @@ const (
 	CheckG2A         = core.CheckG2A
 	CheckA2G         = core.CheckA2G
 	CheckLiveness    = core.CheckLiveness
+	CheckTiming      = core.CheckTiming
 )
+
+// Cause families, as returned by Cause.Family().
+const (
+	FamilyCorrelation = core.FamilyCorrelation
+	FamilyTransition  = core.FamilyTransition
+	FamilyLiveness    = core.FamilyLiveness
+	FamilyTiming      = core.FamilyTiming
+)
+
+// Context payload schema versions: v1 files predate interval sketches and
+// load as timing-incapable; v2 carries them (Context.TimingCapable).
+const (
+	ContextSchemaV1 = core.ContextSchemaV1
+	ContextSchemaV2 = core.ContextSchemaV2
+)
+
+// DefaultChecks returns the built-in check pipeline in evaluation order:
+// correlation, G2G, G2A, A2G, timing. Pass a reordered or filtered slice to
+// WithChecks to reshape the pipeline.
+func DefaultChecks() []Check { return core.DefaultChecks() }
 
 // DefaultDuration is the paper's empirically optimal window length.
 const DefaultDuration = core.DefaultDuration
@@ -181,7 +215,10 @@ func New(ctx *Context, opts ...Option) (*Detector, error) {
 // NewTelemetry returns an empty metrics registry to pass to WithTelemetry.
 func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
 
-// Detector options, re-exported from internal/core.
+// Detector options, re-exported from internal/core. WithChecks replaces the
+// check pipeline; WithTiming, WithTimingBand, WithTimingQuantiles, and
+// WithTimingFlagFast tune the timing check (it runs only against contexts
+// whose payload carries interval sketches — Context.TimingCapable).
 var (
 	WithConfig            = core.WithConfig
 	WithDuration          = core.WithDuration
@@ -190,6 +227,11 @@ var (
 	WithWeights           = core.WithWeights
 	WithAttest            = core.WithAttest
 	WithTelemetry         = core.WithTelemetry
+	WithChecks            = core.WithChecks
+	WithTiming            = core.WithTiming
+	WithTimingBand        = core.WithTimingBand
+	WithTimingQuantiles   = core.WithTimingQuantiles
+	WithTimingFlagFast    = core.WithTimingFlagFast
 )
 
 // LoadContext reads a context saved with Context.Save and binds it to the

@@ -101,6 +101,56 @@ func TestFacadeContextPersistence(t *testing.T) {
 	}
 }
 
+// The timing surface re-exported through the facade: schema-v2 contexts
+// carry interval sketches through a save/load round trip, the check
+// pipeline is inspectable and replaceable, and the timing cause belongs to
+// its own family.
+func TestFacadeTimingSurface(t *testing.T) {
+	_, layout := buildHome(t)
+	history := make([]*Observation, 0, 12*60)
+	for w := 0; w < 12*60; w++ {
+		history = append(history, homeWindow(layout, w, false))
+	}
+	ctx, err := TrainWindows(layout, time.Minute, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.TimingCapable() || ctx.SchemaVersion() != ContextSchemaV2 {
+		t.Fatalf("trained context: capable=%v schema=%d, want capable v%d",
+			ctx.TimingCapable(), ctx.SchemaVersion(), ContextSchemaV2)
+	}
+	var buf bytes.Buffer
+	if err := ctx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadContext(&buf, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.TimingCapable() {
+		t.Error("timing capability lost across save/load")
+	}
+
+	checks := DefaultChecks()
+	if len(checks) != 5 || checks[len(checks)-1].Cause() != CheckTiming {
+		t.Fatalf("DefaultChecks = %d checks ending in %v, want 5 ending in timing",
+			len(checks), checks[len(checks)-1].Cause())
+	}
+	if CheckTiming.Family() != FamilyTiming {
+		t.Errorf("CheckTiming family = %q", CheckTiming.Family())
+	}
+	// A structural-only pipeline and the timing knobs all construct.
+	if _, err := New(loaded, WithChecks(checks[:4]...)); err != nil {
+		t.Fatalf("WithChecks: %v", err)
+	}
+	if _, err := New(loaded, WithTiming(false)); err != nil {
+		t.Fatalf("WithTiming: %v", err)
+	}
+	if _, err := New(loaded, WithTimingBand(32, 2), WithTimingQuantiles(0.05, 0.95), WithTimingFlagFast(true)); err != nil {
+		t.Fatalf("timing options: %v", err)
+	}
+}
+
 func TestFacadeBuilderIntegration(t *testing.T) {
 	_, layout := buildHome(t)
 	b := NewBuilder(layout, DefaultDuration)

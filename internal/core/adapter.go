@@ -57,6 +57,12 @@ type Adapter struct {
 	prevPend *pendingSet
 	prevActs []device.ID
 
+	// dwell and lastFire mirror the trainer's gap bookkeeping so clean
+	// windows reinforce the interval sketches with the same gaps a
+	// retraining would record. No-ops against v1 (sketch-less) contexts.
+	dwell    int
+	lastFire []int
+
 	groupsAdmitted int64
 	edgesAdmitted  int64
 	decayedEdges   int64
@@ -212,16 +218,21 @@ func NewAdapter(base *Context, opts ...AdapterOption) (*Adapter, error) {
 	if err != nil {
 		return nil, err
 	}
+	lastFire := make([]int, base.Layout().NumActuators())
+	for i := range lastFire {
+		lastFire[i] = -1
+	}
 	a := &Adapter{
-		cfg:     o,
-		bin:     bin,
-		cur:     base,
-		cb:      base.Derive(),
-		pending: make(map[string]*pendingSet),
-		edges:   make(map[edgeKey]int),
-		prevID:  NoGroup,
-		vec:     bitvec.New(bin.NumBits()),
-		met:     newCtxMetrics(o.tel),
+		cfg:      o,
+		bin:      bin,
+		cur:      base,
+		cb:       base.Derive(),
+		pending:  make(map[string]*pendingSet),
+		edges:    make(map[edgeKey]int),
+		prevID:   NoGroup,
+		lastFire: lastFire,
+		vec:      bitvec.New(bin.NumBits()),
+		met:      newCtxMetrics(o.tel),
 	}
 	a.met.epoch.Set(int64(base.Epoch()))
 	return a, nil
@@ -291,7 +302,21 @@ func (a *Adapter) Observe(o *window.Observation, res Result) (*Context, error) {
 		return nil, err
 	}
 
-	// Roll the previous-window state forward.
+	// Roll the previous-window state forward (dwell/lastFire exactly as the
+	// detector's advance does, so both sides measure the same gaps).
+	switch {
+	case !known:
+		a.dwell = 0
+	case curID == a.prevID:
+		a.dwell++
+	default:
+		a.dwell = 1
+	}
+	for _, act := range o.Actuated {
+		if slot, ok := a.cur.layout.ActuatorSlot(act); ok {
+			a.lastFire[slot] = o.Index
+		}
+	}
 	if known {
 		a.prevID, a.prevKey, a.prevPend = curID, "", nil
 	} else {
@@ -309,9 +334,25 @@ func (a *Adapter) reinforce(curID int, o *window.Observation) {
 	layout := a.cur.layout
 	if a.prevID != NoGroup {
 		a.cb.ObserveG2G(a.prevID, curID)
+		if curID != a.prevID && a.dwell > 0 {
+			a.cb.ObserveG2GGap(a.prevID, curID, a.dwell)
+		}
 		for _, act := range o.Actuated {
 			if slot, ok := layout.ActuatorSlot(act); ok {
 				a.cb.ObserveG2A(a.prevID, slot)
+				if a.dwell > 0 {
+					a.cb.ObserveG2AGap(a.prevID, slot, a.dwell)
+				}
+			}
+		}
+		if curID != a.prevID {
+			for slot, at := range a.lastFire {
+				if at < 0 {
+					continue
+				}
+				if gap := o.Index - at; gap >= 1 && gap <= TimingA2GHorizon {
+					a.cb.ObserveA2GGap(slot, curID, gap)
+				}
 			}
 		}
 	}

@@ -16,17 +16,20 @@ const (
 	FamilyCorrelation = "correlation"
 	FamilyTransition  = "transition"
 	FamilyLiveness    = "liveness"
+	FamilyTiming      = "timing"
 )
 
-// Family buckets the cause into the paper's check families: the
-// correlation check, the transition check (G2G/G2A/A2G), or the
-// gateway-level liveness tracker.
+// Family buckets the cause into the check families: the correlation check,
+// the structural transition check (G2G/G2A/A2G), the interval-band timing
+// check, or the gateway-level liveness tracker.
 func (k CheckKind) Family() string {
 	switch {
 	case k.IsTransition():
 		return FamilyTransition
 	case k == CheckLiveness:
 		return FamilyLiveness
+	case k == CheckTiming:
+		return FamilyTiming
 	default:
 		return FamilyCorrelation
 	}
@@ -36,7 +39,7 @@ func (k CheckKind) Family() string {
 // excluded). Metric vectors index counters by int(cause) - 1 against this
 // slice.
 func Causes() []CheckKind {
-	return []CheckKind{CheckCorrelation, CheckG2G, CheckG2A, CheckA2G, CheckLiveness}
+	return []CheckKind{CheckCorrelation, CheckG2G, CheckG2A, CheckA2G, CheckLiveness, CheckTiming}
 }
 
 // CauseNames returns Causes rendered as strings, for metric label values.
@@ -64,6 +67,8 @@ func ParseCheckKind(s string) (CheckKind, error) {
 		return CheckA2G, nil
 	case "liveness":
 		return CheckLiveness, nil
+	case "timing":
+		return CheckTiming, nil
 	default:
 		return CheckNone, fmt.Errorf("core: unknown cause %q", s)
 	}
@@ -92,7 +97,7 @@ func (k *CheckKind) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &n); err != nil {
 		return fmt.Errorf("core: cause must be a string or integer: %s", data)
 	}
-	if n < int(CheckNone) || n > int(CheckLiveness) {
+	if n < int(CheckNone) || n > int(CheckTiming) {
 		return fmt.Errorf("core: cause %d out of range", n)
 	}
 	*k = CheckKind(n)

@@ -18,6 +18,13 @@ type DetectorState struct {
 	PrevActs   []device.ID       `json:"prev_acts,omitempty"`
 	RecentActs map[device.ID]int `json:"recent_acts,omitempty"`
 	Episode    *EpisodeState     `json:"episode,omitempty"`
+	// Dwell and LastFires carry the timing check's gap bookkeeping (the
+	// consecutive windows spent in PrevGroup, and each actuator slot's most
+	// recent firing window). Absent in pre-timing checkpoints, which restore
+	// with the timing state cold (dwell 0, no firings) — structurally
+	// identical to a fresh segment start.
+	Dwell     int         `json:"dwell,omitempty"`
+	LastFires map[int]int `json:"last_fires,omitempty"`
 }
 
 // EpisodeState is the serialized form of an in-progress identification
@@ -46,6 +53,16 @@ func (d *Detector) ExportState() DetectorState {
 	st := DetectorState{
 		PrevGroup: d.prevGroup,
 		PrevActs:  append([]device.ID(nil), d.prevActs...),
+		Dwell:     d.dwell,
+	}
+	for slot, at := range d.lastFire {
+		if at < 0 {
+			continue
+		}
+		if st.LastFires == nil {
+			st.LastFires = make(map[int]int)
+		}
+		st.LastFires[slot] = at
 	}
 	if len(d.recentActs) > 0 {
 		st.RecentActs = make(map[device.ID]int, len(d.recentActs))
@@ -83,8 +100,21 @@ func (d *Detector) RestoreState(st DetectorState) error {
 			return fmt.Errorf("core: restore episode opening group: %w", err)
 		}
 	}
+	for slot := range st.LastFires {
+		if slot < 0 || slot >= len(d.lastFire) {
+			return fmt.Errorf("core: restore last-fire slot %d out of range (layout has %d actuators)",
+				slot, len(d.lastFire))
+		}
+	}
 	d.prevGroup = st.PrevGroup
 	d.prevActs = append(d.prevActs[:0], st.PrevActs...)
+	d.dwell = st.Dwell
+	for i := range d.lastFire {
+		d.lastFire[i] = -1
+	}
+	for slot, at := range st.LastFires {
+		d.lastFire[slot] = at
+	}
 	d.recentActs = make(map[device.ID]int, len(st.RecentActs))
 	for id, at := range st.RecentActs {
 		d.recentActs[id] = at

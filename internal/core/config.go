@@ -89,6 +89,32 @@ type Config struct {
 	// filtered out) are dropped from the alert; if every device passes,
 	// the episode is dismissed as a false alarm and detection resumes.
 	Attest func(devices []device.ID) []device.ID
+
+	// DisableTiming turns the interval-band timing check off even when the
+	// context carries sketches (schema v2). The check is also implicitly
+	// off against v1 contexts, which have no sketches to test against.
+	DisableTiming bool
+
+	// TimingMinSamples is the minimum number of recorded gaps an edge's
+	// sketch needs before the timing check trusts its band; zero means
+	// DefaultTimingMinSamples.
+	TimingMinSamples int
+
+	// TimingSlackBuckets widens the learned band by this many log2 buckets
+	// on each side before a gap counts as out of band; values <= 0 mean
+	// DefaultTimingSlackBuckets.
+	TimingSlackBuckets int
+
+	// TimingQuantileLo/TimingQuantileHi bound the learned band by sketch
+	// quantiles. The defaults (0, 1) keep the full observed range, so only
+	// gaps beyond anything seen in training (plus slack) flag.
+	TimingQuantileLo float64
+	TimingQuantileHi float64
+
+	// TimingFlagFast also flags gaps that undershoot the band (a transition
+	// arriving implausibly early). Off by default: early arrivals are far
+	// more often benign than late ones.
+	TimingFlagFast bool
 }
 
 // Normalize returns a copy of c with zero fields replaced by defaults.
@@ -110,6 +136,18 @@ func (c Config) Normalize() Config {
 	}
 	if c.MaxStalls <= 0 {
 		c.MaxStalls = DefaultMaxStalls
+	}
+	if c.TimingMinSamples <= 0 {
+		c.TimingMinSamples = DefaultTimingMinSamples
+	}
+	if c.TimingSlackBuckets <= 0 {
+		c.TimingSlackBuckets = DefaultTimingSlackBuckets
+	}
+	if c.TimingQuantileLo < 0 {
+		c.TimingQuantileLo = 0
+	}
+	if c.TimingQuantileHi <= 0 || c.TimingQuantileHi > 1 {
+		c.TimingQuantileHi = 1
 	}
 	return c
 }

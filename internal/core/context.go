@@ -69,6 +69,14 @@ type Context struct {
 	g2a *markov.Chain // group -> actuator slot
 	a2g *markov.Chain // actuator slot -> group
 
+	// Interval sketches: per-edge inter-window gap histograms annotating
+	// the three chains with *pace* (schema v2). All three are nil on a
+	// structural-only (v1) context, which disables the timing check; the
+	// trainer always records them, so freshly trained contexts are v2.
+	g2gGaps *markov.SketchSet // group -> group dwell before the hop
+	g2aGaps *markov.SketchSet // dwell in the group when the slot fires
+	a2gGaps *markov.SketchSet // windows since the slot's last firing
+
 	// Actuator effect statistics: for each actuator slot, how often each
 	// sensor's bits rose in the same window as the actuator's activation.
 	// Identification uses them to attribute a missing-effect anomaly to a
@@ -123,6 +131,9 @@ func (c *Context) clone() *Context {
 		g2g:         c.g2g.Clone(),
 		g2a:         c.g2a.Clone(),
 		a2g:         c.a2g.Clone(),
+		g2gGaps:     c.g2gGaps.Clone(),
+		g2aGaps:     c.g2aGaps.Clone(),
+		a2gGaps:     c.a2gGaps.Clone(),
 		effectCounts: make(map[int]map[device.ID]int64, len(c.effectCounts)),
 		actCounts:    make(map[int]int64, len(c.actCounts)),
 	}
@@ -225,6 +236,41 @@ func (c *Context) G2A() *markov.Chain { return c.g2a }
 // G2G.
 func (c *Context) A2G() *markov.Chain { return c.a2g }
 
+// ContextSchemaV1 and ContextSchemaV2 name the persisted context payload
+// versions: v1 carries only the structural chains; v2 adds the per-edge
+// interval sketches the timing check reads.
+const (
+	ContextSchemaV1 = 1
+	ContextSchemaV2 = 2
+)
+
+// TimingCapable reports whether the context carries interval sketches —
+// i.e. whether a detector scanning it can run the timing check. A context
+// loaded from a v1 save is not timing-capable; retraining (or deriving
+// from a v2 parent) is what upgrades it.
+func (c *Context) TimingCapable() bool {
+	return c.g2gGaps != nil && c.g2aGaps != nil && c.a2gGaps != nil
+}
+
+// SchemaVersion returns the payload schema the context would persist as:
+// ContextSchemaV2 when timing-capable, ContextSchemaV1 otherwise.
+func (c *Context) SchemaVersion() int {
+	if c.TimingCapable() {
+		return ContextSchemaV2
+	}
+	return ContextSchemaV1
+}
+
+// G2GGaps returns the G2G interval sketches (nil on a v1 context).
+// Read-only, as with the chains.
+func (c *Context) G2GGaps() *markov.SketchSet { return c.g2gGaps }
+
+// G2AGaps returns the G2A interval sketches (nil on a v1 context).
+func (c *Context) G2AGaps() *markov.SketchSet { return c.g2aGaps }
+
+// A2GGaps returns the A2G interval sketches (nil on a v1 context).
+func (c *Context) A2GGaps() *markov.SketchSet { return c.a2gGaps }
+
 // observeEffect records that `devices` had state-set bits rise in the same
 // window actuator slot `slot` activated. Only the builder path reaches it.
 func (c *Context) observeEffect(slot int, devices []device.ID) {
@@ -321,10 +367,57 @@ func (b *ContextBuilder) ObserveEffect(slot int, devices []device.ID) {
 	b.ctx.observeEffect(slot, devices)
 }
 
+// EnableTiming allocates the interval sketch sets, upgrading the context
+// under construction to schema v2. Idempotent; the trainer calls it, and a
+// builder derived from a v2 parent inherits the capability without it.
+func (b *ContextBuilder) EnableTiming() {
+	if b.ctx.g2gGaps == nil {
+		b.ctx.g2gGaps = markov.NewSketchSet()
+	}
+	if b.ctx.g2aGaps == nil {
+		b.ctx.g2aGaps = markov.NewSketchSet()
+	}
+	if b.ctx.a2gGaps == nil {
+		b.ctx.a2gGaps = markov.NewSketchSet()
+	}
+}
+
+// TimingCapable reports whether the context under construction carries
+// interval sketches.
+func (b *ContextBuilder) TimingCapable() bool { return b.ctx.TimingCapable() }
+
+// ObserveG2GGap records the dwell (consecutive windows spent in `from`)
+// preceding one observed from->to group hop. A no-op on a v1 builder, so a
+// derivation of a structural-only context stays structural-only.
+func (b *ContextBuilder) ObserveG2GGap(from, to, gap int) {
+	if b.ctx.g2gGaps != nil {
+		b.ctx.g2gGaps.Observe(from, to, gap)
+	}
+}
+
+// ObserveG2AGap records the dwell in group `from` at the moment actuator
+// slot `slot` fired. A no-op on a v1 builder.
+func (b *ContextBuilder) ObserveG2AGap(from, slot, gap int) {
+	if b.ctx.g2aGaps != nil {
+		b.ctx.g2aGaps.Observe(from, slot, gap)
+	}
+}
+
+// ObserveA2GGap records how many windows after actuator slot `slot` last
+// fired the home entered group `to`. A no-op on a v1 builder.
+func (b *ContextBuilder) ObserveA2GGap(slot, to, gap int) {
+	if b.ctx.a2gGaps != nil {
+		b.ctx.a2gGaps.Observe(slot, to, gap)
+	}
+}
+
 // DecayChains ages all three transition matrices by factor (see
-// markov.Chain.Decay) and returns the total number of pruned edges.
+// markov.Chain.Decay), ages the interval sketches in lockstep, and returns
+// the total number of pruned edges (chain cells plus emptied sketches).
 func (b *ContextBuilder) DecayChains(factor float64) int {
-	return b.ctx.g2g.Decay(factor) + b.ctx.g2a.Decay(factor) + b.ctx.a2g.Decay(factor)
+	pruned := b.ctx.g2g.Decay(factor) + b.ctx.g2a.Decay(factor) + b.ctx.a2g.Decay(factor)
+	pruned += b.ctx.g2gGaps.Decay(factor) + b.ctx.g2aGaps.Decay(factor) + b.ctx.a2gGaps.Decay(factor)
+	return pruned
 }
 
 // Build seals the builder's current state into an immutable Context,
@@ -588,6 +681,13 @@ type contextJSON struct {
 	A2G         *markov.Chain               `json:"a2g"`
 	Effects     map[int]map[device.ID]int64 `json:"effects,omitempty"`
 	ActCounts   map[int]int64               `json:"act_counts,omitempty"`
+	// Schema and the interval sketches are the v2 additions. All four are
+	// omitempty so a v1 context still produces byte-identical payloads —
+	// and therefore the same fingerprint — as before the timing work.
+	Schema  int               `json:"schema,omitempty"`
+	G2GGaps *markov.SketchSet `json:"g2g_gaps,omitempty"`
+	G2AGaps *markov.SketchSet `json:"g2a_gaps,omitempty"`
+	A2GGaps *markov.SketchSet `json:"a2g_gaps,omitempty"`
 }
 
 // ErrCorruptContext marks a saved context whose checksum envelope or
@@ -617,7 +717,7 @@ func (c *Context) payloadJSON(fingerprint string) ([]byte, error) {
 	for i, g := range c.groups {
 		groups[i] = g.String()
 	}
-	data, err := json.Marshal(contextJSON{
+	cj := contextJSON{
 		DurationMS:  c.duration.Milliseconds(),
 		Devices:     names,
 		ValueThre:   c.valueThre,
@@ -630,7 +730,14 @@ func (c *Context) payloadJSON(fingerprint string) ([]byte, error) {
 		A2G:         c.a2g,
 		Effects:     c.effectCounts,
 		ActCounts:   c.actCounts,
-	})
+	}
+	if c.TimingCapable() {
+		cj.Schema = ContextSchemaV2
+		cj.G2GGaps = c.g2gGaps
+		cj.G2AGaps = c.g2aGaps
+		cj.A2GGaps = c.a2gGaps
+	}
+	data, err := json.Marshal(cj)
 	if err != nil {
 		return nil, fmt.Errorf("core: encode context: %w", err)
 	}
@@ -730,6 +837,16 @@ func LoadContext(r io.Reader, layout *window.Layout) (*Context, error) {
 	}
 	if cj.ActCounts != nil {
 		ctx.actCounts = cj.ActCounts
+	}
+	if cj.Schema > ContextSchemaV2 {
+		return nil, fmt.Errorf("core: context schema %d is newer than this build supports (%d)", cj.Schema, ContextSchemaV2)
+	}
+	// v2 payloads restore the interval sketches; a v1 payload leaves all
+	// three nil, yielding a loadable but timing-disabled context.
+	if cj.G2GGaps != nil && cj.G2AGaps != nil && cj.A2GGaps != nil {
+		ctx.g2gGaps = cj.G2GGaps
+		ctx.g2aGaps = cj.G2AGaps
+		ctx.a2gGaps = cj.A2GGaps
 	}
 	ctx.epoch = cj.Epoch
 	ctx.parent = cj.Parent

@@ -25,6 +25,12 @@ const (
 	// fault class surfacing at the transport layer before any window-level
 	// evidence accumulates.
 	CheckLiveness
+	// CheckTiming flags a structurally valid transition whose inter-window
+	// gap falls outside the interval band learned during training: the
+	// right transition at the wrong pace (a delayed actuator, a slowly
+	// degrading sensor). It sits after CheckLiveness so legacy integer
+	// encodings of the earlier causes stay stable.
+	CheckTiming
 )
 
 // String returns the check name.
@@ -42,6 +48,8 @@ func (k CheckKind) String() string {
 		return "a2g"
 	case CheckLiveness:
 		return "liveness"
+	case CheckTiming:
+		return "timing"
 	default:
 		return fmt.Sprintf("CheckKind(%d)", int(k))
 	}
@@ -148,6 +156,17 @@ type Detector struct {
 	prevActs  []device.ID
 	ep        *episode
 
+	// checks is the ordered detection pipeline; DefaultChecks unless the
+	// detector was built WithChecks.
+	checks []Check
+
+	// dwell counts the consecutive windows spent in prevGroup, and lastFire
+	// maps each actuator slot to the window index of its most recent firing
+	// (-1 = never). They mirror the trainer's bookkeeping exactly, so the
+	// gaps the timing check measures are the gaps training recorded.
+	dwell    int
+	lastFire []int
+
 	// stateVec and scanScratch are per-window scratch: the detector is
 	// serial by contract, so one reusable state-set vector and one scan
 	// scratch keep the clean-window hot path allocation-free.
@@ -187,11 +206,21 @@ func newDetector(ctx *Context, o detOptions) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
+	checks := o.checks
+	if checks == nil {
+		checks = DefaultChecks()
+	}
+	lastFire := make([]int, ctx.Layout().NumActuators())
+	for i := range lastFire {
+		lastFire[i] = -1
+	}
 	return &Detector{
 		cfg:        o.cfg.Normalize(),
 		ctx:        ctx,
 		bin:        bin,
 		prevGroup:  NoGroup,
+		checks:     checks,
+		lastFire:   lastFire,
 		stateVec:   bitvec.New(bin.NumBits()),
 		recentActs: make(map[device.ID]int),
 		met:        newDetMetrics(o.tel),
@@ -240,6 +269,28 @@ func (d *Detector) Reset() {
 	d.prevActs = d.prevActs[:0]
 	d.ep = nil
 	d.recentActs = make(map[device.ID]int)
+	d.dwell = 0
+	for i := range d.lastFire {
+		d.lastFire[i] = -1
+	}
+}
+
+// PrevGroup returns the group matched by the previous window, or NoGroup at
+// the start of a segment. Exposed for custom checks.
+func (d *Detector) PrevGroup() int { return d.prevGroup }
+
+// DwellWindows returns how many consecutive windows the home has spent in
+// the previous group. Exposed for custom checks.
+func (d *Detector) DwellWindows() int { return d.dwell }
+
+// LastFireWindow returns the window index of the given actuator slot's most
+// recent firing, or -1 when it has not fired this segment. Exposed for
+// custom checks.
+func (d *Detector) LastFireWindow(slot int) int {
+	if slot < 0 || slot >= len(d.lastFire) {
+		return -1
+	}
+	return d.lastFire[slot]
 }
 
 // Identifying reports whether an identification episode is in progress.
@@ -281,22 +332,22 @@ func (d *Detector) Process(o *window.Observation) (Result, error) {
 		return res, nil
 	}
 
-	var suspects []device.ID
-	cause := CheckNone
-
+	// The ordered check pipeline: one clock measurement around the whole
+	// run, charged to the stage the window's shape implies (no main group
+	// means the cost went into correlation-style identification; otherwise
+	// it went into transition checking).
+	t2 := time.Now()
+	finding := d.runChecks(CheckInput{Obs: o, Vec: v, Cands: cands})
+	cost := time.Since(t2)
 	if cands.Main == NoGroup {
-		// Correlation violation: an unseen sensor state set.
-		cause = CheckCorrelation
-		t2 := time.Now()
-		suspects = d.correlationSuspects(v, cands)
-		res.Timing.Identify = time.Since(t2)
+		res.Timing.Identify = cost
 	} else {
-		t2 := time.Now()
-		cause, suspects = d.transitionCheck(v, cands.Main, o)
-		res.Timing.Transition = time.Since(t2)
+		res.Timing.Transition = cost
 	}
 
-	if cause != CheckNone {
+	if finding != nil {
+		cause := finding.Cause
+		suspects := finding.Suspects
 		d.met.violation(cause)
 		res.Violation = cause
 		res.Detected = true
@@ -323,6 +374,7 @@ func (d *Detector) Process(o *window.Observation) (Result, error) {
 				MainGroup:      cands.Main,
 				ProbableGroups: append([]int(nil), cands.Probable...),
 				MinDistance:    cands.MinDistance,
+				Timing:         finding.Timing,
 			},
 		}
 		res.Probable = setToSlice(d.ep.intersection)
@@ -339,12 +391,26 @@ func (d *Detector) Process(o *window.Observation) (Result, error) {
 	return res, nil
 }
 
-// advance rolls the previous-window state forward.
+// advance rolls the previous-window state forward. The dwell/lastFire
+// update matches the trainer's: a repeated known group extends the dwell, a
+// hop (or the first known group) restarts it at 1, and an unknown state set
+// clears it.
 func (d *Detector) advance(mainGroup int, o *window.Observation) {
+	switch {
+	case mainGroup == NoGroup:
+		d.dwell = 0
+	case mainGroup == d.prevGroup:
+		d.dwell++
+	default:
+		d.dwell = 1
+	}
 	d.prevGroup = mainGroup
 	d.prevActs = append(d.prevActs[:0], o.Actuated...)
 	for _, act := range o.Actuated {
 		d.recentActs[act] = o.Index
+		if slot, ok := d.ctx.Layout().ActuatorSlot(act); ok {
+			d.lastFire[slot] = o.Index
+		}
 	}
 }
 
@@ -419,52 +485,6 @@ func (d *Detector) diffSuspects(v *bitvec.Vec, groups []int) []device.ID {
 	return setToSlice(seen)
 }
 
-// transitionCheck applies the three zero-probability cases of §3.3.2 in
-// order and returns the first violation with its suspects.
-func (d *Detector) transitionCheck(v *bitvec.Vec, cur int, o *window.Observation) (CheckKind, []device.ID) {
-	// Case 1: G2G.
-	if d.prevGroup != NoGroup && !d.ctx.G2G().Possible(d.prevGroup, cur) {
-		// Identification mirrors the correlation case, with the previous
-		// group's successors as the probable groups.
-		suspects := d.diffSuspects(v, d.ctx.G2G().Successors(d.prevGroup))
-		return CheckG2G, suspects
-	}
-	// Case 2: G2A — actuators fired now that the previous group never
-	// triggered.
-	if d.prevGroup != NoGroup {
-		var bad []device.ID
-		for _, act := range o.Actuated {
-			slot, ok := d.ctx.Layout().ActuatorSlot(act)
-			if !ok {
-				continue
-			}
-			if !d.ctx.G2A().Possible(d.prevGroup, slot) {
-				bad = append(bad, act)
-			}
-		}
-		if len(bad) > 0 {
-			return CheckG2A, bad
-		}
-	}
-	// Case 3: A2G — the current group never follows an actuator that fired
-	// in the previous window. Suspects are that actuator plus the sensors
-	// separating us from the groups the actuator does lead to.
-	for _, act := range d.prevActs {
-		slot, ok := d.ctx.Layout().ActuatorSlot(act)
-		if !ok {
-			continue
-		}
-		if !d.ctx.A2G().Known(slot) || d.ctx.A2G().Possible(slot, cur) {
-			continue
-		}
-		suspects := d.diffSuspects(v, d.ctx.A2G().Successors(slot))
-		suspects = append(suspects, act)
-		sortIDs(suspects)
-		return CheckA2G, suspects
-	}
-	return CheckNone, nil
-}
-
 // identifyStep runs one repetition of the identification loop (§3.4): probe
 // the window for its own probable-fault set, intersect, and conclude when
 // the intersection is small enough or patience runs out.
@@ -507,18 +527,15 @@ func (d *Detector) identifyStep(v *bitvec.Vec, cands Candidates, o *window.Obser
 	d.maybeConclude(res)
 }
 
-// probe evaluates a window during identification: same machinery as the
-// checks, but it never opens a new episode — it only yields this window's
+// probe evaluates a window during identification: the same check pipeline,
+// but it never opens a new episode — it only yields this window's
 // probable-fault set. A clean window is uninformative.
 func (d *Detector) probe(v *bitvec.Vec, cands Candidates, o *window.Observation) (suspects []device.ID, informative bool, cause CheckKind) {
-	if cands.Main == NoGroup {
-		return d.correlationSuspects(v, cands), true, CheckCorrelation
+	f := d.runChecks(CheckInput{Obs: o, Vec: v, Cands: cands})
+	if f == nil {
+		return nil, false, CheckNone
 	}
-	kind, s := d.transitionCheck(v, cands.Main, o)
-	if kind != CheckNone {
-		return s, true, kind
-	}
-	return nil, false, CheckNone
+	return f.Suspects, true, f.Cause
 }
 
 // maybeConclude closes the episode when the intersection is small enough,

@@ -32,6 +32,10 @@ type Explain struct {
 	// MinDistance is the Hamming distance from the opening state set to
 	// the nearest group (NoDistance when an exact match existed).
 	MinDistance int `json:"min_distance"`
+	// Timing is the interval evidence behind a CheckTiming episode: the
+	// off-pace edge, the observed gap, the learned band, and the sketch's
+	// bucket counts. Nil for every other cause.
+	Timing *TimingEvidence `json:"timing,omitempty"`
 	// Steps is the bounded intersection history: the opening window plus
 	// every informative probe window, newest last. TruncatedSteps counts
 	// informative windows dropped once the bound was hit.
@@ -85,6 +89,7 @@ func (e *Explain) Clone() *Explain {
 	}
 	out := *e
 	out.ProbableGroups = append([]int(nil), e.ProbableGroups...)
+	out.Timing = e.Timing.Clone()
 	if e.Steps != nil {
 		out.Steps = make([]ExplainStep, len(e.Steps))
 		for i, s := range e.Steps {

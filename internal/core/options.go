@@ -13,8 +13,9 @@ import (
 type Option func(*detOptions)
 
 type detOptions struct {
-	cfg Config
-	tel *telemetry.Registry
+	cfg    Config
+	tel    *telemetry.Registry
+	checks []Check
 }
 
 // WithConfig replaces the whole detector configuration.
@@ -50,6 +51,45 @@ func WithAttest(attest func(devices []device.ID) []device.ID) Option {
 	return func(o *detOptions) { o.cfg.Attest = attest }
 }
 
+// WithChecks replaces the detection pipeline. Checks run in the given order
+// on every non-episode window and the first Finding wins, so callers
+// reorder, drop, or extend DefaultChecks to reshape detection.
+func WithChecks(checks ...Check) Option {
+	return func(o *detOptions) { o.checks = checks }
+}
+
+// WithTiming enables or disables the interval-band timing check. It is on
+// by default whenever the context carries interval sketches (schema v2).
+func WithTiming(enabled bool) Option {
+	return func(o *detOptions) { o.cfg.DisableTiming = !enabled }
+}
+
+// WithTimingBand tunes the timing check's conservativeness: minSamples is
+// the sketch population below which an edge is not judged, and
+// slackBuckets widens the learned band by whole log2 buckets. Zero values
+// keep the defaults.
+func WithTimingBand(minSamples, slackBuckets int) Option {
+	return func(o *detOptions) {
+		o.cfg.TimingMinSamples = minSamples
+		o.cfg.TimingSlackBuckets = slackBuckets
+	}
+}
+
+// WithTimingQuantiles bounds the learned band by sketch quantiles instead
+// of the full observed range (the (0, 1) default).
+func WithTimingQuantiles(lo, hi float64) Option {
+	return func(o *detOptions) {
+		o.cfg.TimingQuantileLo = lo
+		o.cfg.TimingQuantileHi = hi
+	}
+}
+
+// WithTimingFlagFast also flags transitions arriving implausibly early,
+// not just late.
+func WithTimingFlagFast(enabled bool) Option {
+	return func(o *detOptions) { o.cfg.TimingFlagFast = enabled }
+}
+
 // WithTelemetry instruments the detector against the registry: scan
 // outcomes and latency, violations by cause, and identification episode
 // shape. A nil registry leaves the detector uninstrumented (every
@@ -82,7 +122,28 @@ const (
 	metricEpisodeLen   = "dice_identify_episode_windows"
 	metricSuspects     = "dice_identify_suspects_at_close"
 	metricNamed        = "dice_identify_devices_named_total"
+
+	metricTimingChecked = "dice_det_timing_checked_total"
+	metricTimingFlagged = "dice_det_timing_flagged_total"
+	metricTimingGap     = "dice_det_timing_gap_windows"
 )
+
+// timingEdges are the label values of the timing-flag vector, indexed in
+// the same order as timingEdgeIndex resolves.
+var timingEdges = []string{"g2g", "g2a", "a2g"}
+
+func timingEdgeIndex(edge string) int {
+	switch edge {
+	case "g2g":
+		return 0
+	case "g2a":
+		return 1
+	case "a2g":
+		return 2
+	default:
+		return -1
+	}
+}
 
 // detMetrics holds the detector's instruments. The zero value (all nil)
 // is a valid "telemetry disabled" state: every instrument method is
@@ -98,6 +159,10 @@ type detMetrics struct {
 	episodeLen   *telemetry.Histogram
 	suspects     *telemetry.Histogram
 	named        *telemetry.Counter
+
+	timingChecked *telemetry.Counter
+	timingFlagged []*telemetry.Counter // indexed by timingEdgeIndex
+	timingGap     *telemetry.Histogram
 }
 
 func newDetMetrics(reg *telemetry.Registry) detMetrics {
@@ -115,6 +180,20 @@ func newDetMetrics(reg *telemetry.Registry) detMetrics {
 		episodeLen:   reg.Histogram(metricEpisodeLen, "Identification episode length in windows.", telemetry.ExpBuckets(1, 2, 10)),
 		suspects:     reg.Histogram(metricSuspects, "Probable-set size when an episode closed.", telemetry.LinearBuckets(1, 1, 8)),
 		named:        reg.Counter(metricNamed, "Devices named by concluded alerts."),
+
+		timingChecked: reg.Counter(metricTimingChecked, "Structurally clean windows the timing check evaluated."),
+		timingFlagged: reg.CounterVec(metricTimingFlagged, "Out-of-band gaps flagged by the timing check, by edge family.", "edge", timingEdges),
+		timingGap:     reg.Histogram(metricTimingGap, "Observed gap in windows on flagged timing violations.", telemetry.ExpBuckets(1, 2, 12)),
+	}
+}
+
+// timingFlag counts one timing flag by edge family.
+func (m *detMetrics) timingFlag(edge string) {
+	if m.timingFlagged == nil {
+		return
+	}
+	if i := timingEdgeIndex(edge); i >= 0 && i < len(m.timingFlagged) {
+		m.timingFlagged[i].Inc()
 	}
 }
 

@@ -182,6 +182,7 @@ func TestCauseFamilies(t *testing.T) {
 		CheckG2A:         FamilyTransition,
 		CheckA2G:         FamilyTransition,
 		CheckLiveness:    FamilyLiveness,
+		CheckTiming:      FamilyTiming,
 	}
 	for k, fam := range want {
 		if got := k.Family(); got != fam {

@@ -36,6 +36,14 @@ type Trainer struct {
 	prevVec   *bitvec.Vec
 	prevActs  []device.ID
 	windows   int
+
+	// Timing statistics (schema v2): dwell counts the consecutive windows
+	// spent in prevGroup as of the last learned window, and lastFire maps
+	// each actuator slot to the window index of its most recent firing.
+	// The detector maintains the same two quantities at run time, so a
+	// replay of the training stream reproduces every recorded gap exactly.
+	dwell    int
+	lastFire []int
 }
 
 // NewTrainer returns a trainer for the layout at the given window duration.
@@ -43,11 +51,16 @@ func NewTrainer(layout *window.Layout, duration time.Duration) *Trainer {
 	if duration <= 0 {
 		duration = DefaultDuration
 	}
+	lastFire := make([]int, layout.NumActuators())
+	for i := range lastFire {
+		lastFire[i] = -1
+	}
 	return &Trainer{
 		layout:    layout,
 		duration:  duration,
 		welford:   make([]stats.Welford, layout.NumNumeric()),
 		prevGroup: NoGroup,
+		lastFire:  lastFire,
 	}
 }
 
@@ -85,6 +98,7 @@ func (t *Trainer) FinishCalibration() error {
 	if err != nil {
 		return err
 	}
+	cb.EnableTiming()
 	t.bin = bin
 	t.cb = cb
 	return nil
@@ -106,10 +120,31 @@ func (t *Trainer) Learn(o *window.Observation) error {
 	g := t.cb.AddGroup(v)
 	if t.prevGroup != NoGroup {
 		t.cb.ObserveG2G(t.prevGroup, g)
+		// Timing: the dwell in the previous group is the G2G gap of a hop
+		// (self-transitions extend the dwell instead of closing a gap) and
+		// the G2A gap of every firing out of it.
+		if g != t.prevGroup && t.dwell > 0 {
+			t.cb.ObserveG2GGap(t.prevGroup, g, t.dwell)
+		}
 		// Case-2 statistics: group at t-1 -> actuators fired at t.
 		for _, act := range o.Actuated {
 			if slot, ok := t.layout.ActuatorSlot(act); ok {
 				t.cb.ObserveG2A(t.prevGroup, slot)
+				if t.dwell > 0 {
+					t.cb.ObserveG2AGap(t.prevGroup, slot, t.dwell)
+				}
+			}
+		}
+		// Timing: entering a different group within the A2G horizon of a
+		// firing records how long after that firing the hop landed.
+		if g != t.prevGroup {
+			for slot, at := range t.lastFire {
+				if at < 0 {
+					continue
+				}
+				if gap := o.Index - at; gap >= 1 && gap <= TimingA2GHorizon {
+					t.cb.ObserveA2GGap(slot, g, gap)
+				}
 			}
 		}
 	}
@@ -139,6 +174,16 @@ func (t *Trainer) Learn(o *window.Observation) error {
 					t.cb.ObserveEffect(slot, devs)
 				}
 			}
+		}
+	}
+	if g == t.prevGroup {
+		t.dwell++
+	} else {
+		t.dwell = 1
+	}
+	for _, act := range o.Actuated {
+		if slot, ok := t.layout.ActuatorSlot(act); ok {
+			t.lastFire[slot] = o.Index
 		}
 	}
 	t.prevGroup = g

@@ -32,6 +32,13 @@ const (
 	Spike
 	ActuatorSpurious
 	ActuatorDead
+	// ActuatorDelayed and SlowDegradation are the stream-level timing fault
+	// family: the device eventually does the right thing, but late. They
+	// cannot be expressed as a per-window rewrite (the fault is in *when*
+	// windows happen, not what they contain), so they are injected with
+	// StretchStream instead of an Injector.
+	ActuatorDelayed
+	SlowDegradation
 )
 
 // String returns the fault class name.
@@ -51,6 +58,10 @@ func (t Type) String() string {
 		return "actuator-spurious"
 	case ActuatorDead:
 		return "actuator-dead"
+	case ActuatorDelayed:
+		return "actuator-delayed"
+	case SlowDegradation:
+		return "slow-degradation"
 	default:
 		return fmt.Sprintf("Type(%d)", int(t))
 	}
@@ -67,9 +78,22 @@ func ActuatorTypes() []Type {
 	return []Type{ActuatorSpurious, ActuatorDead}
 }
 
+// TimingTypes lists the stream-level timing fault classes the interval-band
+// check is built to catch.
+func TimingTypes() []Type {
+	return []Type{ActuatorDelayed, SlowDegradation}
+}
+
 // IsActuatorFault reports whether t applies to actuators.
 func (t Type) IsActuatorFault() bool {
-	return t == ActuatorSpurious || t == ActuatorDead
+	return t == ActuatorSpurious || t == ActuatorDead || t == ActuatorDelayed
+}
+
+// IsStreamFault reports whether t reshapes the window stream itself rather
+// than individual observations. Stream faults go through StretchStream; an
+// Injector rejects them.
+func (t Type) IsStreamFault() bool {
+	return t == ActuatorDelayed || t == SlowDegradation
 }
 
 // Fault describes one injected fault: a device, a class, and an onset
@@ -112,6 +136,9 @@ func NewInjector(layout *window.Layout, seed int64, faults ...Fault) (*Injector,
 		d, err := layout.Registry().Get(f.Device)
 		if err != nil {
 			return nil, fmt.Errorf("faults: %w", err)
+		}
+		if f.Type.IsStreamFault() {
+			return nil, fmt.Errorf("faults: %s is a stream-level fault; inject it with StretchStream", f.Type)
 		}
 		if f.Type.IsActuatorFault() != (d.Kind == device.Actuator) {
 			return nil, fmt.Errorf("faults: %s cannot apply to %s device %q", f.Type, d.Kind, d.Name)

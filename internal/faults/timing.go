@@ -1,0 +1,110 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// TimingFault describes one stream-level timing fault: a device whose
+// behavior is eventually correct but late. ActuatorDelayed stretches the
+// stream before each of the device's firings; SlowDegradation stretches it
+// before each state flip of a (binary) sensor — a slowly degrading sensor
+// whose responses drift later and later.
+type TimingFault struct {
+	Device device.ID
+	Type   Type
+	// Onset is the first segment window (0-based) at which triggers start
+	// being delayed; earlier triggers pass through untouched.
+	Onset int
+	// Delay is how many hold windows are inserted before each delayed
+	// trigger — the extra dwell the timing check should measure.
+	Delay int
+}
+
+// String renders the fault for logs.
+func (f TimingFault) String() string {
+	return fmt.Sprintf("%s@dev%d+w%d/d%d", f.Type, int(f.Device), f.Onset, f.Delay)
+}
+
+// StretchStream injects a timing fault by reshaping the window stream: each
+// trigger window (a firing of the delayed actuator, or a state flip of the
+// degrading sensor) at or after the onset is preceded by Delay clones of
+// its previous window, holding the home in its pre-trigger state for longer
+// than training ever saw. The holds carry no actuator firings, and triggers
+// whose previous window fired an actuator are left untouched (a hold after
+// a firing could fabricate an actuator-to-group transition training never
+// saw, which would let the structural checks catch a purely-timing fault).
+// The result is truncated to len(obs) windows and reindexed contiguously
+// from obs[0].Index, so the faulty segment occupies exactly the original
+// segment's window range. The input is never mutated.
+func StretchStream(layout *window.Layout, obs []*window.Observation, f TimingFault) ([]*window.Observation, error) {
+	if layout == nil {
+		return nil, fmt.Errorf("faults: nil layout")
+	}
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("faults: empty stream")
+	}
+	if !f.Type.IsStreamFault() {
+		return nil, fmt.Errorf("faults: %s is not a stream-level fault", f.Type)
+	}
+	if f.Delay < 1 {
+		return nil, fmt.Errorf("faults: delay %d, want >= 1", f.Delay)
+	}
+	if f.Onset < 0 {
+		return nil, fmt.Errorf("faults: negative onset %d", f.Onset)
+	}
+	binSlot := -1
+	switch f.Type {
+	case ActuatorDelayed:
+		d, err := layout.Registry().Get(f.Device)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %w", err)
+		}
+		if d.Kind != device.Actuator {
+			return nil, fmt.Errorf("faults: %s cannot apply to %s device %q", f.Type, d.Kind, d.Name)
+		}
+	case SlowDegradation:
+		slot, ok := layout.BinarySlot(f.Device)
+		if !ok {
+			return nil, fmt.Errorf("faults: %s needs a binary sensor, device %d is not one", f.Type, int(f.Device))
+		}
+		binSlot = slot
+	}
+
+	trigger := func(i int) bool {
+		if i < f.Onset || i == 0 {
+			return false
+		}
+		switch f.Type {
+		case ActuatorDelayed:
+			return containsID(obs[i].Actuated, f.Device)
+		default:
+			return obs[i].Binary[binSlot] != obs[i-1].Binary[binSlot]
+		}
+	}
+
+	base := obs[0].Index
+	out := make([]*window.Observation, 0, len(obs))
+	for i, o := range obs {
+		if len(out) >= len(obs) {
+			break
+		}
+		if trigger(i) && len(obs[i-1].Actuated) == 0 {
+			for k := 0; k < f.Delay && len(out) < len(obs); k++ {
+				hold := obs[i-1].Clone()
+				hold.Actuated = nil
+				out = append(out, hold)
+			}
+			if len(out) >= len(obs) {
+				break
+			}
+		}
+		out = append(out, o.Clone())
+	}
+	for k, o := range out {
+		o.Index = base + k
+	}
+	return out, nil
+}

@@ -18,8 +18,10 @@ import (
 // Wire format for device reports: devices POST a batch of readings to
 // /report; the gateway windows them and runs DICE. A device may also POST
 // /advance to push stream time forward during silent stretches (the
-// simulated aggregators do this once per minute), and GET /stats for the
-// gateway counters.
+// simulated aggregators do this once per minute), GET /stats for the
+// gateway counters, GET /liveness for the silence tracker, and GET
+// /context for the active context version (including whether it carries
+// the interval sketches the timing check needs).
 //
 // Two encodings share the same resource paths, negotiated by sniffing the
 // payload's first bytes: the binary batch format of internal/wire (magic
@@ -201,6 +203,12 @@ func (f *Front) handle(req *coap.Message) *coap.Message {
 		return &coap.Message{Code: coap.CodeContent, Payload: data}
 	case "liveness":
 		data, err := json.Marshal(f.gw.Liveness())
+		if err != nil {
+			return &coap.Message{Code: coap.CodeInternal}
+		}
+		return &coap.Message{Code: coap.CodeContent, Payload: data}
+	case "context":
+		data, err := json.Marshal(f.gw.ContextInfo())
 		if err != nil {
 			return &coap.Message{Code: coap.CodeInternal}
 		}

@@ -408,6 +408,11 @@ type ContextInfo struct {
 	Fingerprint string `json:"fingerprint"`
 	Parent      string `json:"parent,omitempty"`
 	Groups      int    `json:"groups"`
+	// ContextSchema is the context payload version (v2 carries interval
+	// sketches); TimingCapable reports whether the detector's timing check
+	// can run against this context.
+	ContextSchema int  `json:"context_schema"`
+	TimingCapable bool `json:"timing_capable"`
 	// Adaptive reports whether online adaptation is enabled; the remaining
 	// fields are zero when it is not.
 	Adaptive       bool   `json:"adaptive"`
@@ -425,11 +430,13 @@ func (g *Gateway) ContextInfo() ContextInfo {
 	defer g.mu.Unlock()
 	ctx := g.det.Context()
 	info := ContextInfo{
-		Epoch:       ctx.Epoch(),
-		Fingerprint: ctx.Fingerprint(),
-		Parent:      ctx.ParentFingerprint(),
-		Groups:      ctx.NumGroups(),
-		Adaptive:    g.adapter != nil,
+		Epoch:         ctx.Epoch(),
+		Fingerprint:   ctx.Fingerprint(),
+		Parent:        ctx.ParentFingerprint(),
+		Groups:        ctx.NumGroups(),
+		ContextSchema: ctx.SchemaVersion(),
+		TimingCapable: ctx.TimingCapable(),
+		Adaptive:      g.adapter != nil,
 	}
 	if g.adapter != nil {
 		info.GroupsAdmitted = g.adapter.GroupsAdmitted()

@@ -20,6 +20,7 @@ import (
 //	POST /report/{home}    batch of readings (binary DWB1 or JSON)
 //	POST /advance/{home}   stream-clock advance (binary DWB1 or JSON)
 //	GET  /stats/{home}     tenant Stats (drained first, so it is settled)
+//	GET  /context/{home}   active context version, schema, timing capability
 //	GET  /liveness/{home}  tenant silence tracker
 //
 // The bare single-gateway paths (/report, /advance, ...) keep working when
@@ -215,6 +216,19 @@ func (f *Front) handle(req *coap.Message) *coap.Message {
 			return &coap.Message{Code: coap.CodeNotFound}
 		}
 		data, err := json.Marshal(t.Stats())
+		if err != nil {
+			return &coap.Message{Code: coap.CodeInternal}
+		}
+		return &coap.Message{Code: coap.CodeContent, Payload: data}
+	case "context":
+		if err := f.h.Drain(home); err != nil {
+			return errResponse(err)
+		}
+		t, ok := f.h.Tenant(home)
+		if !ok {
+			return &coap.Message{Code: coap.CodeNotFound}
+		}
+		data, err := json.Marshal(t.ContextInfo())
 		if err != nil {
 			return &coap.Message{Code: coap.CodeInternal}
 		}

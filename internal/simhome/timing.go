@@ -1,0 +1,51 @@
+package simhome
+
+import "repro/internal/device"
+
+// ActuatorFirings counts each actuator's rising-edge activations over
+// windows [from, to). The timing evaluation uses it to pick delayed-actuator
+// targets that actually fire in the segment under test — delaying an
+// actuator that never fires yields a stream byte-identical to the clean one.
+func (h *Home) ActuatorFirings(from, to int) map[device.ID]int {
+	if from < 0 {
+		from = 0
+	}
+	if to > h.Windows() {
+		to = h.Windows()
+	}
+	out := make(map[device.ID]int)
+	for m := from; m < to; m++ {
+		for _, a := range h.actDevs {
+			if h.actuatorOn(a, m) && !h.actuatorOn(a, m-1) {
+				out[a.id]++
+			}
+		}
+	}
+	return out
+}
+
+// BinaryFlips counts each binary sensor's state flips over windows
+// [from, to) — the triggers a slow-degradation fault would delay.
+func (h *Home) BinaryFlips(from, to int) map[device.ID]int {
+	if from < 0 {
+		from = 0
+	}
+	if to > h.Windows() {
+		to = h.Windows()
+	}
+	out := make(map[device.ID]int)
+	if to-from < 2 {
+		return out
+	}
+	prev := h.Window(from)
+	for m := from + 1; m < to; m++ {
+		cur := h.Window(m)
+		for slot := range cur.Binary {
+			if cur.Binary[slot] != prev.Binary[slot] {
+				out[h.layout.BinaryID(slot)]++
+			}
+		}
+		prev = cur
+	}
+	return out
+}
