@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-telemetry race-hub race-cluster race-drift race-timing bench bench-scan bench-eval bench-hub bench-recovery bench-cluster bench-drift bench-timing fuzz-smoke perf-gate
+.PHONY: check vet staticcheck build test race race-telemetry race-hub race-cluster race-drift race-timing race-scenarios bench bench-scan bench-eval bench-hub bench-recovery bench-cluster bench-drift bench-timing bench-scenarios fuzz-smoke perf-gate
 
-check: vet staticcheck build race-telemetry race-hub race-cluster race-drift race-timing race fuzz-smoke perf-gate
+check: vet staticcheck build race-telemetry race-hub race-cluster race-drift race-timing race-scenarios race fuzz-smoke perf-gate
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +57,13 @@ race-drift:
 race-timing:
 	$(GO) test -race -run 'Timing' ./internal/core/ ./internal/gateway/ ./internal/faults/
 
+# Multi-fault drill under the race detector: concurrent identification
+# episodes, the scenario pipeline (ghosts, replays, occupancy views), and
+# the mid-storm checkpoint kill that must resume two open episodes bit for
+# bit.
+race-scenarios:
+	$(GO) test -race -run 'MultiFault|Scenario|Occupancy|Ghost' ./internal/core/ ./internal/gateway/ ./internal/faults/ ./internal/simhome/
+
 # Full benchmark sweep (regenerates every table/figure on the scaled-down
 # protocol).
 bench:
@@ -97,6 +104,13 @@ bench-drift:
 bench-timing:
 	$(GO) run ./cmd/dice-eval -exp timing
 
+# Adversarial scenario library: per-scenario detection/identification
+# precision-recall + benign false-alarm floor → BENCH_scenarios.json. The
+# run itself errors on any clean/benign false alarm or when 2-fault storms
+# name every injected device in <80% of trials.
+bench-scenarios:
+	$(GO) run ./cmd/dice-eval -exp scenarios
+
 # Short fuzz passes over the wire decoders (binary batch + CoAP) and the
 # interval-sketch codec. Long campaigns run the same targets with a bigger
 # -fuzztime.
@@ -118,3 +132,5 @@ perf-gate:
 	$(GO) run ./cmd/dice-benchdiff -mode drift -baseline BENCH_drift.json -fresh /tmp/dice-benchdiff-drift.json
 	$(GO) run ./cmd/dice-eval -exp timing -timingjson /tmp/dice-benchdiff-timing.json >/dev/null
 	$(GO) run ./cmd/dice-benchdiff -mode timing -baseline BENCH_timing.json -fresh /tmp/dice-benchdiff-timing.json
+	$(GO) run ./cmd/dice-eval -exp scenarios -scenariosjson /tmp/dice-benchdiff-scenarios.json >/dev/null
+	$(GO) run ./cmd/dice-benchdiff -mode scenarios -baseline BENCH_scenarios.json -fresh /tmp/dice-benchdiff-scenarios.json

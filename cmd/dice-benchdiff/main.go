@@ -9,6 +9,7 @@
 //	dice-benchdiff -mode cluster -baseline BENCH_cluster.json -fresh /tmp/fresh.json [-tolerance 0.15]
 //	dice-benchdiff -mode drift   -baseline BENCH_drift.json   -fresh /tmp/fresh.json [-tolerance 0.15]
 //	dice-benchdiff -mode timing  -baseline BENCH_timing.json  -fresh /tmp/fresh.json [-tolerance 0.15]
+//	dice-benchdiff -mode scenarios -baseline BENCH_scenarios.json -fresh /tmp/fresh.json [-tolerance 0.15]
 //
 // A baseline that does not exist yet is not a failure: a benchmark
 // introduced in the same change has a fresh file but no committed
@@ -46,6 +47,10 @@
 //     replay, no hardware term. Correctness floors are absolute: the fresh
 //     run must catch at least 80% and must report zero timing-flagged
 //     clean windows and zero extra false alarms.
+//   - scenarios: the adversarial scenario library. Floors are absolute
+//     (zero benign/clean false alarms; the two-fault storm names every
+//     injected device in at least 80% of trials); the tolerance applies
+//     to the storm-2 all-named rate against the baseline.
 package main
 
 import (
@@ -100,6 +105,20 @@ type timingBench struct {
 	ExtraFalseAlarms     int     `json:"extra_false_alarms"`
 }
 
+// scenariosBench mirrors the BENCH_scenarios.json fields the gate reads.
+type scenariosBench struct {
+	CleanFalseAlarms  int     `json:"clean_false_alarms"`
+	BenignFalseAlarms int     `json:"benign_false_alarms"`
+	Storm2AllNamedPct float64 `json:"storm2_all_named_pct"`
+	Scenarios         []struct {
+		Name        string `json:"name"`
+		Benign      bool   `json:"benign"`
+		Trials      int    `json:"trials"`
+		Detected    int    `json:"detected"`
+		FalseAlarms int    `json:"false_alarms"`
+	} `json:"scenarios"`
+}
+
 func main() {
 	mode := flag.String("mode", "hub", "which benchmark schema to compare: hub or eval")
 	baseline := flag.String("baseline", "", "committed baseline JSON")
@@ -139,8 +158,10 @@ func run(mode, baseline, fresh string, tolerance float64) error {
 		return diffDrift(baseline, fresh, tolerance)
 	case "timing":
 		return diffTiming(baseline, fresh, tolerance)
+	case "scenarios":
+		return diffScenarios(baseline, fresh, tolerance)
 	default:
-		return fmt.Errorf("unknown mode %q (want hub, eval, cluster, drift, or timing)", mode)
+		return fmt.Errorf("unknown mode %q (want hub, eval, cluster, drift, timing, or scenarios)", mode)
 	}
 }
 
@@ -302,6 +323,45 @@ func diffTiming(baseline, fresh string, tolerance float64) error {
 	if cur.CatchPct < floor {
 		return fmt.Errorf("timing catch rate regressed: %.0f%% < %.0f%% (baseline %.0f%% - %d%%)",
 			cur.CatchPct, floor, base.CatchPct, int(tolerance*100))
+	}
+	return nil
+}
+
+// diffScenarios gates on the scenario library's accuracy floors.
+// Correctness floors are absolute: zero clean and benign false alarms, and
+// the two-fault storm's alerts name every injected device in at least 80%
+// of trials. The tolerance additionally holds the storm-2 all-named rate
+// near the baseline so a weaker identifier cannot coast down to the floor
+// unnoticed.
+func diffScenarios(baseline, fresh string, tolerance float64) error {
+	var base, cur scenariosBench
+	if err := load(baseline, &base); err != nil {
+		return err
+	}
+	if err := load(fresh, &cur); err != nil {
+		return err
+	}
+	if cur.CleanFalseAlarms > 0 {
+		return fmt.Errorf("clean replay raised %d alerts: the detector false-alarms on fault-free data", cur.CleanFalseAlarms)
+	}
+	if cur.BenignFalseAlarms > 0 {
+		return fmt.Errorf("benign scenarios raised %d alerts: occupancy changes must not alert", cur.BenignFalseAlarms)
+	}
+	if cur.Storm2AllNamedPct < 80 {
+		return fmt.Errorf("storm-2 named every injected device in %.0f%% of trials, floor is 80%%", cur.Storm2AllNamedPct)
+	}
+	if len(cur.Scenarios) == 0 {
+		return fmt.Errorf("fresh run reports no scenarios (regenerate with dice-eval -exp scenarios)")
+	}
+	if base.Storm2AllNamedPct <= 0 {
+		return fmt.Errorf("storm2_all_named_pct missing from baseline (regenerate with dice-eval -exp scenarios)")
+	}
+	floor := base.Storm2AllNamedPct * (1 - tolerance)
+	fmt.Printf("scenarios gate: baseline storm-2 all-named %.0f%%, fresh %.0f%% (floor %.0f%%, %d scenarios, 0 benign false alarms)\n",
+		base.Storm2AllNamedPct, cur.Storm2AllNamedPct, floor, len(cur.Scenarios))
+	if cur.Storm2AllNamedPct < floor {
+		return fmt.Errorf("storm-2 all-named rate regressed: %.0f%% < %.0f%% (baseline %.0f%% - %d%%)",
+			cur.Storm2AllNamedPct, floor, base.Storm2AllNamedPct, int(tolerance*100))
 	}
 	return nil
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines|hub|recovery|cluster|drift|timing]
+//	dice-eval [-exp all|datasets|accuracy|latency|checks|degree|compute|ratio|actuators|multifault|ablations|baselines|hub|recovery|cluster|drift|timing|scenarios]
 //	          [-datasets houseA,twor,...] [-trials N] [-seed N] [-csv]
 //	          [-workers N] [-benchjson FILE]
 //	          [-hub-homes M] [-hub-shards S] [-hub-hours H] [-hubjson FILE]
@@ -12,6 +12,7 @@
 //	          [-cluster-nodes N] [-cluster-homes M] [-cluster-hours H] [-clusterjson FILE]
 //	          [-drift-days D] [-drift-extra A] [-drift-admit N] [-driftjson FILE]
 //	          [-timing-delay W] [-timing-trials N] [-timingjson FILE]
+//	          [-scenario-trials N] [-scenario-train H] [-scenariosjson FILE]
 //
 // `-trials 100` reproduces the paper-scale run (the default is 40 to keep
 // the full ten-dataset sweep under a minute on a laptop). `-workers` sizes
@@ -52,6 +53,15 @@
 // timing-aware one. The timing arm must catch at least 80% of what the
 // structural arm misses while flagging zero clean windows; the numbers land
 // in BENCH_timing.json (`-timingjson`).
+//
+// `-exp scenarios` grades the multi-fault detector on the adversarial
+// scenario library: spoofed ghost devices, replay attacks, malicious
+// actuator triggering, benign occupancy changes (guest, vacation), and
+// mixed-fault storms of 2–4 point+stream faults with staggered onsets.
+// Floors: zero alerts on the benign scenarios, and the two-fault storm's
+// alerts must name every injected device in >= 80% of trials. Per-scenario
+// detection and identification precision/recall land in
+// BENCH_scenarios.json (`-scenariosjson`).
 package main
 
 import (
@@ -101,6 +111,9 @@ func run() error {
 	timingDelay := flag.Int("timing-delay", 0, "hold windows per delayed trigger for -exp timing (0 = bench default)")
 	timingTrials := flag.Int("timing-trials", 0, "fault trials for -exp timing (0 = bench default)")
 	timingJSON := flag.String("timingjson", "BENCH_timing.json", "write the -exp timing result to this JSON file (empty = off)")
+	scenarioTrials := flag.Int("scenario-trials", 0, "trials per scenario for -exp scenarios (0 = bench default)")
+	scenarioTrain := flag.Int("scenario-train", 0, "training hours for -exp scenarios (0 = bench default)")
+	scenariosJSON := flag.String("scenariosjson", "BENCH_scenarios.json", "write the -exp scenarios result to this JSON file (empty = off)")
 	flag.Parse()
 
 	specs, err := selectSpecs(*dsFlag)
@@ -195,6 +208,11 @@ func run() error {
 			DelayWindows: *timingDelay,
 			Trials:       *timingTrials,
 		}, *timingJSON)
+	case "scenarios":
+		return runScenarioBench(eval.ScenarioBench{
+			TrainHours: *scenarioTrain,
+			Trials:     *scenarioTrials,
+		}, *scenariosJSON)
 	case "actuators":
 		return runActuators(specs, *seed, proto, *workers, emit)
 	case "multifault":
@@ -448,6 +466,56 @@ func runTimingBench(o eval.TimingBench, jsonPath string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 	return nil
+}
+
+// runScenarioBench grades the multi-fault detector on the adversarial
+// scenario library and writes the per-scenario table to
+// BENCH_scenarios.json.
+func runScenarioBench(o eval.ScenarioBench, jsonPath string) error {
+	res, benchErr := eval.RunScenarioBench(o)
+	if res != nil {
+		fmt.Printf("scenario bench: %dh training, %dh clean replay, %d trials/scenario (%d groups)\n",
+			res.TrainHours, res.CleanHours, res.Trials, res.Groups)
+		fmt.Printf("  clean replay: %d false alarms\n", res.CleanFalseAlarms)
+		for _, s := range res.Scenarios {
+			switch {
+			case s.Benign:
+				fmt.Printf("  %-20s benign, %d/%d trials alert-free\n",
+					s.Name, s.Trials-minInt(s.FalseAlarms, s.Trials), s.Trials)
+			case s.DetectOnly:
+				fmt.Printf("  %-20s detected %d/%d (%.0f%%), detect-only\n",
+					s.Name, s.Detected, s.Trials, s.DetectionPct)
+			default:
+				fmt.Printf("  %-20s detected %d/%d (%.0f%%), ident P %.2f R %.2f, all-named %d/%d (%.0f%%)\n",
+					s.Name, s.Detected, s.Trials, s.DetectionPct,
+					s.IdentPrecision, s.IdentRecall, s.AllNamed, s.Trials, s.AllNamedPct)
+			}
+		}
+		fmt.Printf("  floors: benign false alarms %d (want 0), storm-2 all-named %.0f%% (want >= 80%%)\n",
+			res.BenignFalseAlarms, res.Storm2AllNamedPct)
+	}
+	if benchErr != nil {
+		return benchErr
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write scenario bench json: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // runActuators reproduces §5.1.3: actuator faults on the D_* datasets (the

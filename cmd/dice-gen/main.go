@@ -4,19 +4,33 @@
 // Usage:
 //
 //	dice-gen -dataset D_houseA -out ./data/D_houseA [-hours 48] [-seed 42]
+//	dice-gen -scenario storm-2 -out ./data/storm-2 [-trial 0] [-seed 42]
 //
 // -hours truncates the recording (0 keeps the spec's full length from
 // Table 4.1). The named datasets are the ten of the paper; `dice-gen -list`
 // prints them.
+//
+// -scenario emits one seeded trial of the adversarial scenario library
+// instead: the corrupted segment as an ordinary dataset directory plus a
+// scenario.json ground-truth manifest naming the injected faults and the
+// devices an identifier should blame. `dice-gen -list-scenarios` prints
+// the library.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/eval"
+	"repro/internal/event"
 	"repro/internal/simhome"
+	"repro/internal/window"
 )
 
 func main() {
@@ -33,6 +47,9 @@ func run() error {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	compact := flag.Bool("compact", false, "write binary events (smaller, faster to load)")
 	list := flag.Bool("list", false, "list dataset names and exit")
+	scenario := flag.String("scenario", "", "emit one scenario-library trial as a labeled dataset (see -list-scenarios)")
+	trial := flag.Int("trial", 0, "trial index for -scenario")
+	listScenarios := flag.Bool("list-scenarios", false, "list scenario names and exit")
 	flag.Parse()
 
 	if *list {
@@ -42,8 +59,17 @@ func run() error {
 		}
 		return nil
 	}
+	if *listScenarios {
+		for _, n := range eval.ScenarioNames() {
+			fmt.Println(n)
+		}
+		return nil
+	}
 	if *out == "" {
 		return fmt.Errorf("-out is required")
+	}
+	if *scenario != "" {
+		return genScenario(*scenario, *trial, *seed, *out, *compact)
 	}
 	spec, err := simhome.SpecByName(*name)
 	if err != nil {
@@ -69,6 +95,168 @@ func run() error {
 	}
 	fmt.Printf("wrote %s: %d events\n", *out, len(evts))
 	return nil
+}
+
+// scenarioDays is the trial area dice-gen simulates for scenario emission:
+// enough whole days for the library to rotate trials through.
+const scenarioDays = 2
+
+// genScenario emits one seeded trial of the named library scenario as a
+// dataset directory plus a scenario.json ground-truth manifest. The segment
+// is rebased to time zero, so fault onsets in the label are direct window
+// indices into the emitted recording. Ghost-device events are present in
+// events.csv under their unregistered ID; window.FromEvents drops them (the
+// manifest registry has never heard of the device), which is exactly the
+// blind spot the ghost check exists for — the label file is the only place
+// the spoofed ID is recorded.
+func genScenario(name string, trial int, seed int64, out string, compact bool) error {
+	spec := simhome.SpecDTwoR()
+	spec.Hours = scenarioDays * 24
+	h, err := simhome.New(spec, seed)
+	if err != nil {
+		return err
+	}
+	lib, err := eval.NewScenarioLibrary(h, 0, scenarioDays)
+	if err != nil {
+		return err
+	}
+	si, err := lib.Trial(name, trial, seed)
+	if err != nil {
+		return err
+	}
+	obs, err := si.Windows(h)
+	if err != nil {
+		return err
+	}
+	for i, o := range obs {
+		o.Index = i
+	}
+	evts := renderEvents(h, obs)
+	dsName := fmt.Sprintf("scenario_%s_t%d", name, trial)
+	m := dataset.ManifestFor(dsName, si.SegLen/60, seed, h.Registry())
+	saveFn := dataset.Save
+	if compact {
+		saveFn = dataset.SaveCompact
+	}
+	if err := saveFn(out, m, evts); err != nil {
+		return err
+	}
+	if err := writeScenarioLabel(out, h, si, trial, seed); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d events, scenario %s trial %d (%d ground-truth devices)\n",
+		out, len(evts), name, trial, len(si.GroundTruth))
+	return nil
+}
+
+// renderEvents lowers windowed observations back to a raw event stream:
+// actuations at the window start, binary firings mid-window, numeric
+// samples spread evenly. Ghost actuations survive because the renderer
+// emits whatever IDs the observation carries, registered or not.
+func renderEvents(h *simhome.Home, obs []*window.Observation) []event.Event {
+	reg := h.Registry()
+	bins, nums := reg.Binaries(), reg.Numerics()
+	var evts []event.Event
+	for _, o := range obs {
+		base := time.Duration(o.Index) * window.DefaultDuration
+		for _, id := range o.Actuated {
+			evts = append(evts, event.Event{At: base + 5*time.Second, Device: id, Value: 1})
+		}
+		for slot, fired := range o.Binary {
+			if fired {
+				evts = append(evts, event.Event{At: base + 30*time.Second, Device: bins[slot], Value: 1})
+			}
+		}
+		for slot, samples := range o.Numeric {
+			step := window.DefaultDuration / time.Duration(len(samples)+1)
+			for k, v := range samples {
+				evts = append(evts, event.Event{At: base + time.Duration(k+1)*step, Device: nums[slot], Value: v})
+			}
+		}
+	}
+	return evts
+}
+
+// Ground-truth label schema for scenario.json. Onsets and segment offsets
+// are window indices into the emitted (rebased) recording.
+type scenarioLabel struct {
+	Name        string                   `json:"name"`
+	Description string                   `json:"description"`
+	Trial       int                      `json:"trial"`
+	Seed        int64                    `json:"seed"`
+	Benign      bool                     `json:"benign"`
+	DetectOnly  bool                     `json:"detect_only"`
+	SegBase     int                      `json:"seg_base"`
+	SegLen      int                      `json:"seg_len"`
+	Onset       int                      `json:"onset"`
+	MaxFaults   int                      `json:"max_faults"`
+	GroundTruth []labelDevice            `json:"ground_truth"`
+	Faults      []labelFault             `json:"faults,omitempty"`
+	Ghosts      []labelGhost             `json:"ghosts,omitempty"`
+	Replays     []labelReplay            `json:"replays,omitempty"`
+	Occupancy   *simhome.OccupancyChange `json:"occupancy,omitempty"`
+}
+
+type labelDevice struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+}
+
+type labelFault struct {
+	Device int    `json:"device"`
+	Type   string `json:"type"`
+	Onset  int    `json:"onset"`
+	Delay  int    `json:"delay,omitempty"`
+}
+
+type labelGhost struct {
+	Device int `json:"device"`
+	Onset  int `json:"onset"`
+	Every  int `json:"every"`
+}
+
+type labelReplay struct {
+	SrcFrom int `json:"src_from"`
+	SrcLen  int `json:"src_len"`
+	At      int `json:"at"`
+}
+
+func writeScenarioLabel(dir string, h *simhome.Home, si *eval.ScenarioInstance, trial int, seed int64) error {
+	lbl := scenarioLabel{
+		Name: si.Name, Description: si.Description, Trial: trial, Seed: seed,
+		Benign: si.Benign, DetectOnly: si.DetectOnly,
+		SegBase: si.SegBase, SegLen: si.SegLen, Onset: si.Onset, MaxFaults: si.MaxFaults,
+		GroundTruth: []labelDevice{},
+	}
+	for _, id := range si.GroundTruth {
+		lbl.GroundTruth = append(lbl.GroundTruth, labelDevice{ID: int(id), Name: deviceName(h, id)})
+	}
+	for _, f := range si.Scenario.Faults {
+		lbl.Faults = append(lbl.Faults, labelFault{
+			Device: int(f.Device), Type: f.Type.String(), Onset: f.Onset, Delay: f.Delay,
+		})
+	}
+	for _, g := range si.Scenario.Ghosts {
+		lbl.Ghosts = append(lbl.Ghosts, labelGhost{Device: int(g.Device), Onset: g.Onset, Every: g.Every})
+	}
+	for _, r := range si.Scenario.Replays {
+		lbl.Replays = append(lbl.Replays, labelReplay{SrcFrom: r.SrcFrom, SrcLen: r.SrcLen, At: r.At})
+	}
+	lbl.Occupancy = si.Occupancy
+	buf, err := json.MarshalIndent(lbl, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "scenario.json"), append(buf, '\n'), 0o644)
+}
+
+// deviceName resolves an ID through the registry, labeling unregistered
+// (spoofed) IDs explicitly.
+func deviceName(h *simhome.Home, id device.ID) string {
+	if d, err := h.Registry().Get(id); err == nil {
+		return d.Name
+	}
+	return fmt.Sprintf("ghost-%d", int(id))
 }
 
 func count(s simhome.Spec, kind int) int {

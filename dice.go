@@ -151,7 +151,8 @@ type (
 
 // Violation causes. CheckTiming flags a structurally valid transition whose
 // inter-window gap falls outside the interval band learned during training
-// (Cause.Family() == FamilyTiming).
+// (Cause.Family() == FamilyTiming). CheckGhost flags actuations reported
+// under a device ID the trained layout never issued — a spoofed node.
 const (
 	CheckNone        = core.CheckNone
 	CheckCorrelation = core.CheckCorrelation
@@ -160,6 +161,7 @@ const (
 	CheckA2G         = core.CheckA2G
 	CheckLiveness    = core.CheckLiveness
 	CheckTiming      = core.CheckTiming
+	CheckGhost       = core.CheckGhost
 )
 
 // Cause families, as returned by Cause.Family().
@@ -168,6 +170,7 @@ const (
 	FamilyTransition  = core.FamilyTransition
 	FamilyLiveness    = core.FamilyLiveness
 	FamilyTiming      = core.FamilyTiming
+	FamilyGhost       = core.FamilyGhost
 )
 
 // Context payload schema versions: v1 files predate interval sketches and
@@ -178,8 +181,8 @@ const (
 )
 
 // DefaultChecks returns the built-in check pipeline in evaluation order:
-// correlation, G2G, G2A, A2G, timing. Pass a reordered or filtered slice to
-// WithChecks to reshape the pipeline.
+// ghost, correlation, G2G, G2A, A2G, timing. Pass a reordered or filtered
+// slice to WithChecks to reshape the pipeline.
 func DefaultChecks() []Check { return core.DefaultChecks() }
 
 // DefaultDuration is the paper's empirically optimal window length.

@@ -132,15 +132,15 @@ func TestFacadeTimingSurface(t *testing.T) {
 	}
 
 	checks := DefaultChecks()
-	if len(checks) != 5 || checks[len(checks)-1].Cause() != CheckTiming {
-		t.Fatalf("DefaultChecks = %d checks ending in %v, want 5 ending in timing",
+	if len(checks) != 6 || checks[len(checks)-1].Cause() != CheckTiming {
+		t.Fatalf("DefaultChecks = %d checks ending in %v, want 6 ending in timing",
 			len(checks), checks[len(checks)-1].Cause())
 	}
 	if CheckTiming.Family() != FamilyTiming {
 		t.Errorf("CheckTiming family = %q", CheckTiming.Family())
 	}
 	// A structural-only pipeline and the timing knobs all construct.
-	if _, err := New(loaded, WithChecks(checks[:4]...)); err != nil {
+	if _, err := New(loaded, WithChecks(checks[:5]...)); err != nil {
 		t.Fatalf("WithChecks: %v", err)
 	}
 	if _, err := New(loaded, WithTiming(false)); err != nil {

@@ -290,7 +290,14 @@ func (a *Adapter) Observe(o *window.Observation, res Result) (*Context, error) {
 		curPend = a.observePending(curKey, o)
 	}
 
-	if res.Alert != nil {
+	if len(res.Alerts) > 0 {
+		for _, al := range res.Alerts {
+			a.dropCovered(al.Devices)
+		}
+		if curPend != nil && a.pending[curKey] == nil {
+			curPend = nil // the alerts just explained this window's set away
+		}
+	} else if res.Alert != nil {
 		a.dropCovered(res.Alert.Devices)
 		if curPend != nil && a.pending[curKey] == nil {
 			curPend = nil // the alert just explained this window's set away

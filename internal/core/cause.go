@@ -17,11 +17,12 @@ const (
 	FamilyTransition  = "transition"
 	FamilyLiveness    = "liveness"
 	FamilyTiming      = "timing"
+	FamilyGhost       = "ghost"
 )
 
 // Family buckets the cause into the check families: the correlation check,
 // the structural transition check (G2G/G2A/A2G), the interval-band timing
-// check, or the gateway-level liveness tracker.
+// check, the gateway-level liveness tracker, or the ghost-device check.
 func (k CheckKind) Family() string {
 	switch {
 	case k.IsTransition():
@@ -30,6 +31,8 @@ func (k CheckKind) Family() string {
 		return FamilyLiveness
 	case k == CheckTiming:
 		return FamilyTiming
+	case k == CheckGhost:
+		return FamilyGhost
 	default:
 		return FamilyCorrelation
 	}
@@ -39,7 +42,7 @@ func (k CheckKind) Family() string {
 // excluded). Metric vectors index counters by int(cause) - 1 against this
 // slice.
 func Causes() []CheckKind {
-	return []CheckKind{CheckCorrelation, CheckG2G, CheckG2A, CheckA2G, CheckLiveness, CheckTiming}
+	return []CheckKind{CheckCorrelation, CheckG2G, CheckG2A, CheckA2G, CheckLiveness, CheckTiming, CheckGhost}
 }
 
 // CauseNames returns Causes rendered as strings, for metric label values.
@@ -69,6 +72,8 @@ func ParseCheckKind(s string) (CheckKind, error) {
 		return CheckLiveness, nil
 	case "timing":
 		return CheckTiming, nil
+	case "ghost":
+		return CheckGhost, nil
 	default:
 		return CheckNone, fmt.Errorf("core: unknown cause %q", s)
 	}
@@ -97,7 +102,7 @@ func (k *CheckKind) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &n); err != nil {
 		return fmt.Errorf("core: cause must be a string or integer: %s", data)
 	}
-	if n < int(CheckNone) || n > int(CheckTiming) {
+	if n < int(CheckNone) || n > int(CheckGhost) {
 		return fmt.Errorf("core: cause %d out of range", n)
 	}
 	*k = CheckKind(n)

@@ -50,13 +50,15 @@ type Check interface {
 	Run(d *Detector, in CheckInput) *Finding
 }
 
-// DefaultChecks returns the standard pipeline in precedence order:
-// correlation, then the three structural transition cases of §3.3.2, then
-// the interval-band timing check (which only structurally clean windows
-// reach). The slice is freshly allocated; callers may reorder or extend it
-// and pass the result to WithChecks.
+// DefaultChecks returns the standard pipeline in precedence order: the
+// ghost-device check (an unknown device ID is unambiguous and cheap to
+// test), then correlation, then the three structural transition cases of
+// §3.3.2, then the interval-band timing check (which only structurally
+// clean windows reach). The slice is freshly allocated; callers may
+// reorder or extend it and pass the result to WithChecks.
 func DefaultChecks() []Check {
 	return []Check{
+		GhostCheck{},
 		CorrelationCheck{},
 		G2GCheck{},
 		G2ACheck{},
@@ -74,6 +76,37 @@ func (d *Detector) runChecks(in CheckInput) *Finding {
 		}
 	}
 	return nil
+}
+
+// GhostCheck flags actuator events attributed to a device ID the trained
+// layout does not know: a spoofed or ghost device injecting traffic into
+// the home (the Aegis-style device-spoofing attack). The structural checks
+// silently skip unknown IDs — their ActuatorSlot lookup misses — so
+// without this check a ghost device is invisible to the pipeline. The
+// suspects are the ghost IDs themselves.
+type GhostCheck struct{}
+
+// Name implements Check.
+func (GhostCheck) Name() string { return "ghost" }
+
+// Cause implements Check.
+func (GhostCheck) Cause() Cause { return CheckGhost }
+
+// Run implements Check. The pass path is a slot lookup per actuated ID and
+// never allocates.
+func (GhostCheck) Run(d *Detector, in CheckInput) *Finding {
+	layout := d.ctx.Layout()
+	var ghosts []device.ID
+	for _, act := range in.Obs.Actuated {
+		if _, ok := layout.ActuatorSlot(act); !ok {
+			ghosts = append(ghosts, act)
+		}
+	}
+	if ghosts == nil {
+		return nil
+	}
+	sortIDs(ghosts)
+	return &Finding{Cause: CheckGhost, Suspects: ghosts}
 }
 
 // CorrelationCheck flags windows whose state set matches no known group —

@@ -9,7 +9,7 @@ import (
 // DetectorState is the JSON-serializable runtime state of a Detector: the
 // previous-window group and actuators the transition checks compare
 // against, the recent-actuator history, and any in-flight identification
-// episode. A gateway checkpoints it so a restarted process resumes the
+// episodes. A gateway checkpoints it so a restarted process resumes the
 // transition check mid-stream instead of cold-starting with NoGroup (which
 // would blind the G2G/G2A/A2G checks for the first post-restart window and
 // abandon a half-finished identification).
@@ -17,7 +17,13 @@ type DetectorState struct {
 	PrevGroup  int               `json:"prev_group"`
 	PrevActs   []device.ID       `json:"prev_acts,omitempty"`
 	RecentActs map[device.ID]int `json:"recent_acts,omitempty"`
-	Episode    *EpisodeState     `json:"episode,omitempty"`
+	// Episode is the legacy single-episode field (pre-multi-fault
+	// checkpoints). Writers populate it with the first open episode so old
+	// readers keep working; readers prefer Episodes when present.
+	Episode *EpisodeState `json:"episode,omitempty"`
+	// Episodes carries every open identification episode in opening order
+	// (more than one only with MaxFaults > 1).
+	Episodes []*EpisodeState `json:"episodes,omitempty"`
 	// Dwell and LastFires carry the timing check's gap bookkeeping (the
 	// consecutive windows spent in PrevGroup, and each actuator slot's most
 	// recent firing window). Absent in pre-timing checkpoints, which restore
@@ -36,15 +42,61 @@ type EpisodeState struct {
 	Stalls         int         `json:"stalls"`
 	NormalStreak   int         `json:"normal_streak"`
 	Length         int         `json:"length"`
-	MissingEffect  bool        `json:"missing_effect,omitempty"`
-	SurplusEffect  bool        `json:"surplus_effect,omitempty"`
-	OpeningActs    []device.ID `json:"opening_acts,omitempty"`
-	OpeningPrev    int         `json:"opening_prev"`
-	FiredActs      []device.ID `json:"fired_acts,omitempty"`
+	// Corroboration counts the informative windows that fed the episode;
+	// absent in pre-multi-fault checkpoints, which restore as if the
+	// opening window were the only evidence so far.
+	Corroboration int         `json:"corroboration,omitempty"`
+	MissingEffect bool        `json:"missing_effect,omitempty"`
+	SurplusEffect bool        `json:"surplus_effect,omitempty"`
+	OpeningActs   []device.ID `json:"opening_acts,omitempty"`
+	OpeningPrev   int         `json:"opening_prev"`
+	FiredActs     []device.ID `json:"fired_acts,omitempty"`
 	// Trace carries the episode's decision trace across restarts, so an
 	// alert concluded after a restore explains itself identically to one
 	// from an uninterrupted run. Absent in pre-trace checkpoints.
 	Trace *Explain `json:"trace,omitempty"`
+}
+
+// exportEpisode snapshots one episode.
+func exportEpisode(ep *episode) *EpisodeState {
+	return &EpisodeState{
+		Cause:          ep.cause,
+		DetectedWindow: ep.detectedWindow,
+		Intersection:   setToSlice(ep.intersection),
+		Stalls:         ep.stalls,
+		NormalStreak:   ep.normalStreak,
+		Length:         ep.length,
+		Corroboration:  ep.corroboration,
+		MissingEffect:  ep.missingEffect,
+		SurplusEffect:  ep.surplusEffect,
+		OpeningActs:    setToSlice(ep.openingActs),
+		OpeningPrev:    ep.openingPrev,
+		FiredActs:      setToSlice(ep.firedActs),
+		Trace:          ep.trace.Clone(),
+	}
+}
+
+// restoreEpisode rebuilds one episode from its snapshot.
+func restoreEpisode(eps *EpisodeState) *episode {
+	corr := eps.Corroboration
+	if corr == 0 {
+		corr = 1
+	}
+	return &episode{
+		cause:          eps.Cause,
+		detectedWindow: eps.DetectedWindow,
+		intersection:   toSet(eps.Intersection),
+		stalls:         eps.Stalls,
+		normalStreak:   eps.NormalStreak,
+		length:         eps.Length,
+		corroboration:  corr,
+		missingEffect:  eps.MissingEffect,
+		surplusEffect:  eps.SurplusEffect,
+		openingActs:    toSet(eps.OpeningActs),
+		openingPrev:    eps.OpeningPrev,
+		firedActs:      toSet(eps.FiredActs),
+		trace:          eps.Trace.Clone(),
+	}
 }
 
 // ExportState snapshots the detector's runtime state. The snapshot shares
@@ -70,21 +122,12 @@ func (d *Detector) ExportState() DetectorState {
 			st.RecentActs[id] = at
 		}
 	}
-	if ep := d.ep; ep != nil {
-		st.Episode = &EpisodeState{
-			Cause:          ep.cause,
-			DetectedWindow: ep.detectedWindow,
-			Intersection:   setToSlice(ep.intersection),
-			Stalls:         ep.stalls,
-			NormalStreak:   ep.normalStreak,
-			Length:         ep.length,
-			MissingEffect:  ep.missingEffect,
-			SurplusEffect:  ep.surplusEffect,
-			OpeningActs:    setToSlice(ep.openingActs),
-			OpeningPrev:    ep.openingPrev,
-			FiredActs:      setToSlice(ep.firedActs),
-			Trace:          ep.trace.Clone(),
-		}
+	for _, ep := range d.eps {
+		st.Episodes = append(st.Episodes, exportEpisode(ep))
+	}
+	if len(st.Episodes) > 0 {
+		// Mirror the first episode into the legacy field for old readers.
+		st.Episode = st.Episodes[0]
 	}
 	return st
 }
@@ -95,8 +138,12 @@ func (d *Detector) RestoreState(st DetectorState) error {
 	if err := d.checkGroupRef(st.PrevGroup); err != nil {
 		return fmt.Errorf("core: restore prev group: %w", err)
 	}
-	if st.Episode != nil {
-		if err := d.checkGroupRef(st.Episode.OpeningPrev); err != nil {
+	episodes := st.Episodes
+	if episodes == nil && st.Episode != nil {
+		episodes = []*EpisodeState{st.Episode}
+	}
+	for _, eps := range episodes {
+		if err := d.checkGroupRef(eps.OpeningPrev); err != nil {
 			return fmt.Errorf("core: restore episode opening group: %w", err)
 		}
 	}
@@ -119,22 +166,9 @@ func (d *Detector) RestoreState(st DetectorState) error {
 	for id, at := range st.RecentActs {
 		d.recentActs[id] = at
 	}
-	d.ep = nil
-	if eps := st.Episode; eps != nil {
-		d.ep = &episode{
-			cause:          eps.Cause,
-			detectedWindow: eps.DetectedWindow,
-			intersection:   toSet(eps.Intersection),
-			stalls:         eps.Stalls,
-			normalStreak:   eps.NormalStreak,
-			length:         eps.Length,
-			missingEffect:  eps.MissingEffect,
-			surplusEffect:  eps.SurplusEffect,
-			openingActs:    toSet(eps.OpeningActs),
-			openingPrev:    eps.OpeningPrev,
-			firedActs:      toSet(eps.FiredActs),
-			trace:          eps.Trace.Clone(),
-		}
+	d.eps = nil
+	for _, eps := range episodes {
+		d.eps = append(d.eps, restoreEpisode(eps))
 	}
 	return nil
 }

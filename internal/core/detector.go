@@ -31,6 +31,11 @@ const (
 	// degrading sensor). It sits after CheckLiveness so legacy integer
 	// encodings of the earlier causes stay stable.
 	CheckTiming
+	// CheckGhost flags actuator events from a device ID the layout does
+	// not know — a spoofed or ghost device injecting traffic into the
+	// home. It sits last so legacy integer encodings of the earlier
+	// causes stay stable.
+	CheckGhost
 )
 
 // String returns the check name.
@@ -50,6 +55,8 @@ func (k CheckKind) String() string {
 		return "liveness"
 	case CheckTiming:
 		return "timing"
+	case CheckGhost:
+		return "ghost"
 	default:
 		return fmt.Sprintf("CheckKind(%d)", int(k))
 	}
@@ -105,16 +112,23 @@ type Result struct {
 	// During an identification episode only the episode-opening window
 	// carries the original cause; probe windows report their own findings.
 	Violation CheckKind
-	// Detected is true exactly on the window that opens an episode.
+	// Detected is true exactly on a window that opens an episode (the
+	// first violation, or — with MaxFaults > 1 — a violation disjoint from
+	// every open episode that splits off a new one).
 	Detected bool
 	// Identifying is true while an episode is in progress (including the
 	// opening and reporting windows).
 	Identifying bool
-	// Probable is the current intersection of probable faulty devices,
+	// Probable is the union of the open episodes' probable faulty devices,
 	// ascending; nil outside episodes.
 	Probable []device.ID
-	// Alert is non-nil on the window that concludes an episode.
+	// Alert is non-nil on a window that concludes an episode; when several
+	// episodes conclude on the same window it is the first of Alerts.
 	Alert *Alert
+	// Alerts carries every episode concluded on this window, in episode
+	// opening order. With MaxFaults == 1 it holds at most one entry
+	// (identical to Alert).
+	Alerts []*Alert
 	// Timing carries the per-stage costs for this window.
 	Timing Timing
 }
@@ -127,6 +141,11 @@ type episode struct {
 	stalls         int
 	normalStreak   int
 	length         int
+	// corroboration counts the informative windows that fed this episode,
+	// including the opening one. Multi-fault mode requires a minimum
+	// corroboration before alerting, so one-off transition glitches
+	// (a benign occupancy change clipping a window) die quietly.
+	corroboration int
 	// missingEffect is true when the opening diff showed only bits that
 	// were expected to be set but were not — the signature of a missing
 	// actuator effect; surplusEffect is the inverse signature (only
@@ -154,7 +173,12 @@ type Detector struct {
 
 	prevGroup int
 	prevActs  []device.ID
-	ep        *episode
+	// eps holds the open identification episodes in opening order. With
+	// MaxFaults == 1 (the paper's numThre default) at most one episode is
+	// ever open and the behavior matches the single-fault pipeline bit for
+	// bit; with MaxFaults > 1 up to MaxFaults episodes run concurrently,
+	// each tracking one suspected fault.
+	eps []*episode
 
 	// checks is the ordered detection pipeline; DefaultChecks unless the
 	// detector was built WithChecks.
@@ -193,6 +217,12 @@ type Detector struct {
 // recentActWindows is how far back an actuator firing still counts as "the
 // actuator acted recently" when attributing missing effects.
 const recentActWindows = 15
+
+// minCorroboration is how many informative windows a multi-fault episode
+// needs before it may alert; episodes that run out of patience below it are
+// dismissed without alerting. Single-fault mode (MaxFaults == 1) does not
+// apply it, preserving the paper's original conclusion rule.
+const minCorroboration = 2
 
 // newDetector is the single construction path behind New.
 func newDetector(ctx *Context, o detOptions) (*Detector, error) {
@@ -263,11 +293,11 @@ func (d *Detector) SwapContext(ctx *Context) error {
 }
 
 // Reset clears all runtime state (previous group, actuators, any in-flight
-// episode). Use it between independent segments.
+// episodes). Use it between independent segments.
 func (d *Detector) Reset() {
 	d.prevGroup = NoGroup
 	d.prevActs = d.prevActs[:0]
-	d.ep = nil
+	d.eps = nil
 	d.recentActs = make(map[device.ID]int)
 	d.dwell = 0
 	for i := range d.lastFire {
@@ -293,8 +323,12 @@ func (d *Detector) LastFireWindow(slot int) int {
 	return d.lastFire[slot]
 }
 
-// Identifying reports whether an identification episode is in progress.
-func (d *Detector) Identifying() bool { return d.ep != nil }
+// Identifying reports whether any identification episode is in progress.
+func (d *Detector) Identifying() bool { return len(d.eps) > 0 }
+
+// OpenEpisodes returns the number of identification episodes currently in
+// flight (0 or 1 unless MaxFaults > 1).
+func (d *Detector) OpenEpisodes() int { return len(d.eps) }
 
 // Process runs one window through DICE and returns what was concluded.
 // Windows must be fed in time order.
@@ -324,7 +358,7 @@ func (d *Detector) Process(o *window.Observation) (Result, error) {
 		}
 	}
 
-	if d.ep != nil {
+	if len(d.eps) > 0 {
 		// §3.4: during the repetition, skip the checks and go straight to
 		// identification.
 		d.identifyStep(v, cands, o, &res)
@@ -346,49 +380,55 @@ func (d *Detector) Process(o *window.Observation) (Result, error) {
 	}
 
 	if finding != nil {
-		cause := finding.Cause
-		suspects := finding.Suspects
-		d.met.violation(cause)
-		res.Violation = cause
+		d.met.violation(finding.Cause)
+		res.Violation = finding.Cause
 		res.Detected = true
 		res.Identifying = true
-		fired := toSet(o.Actuated)
-		for act, at := range d.recentActs {
-			if o.Index-at <= recentActWindows {
-				fired[act] = true
-			}
-		}
-		d.ep = &episode{
-			cause:          cause,
-			detectedWindow: o.Index,
-			intersection:   toSet(suspects),
-			missingEffect:  d.lastDiffMissingOnly,
-			surplusEffect:  d.lastDiffSurplusOnly,
-			openingActs:    toSet(o.Actuated),
-			openingPrev:    d.prevGroup,
-			firedActs:      fired,
-			trace: &Explain{
-				Cause:          cause,
-				DetectedWindow: o.Index,
-				PrevGroup:      d.prevGroup,
-				MainGroup:      cands.Main,
-				ProbableGroups: append([]int(nil), cands.Probable...),
-				MinDistance:    cands.MinDistance,
-				Timing:         finding.Timing,
-			},
-		}
-		res.Probable = setToSlice(d.ep.intersection)
-		d.ep.trace.addStep(ExplainStep{
+		ep := d.openEpisode(finding, cands, o)
+		d.eps = append(d.eps[:0], ep)
+		res.Probable = setToSlice(ep.intersection)
+		ep.trace.addStep(ExplainStep{
 			Window:       o.Index,
-			Violation:    cause,
-			Suspects:     suspects,
+			Violation:    finding.Cause,
+			Suspects:     finding.Suspects,
 			Intersection: res.Probable,
 		})
-		d.maybeConclude(&res)
+		d.concludeEpisodes(&res)
 	}
 
 	d.advance(cands.Main, o)
 	return res, nil
+}
+
+// openEpisode builds a fresh episode from a finding. The caller appends it
+// to d.eps and records the opening Explain step.
+func (d *Detector) openEpisode(f *Finding, cands Candidates, o *window.Observation) *episode {
+	fired := toSet(o.Actuated)
+	for act, at := range d.recentActs {
+		if o.Index-at <= recentActWindows {
+			fired[act] = true
+		}
+	}
+	return &episode{
+		cause:          f.Cause,
+		detectedWindow: o.Index,
+		intersection:   toSet(f.Suspects),
+		corroboration:  1,
+		missingEffect:  d.lastDiffMissingOnly,
+		surplusEffect:  d.lastDiffSurplusOnly,
+		openingActs:    toSet(o.Actuated),
+		openingPrev:    d.prevGroup,
+		firedActs:      fired,
+		trace: &Explain{
+			Cause:          f.Cause,
+			DetectedWindow: o.Index,
+			PrevGroup:      d.prevGroup,
+			MainGroup:      cands.Main,
+			ProbableGroups: append([]int(nil), cands.Probable...),
+			MinDistance:    cands.MinDistance,
+			Timing:         f.Timing,
+		},
+	}
 }
 
 // advance rolls the previous-window state forward. The dwell/lastFire
@@ -412,6 +452,7 @@ func (d *Detector) advance(mainGroup int, o *window.Observation) {
 			d.lastFire[slot] = o.Index
 		}
 	}
+	d.met.episodesOpen.Set(int64(len(d.eps)))
 }
 
 // correlationSuspects implements identification for a missing main group:
@@ -486,62 +527,220 @@ func (d *Detector) diffSuspects(v *bitvec.Vec, groups []int) []device.ID {
 }
 
 // identifyStep runs one repetition of the identification loop (§3.4): probe
-// the window for its own probable-fault set, intersect, and conclude when
-// the intersection is small enough or patience runs out.
+// the window for its own probable-fault set, feed the open episodes, and
+// conclude the ones whose intersection is small enough or whose patience
+// ran out.
 func (d *Detector) identifyStep(v *bitvec.Vec, cands Candidates, o *window.Observation, res *Result) {
 	t0 := time.Now()
 	defer func() { res.Timing.Identify = time.Since(t0) }()
 
-	d.ep.length++
 	res.Identifying = true
-	for _, act := range o.Actuated {
-		d.ep.firedActs[act] = true
+	for _, ep := range d.eps {
+		ep.length++
+		for _, act := range o.Actuated {
+			ep.firedActs[act] = true
+		}
 	}
 
-	suspects, informative, probeCause := d.probe(v, cands, o)
-	res.Violation = probeCause
+	f := d.probe(v, cands, o)
+	if f != nil {
+		res.Violation = f.Cause
+		d.met.violation(f.Cause)
+	}
 
-	if informative {
-		d.met.violation(probeCause)
-		d.ep.normalStreak = 0
-		next := intersect(d.ep.intersection, toSet(suspects))
+	if d.cfg.MaxFaults <= 1 {
+		d.feedSingle(f, o, res)
+	} else {
+		d.feedMulti(f, cands, o, res)
+		res.Probable = d.probableUnion()
+	}
+	d.concludeEpisodes(res)
+}
+
+// feedSingle is the single-fault identification step: intersect the one
+// open episode with the window's suspect set, exactly as the paper's §3.4
+// repetition describes.
+func (d *Detector) feedSingle(f *Finding, o *window.Observation, res *Result) {
+	ep := d.eps[0]
+	if f != nil {
+		ep.normalStreak = 0
+		ep.corroboration++
+		next := intersect(ep.intersection, toSet(f.Suspects))
 		if len(next) == 0 {
 			// Disjoint evidence: hold the current intersection, note the
 			// stall.
-			d.ep.stalls++
+			ep.stalls++
 		} else {
-			d.ep.intersection = next
+			ep.intersection = next
 		}
 	} else {
-		d.ep.normalStreak++
+		ep.normalStreak++
 	}
-	res.Probable = setToSlice(d.ep.intersection)
-	if informative {
-		d.ep.trace.addStep(ExplainStep{
+	res.Probable = setToSlice(ep.intersection)
+	if f != nil {
+		ep.trace.addStep(ExplainStep{
 			Window:       o.Index,
-			Violation:    probeCause,
-			Suspects:     suspects,
+			Violation:    f.Cause,
+			Suspects:     f.Suspects,
 			Intersection: res.Probable,
 		})
 	}
-	d.maybeConclude(res)
+}
+
+// feedMulti routes one window's evidence across the concurrent episodes:
+// every episode whose suspect pool overlaps the window's suspects narrows
+// on it; evidence disjoint from all open episodes splits off a new episode
+// (up to MaxFaults); and episodes whose pools collapse into one another
+// merge. Episodes untouched by an informative window treat it as quiet —
+// in a storm the faults take turns corrupting windows, and counting a
+// rival fault's evidence as a stall would conclude everything prematurely.
+func (d *Detector) feedMulti(f *Finding, cands Candidates, o *window.Observation, res *Result) {
+	if f == nil {
+		for _, ep := range d.eps {
+			ep.normalStreak++
+		}
+		return
+	}
+	sus := toSet(f.Suspects)
+	fed := false
+	for _, ep := range d.eps {
+		next := intersect(ep.intersection, sus)
+		if len(next) == 0 {
+			ep.normalStreak++
+			continue
+		}
+		ep.intersection = next
+		ep.normalStreak = 0
+		ep.corroboration++
+		ep.trace.addStep(ExplainStep{
+			Window:       o.Index,
+			Violation:    f.Cause,
+			Suspects:     f.Suspects,
+			Intersection: setToSlice(next),
+		})
+		fed = true
+	}
+	if !fed {
+		if len(d.eps) < d.cfg.MaxFaults {
+			// Split: evidence about a device set no open episode covers
+			// opens a concurrent episode for the (suspected) second fault.
+			ep := d.openEpisode(f, cands, o)
+			d.eps = append(d.eps, ep)
+			ep.trace.addStep(ExplainStep{
+				Window:       o.Index,
+				Violation:    f.Cause,
+				Suspects:     f.Suspects,
+				Intersection: setToSlice(ep.intersection),
+			})
+			d.met.concurrentEps.Inc()
+			res.Detected = true
+		} else {
+			// At the episode cap, evidence nobody covers is a stall for
+			// everyone: the numThre bound says it cannot be yet another
+			// fault.
+			for _, ep := range d.eps {
+				ep.stalls++
+			}
+		}
+	}
+	d.mergeEpisodes(o.Index)
+}
+
+// mergeEpisodes folds together episodes whose suspect pools have collapsed
+// into one another: when one pool is a subset of another the two episodes
+// are explaining the same fault, so the earlier episode absorbs the later
+// one, keeping the narrower pool and the combined corroboration.
+func (d *Detector) mergeEpisodes(windowIdx int) {
+	if len(d.eps) < 2 {
+		return
+	}
+	for i := 0; i < len(d.eps); i++ {
+		for j := i + 1; j < len(d.eps); {
+			a, b := d.eps[i], d.eps[j]
+			if !mapSubset(a.intersection, b.intersection) && !mapSubset(b.intersection, a.intersection) {
+				j++
+				continue
+			}
+			if len(b.intersection) < len(a.intersection) {
+				a.intersection = b.intersection
+			}
+			a.corroboration += b.corroboration
+			if b.stalls < a.stalls {
+				a.stalls = b.stalls
+			}
+			if b.normalStreak < a.normalStreak {
+				a.normalStreak = b.normalStreak
+			}
+			for act := range b.firedActs {
+				a.firedActs[act] = true
+			}
+			a.trace.addStep(ExplainStep{
+				Window:       windowIdx,
+				Violation:    b.cause,
+				Suspects:     setToSlice(b.intersection),
+				Intersection: setToSlice(a.intersection),
+			})
+			d.eps = append(d.eps[:j], d.eps[j+1:]...)
+		}
+	}
+}
+
+// probableUnion returns the sorted union of every open episode's suspect
+// pool.
+func (d *Detector) probableUnion() []device.ID {
+	switch len(d.eps) {
+	case 0:
+		return nil
+	case 1:
+		return setToSlice(d.eps[0].intersection)
+	}
+	u := make(map[device.ID]bool)
+	for _, ep := range d.eps {
+		for id := range ep.intersection {
+			u[id] = true
+		}
+	}
+	return setToSlice(u)
 }
 
 // probe evaluates a window during identification: the same check pipeline,
-// but it never opens a new episode — it only yields this window's
-// probable-fault set. A clean window is uninformative.
-func (d *Detector) probe(v *bitvec.Vec, cands Candidates, o *window.Observation) (suspects []device.ID, informative bool, cause CheckKind) {
-	f := d.runChecks(CheckInput{Obs: o, Vec: v, Cands: cands})
-	if f == nil {
-		return nil, false, CheckNone
-	}
-	return f.Suspects, true, f.Cause
+// but it never opens a new episode by itself — it only yields this window's
+// finding. A clean window returns nil.
+func (d *Detector) probe(v *bitvec.Vec, cands Candidates, o *window.Observation) *Finding {
+	return d.runChecks(CheckInput{Obs: o, Vec: v, Cands: cands})
 }
 
-// maybeConclude closes the episode when the intersection is small enough,
-// a weighted device demands attention, or patience limits are hit.
-func (d *Detector) maybeConclude(res *Result) {
-	ep := d.ep
+// concludeEpisodes closes every episode that is ready — intersection small
+// enough, a weighted device demanding attention, or patience limits hit —
+// and appends one Alert per concluded episode to the result.
+func (d *Detector) concludeEpisodes(res *Result) {
+	if len(d.eps) == 0 {
+		return
+	}
+	keep := d.eps[:0]
+	for _, ep := range d.eps {
+		alert, done := d.concludeOne(ep, res)
+		if !done {
+			keep = append(keep, ep)
+			continue
+		}
+		if alert != nil {
+			res.Alerts = append(res.Alerts, alert)
+		}
+	}
+	d.eps = keep
+	if len(d.eps) == 0 {
+		d.eps = nil
+	}
+	if len(res.Alerts) > 0 {
+		res.Alert = res.Alerts[0]
+	}
+}
+
+// concludeOne decides whether one episode is ready to close and, if so,
+// builds its alert (nil when the episode is dismissed without alerting).
+func (d *Detector) concludeOne(ep *episode, res *Result) (*Alert, bool) {
+	multi := d.cfg.MaxFaults > 1
 	size := len(ep.intersection)
 	early := false
 	if d.cfg.WeightAlarm > 0 {
@@ -552,7 +751,14 @@ func (d *Detector) maybeConclude(res *Result) {
 			}
 		}
 	}
-	done := size <= d.cfg.MaxFaults && size > 0
+	var done bool
+	if multi {
+		// Per-fault alerts: narrow to a single device, with enough
+		// corroborating windows to rule out a one-off glitch.
+		done = size == 1 && ep.corroboration >= minCorroboration
+	} else {
+		done = size <= d.cfg.MaxFaults && size > 0
+	}
 	if !done && early {
 		done = true
 	}
@@ -562,7 +768,16 @@ func (d *Detector) maybeConclude(res *Result) {
 		done = true
 	}
 	if !done {
-		return
+		return nil, false
+	}
+	if multi && !early && ep.corroboration < minCorroboration {
+		// A patience-concluded episode that only ever saw its opening
+		// window: a transient (a benign occupancy shift, a splice edge),
+		// not a fault. Dismiss without alerting.
+		d.met.episodes.Inc()
+		d.met.episodeLen.Observe(float64(res.WindowIndex - ep.detectedWindow + 1))
+		d.met.suspects.Observe(float64(size))
+		return nil, true
 	}
 	devices := setToSlice(ep.intersection)
 	devices = d.attributeToActuator(ep, devices)
@@ -575,27 +790,27 @@ func (d *Detector) maybeConclude(res *Result) {
 			d.met.episodes.Inc()
 			d.met.episodeLen.Observe(float64(res.WindowIndex - ep.detectedWindow + 1))
 			d.met.suspects.Observe(float64(size))
-			d.ep = nil
-			return
+			return nil, true
 		}
 	}
 	trace := ep.trace
 	if trace != nil {
 		trace.ReportedWindow = res.WindowIndex
 	}
-	res.Alert = &Alert{
+	alert := &Alert{
 		Devices:        devices,
 		Cause:          ep.cause,
 		DetectedWindow: ep.detectedWindow,
 		ReportedWindow: res.WindowIndex,
-		EarlyWeight:    early && size > d.cfg.MaxFaults,
+		EarlyWeight:    early && size > 1,
 		Explain:        trace,
 	}
 	d.met.episodes.Inc()
 	d.met.episodeLen.Observe(float64(res.WindowIndex - ep.detectedWindow + 1))
 	d.met.suspects.Observe(float64(size))
 	d.met.named.Add(int64(len(devices)))
-	d.ep = nil
+	d.met.alert(ep.cause)
+	return alert, true
 }
 
 // attributeToActuator re-attributes a "missing effect" anomaly to a silent
@@ -654,6 +869,19 @@ func subsetOf(sub, super []device.ID) bool {
 			j++
 		}
 		if j >= len(super) || super[j] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// mapSubset reports whether every key of sub is in super.
+func mapSubset(sub, super map[device.ID]bool) bool {
+	if len(sub) > len(super) {
+		return false
+	}
+	for id := range sub {
+		if !super[id] {
 			return false
 		}
 	}

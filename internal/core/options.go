@@ -126,6 +126,10 @@ const (
 	metricTimingChecked = "dice_det_timing_checked_total"
 	metricTimingFlagged = "dice_det_timing_flagged_total"
 	metricTimingGap     = "dice_det_timing_gap_windows"
+
+	metricEpisodesOpen  = "dice_det_episodes_open"
+	metricAlertsTotal   = "dice_det_alerts_total"
+	metricConcurrentEps = "dice_det_concurrent_episodes_total"
 )
 
 // timingEdges are the label values of the timing-flag vector, indexed in
@@ -163,6 +167,10 @@ type detMetrics struct {
 	timingChecked *telemetry.Counter
 	timingFlagged []*telemetry.Counter // indexed by timingEdgeIndex
 	timingGap     *telemetry.Histogram
+
+	episodesOpen  *telemetry.Gauge
+	alerts        []*telemetry.Counter // indexed by int(cause) - 1
+	concurrentEps *telemetry.Counter
 }
 
 func newDetMetrics(reg *telemetry.Registry) detMetrics {
@@ -184,6 +192,10 @@ func newDetMetrics(reg *telemetry.Registry) detMetrics {
 		timingChecked: reg.Counter(metricTimingChecked, "Structurally clean windows the timing check evaluated."),
 		timingFlagged: reg.CounterVec(metricTimingFlagged, "Out-of-band gaps flagged by the timing check, by edge family.", "edge", timingEdges),
 		timingGap:     reg.Histogram(metricTimingGap, "Observed gap in windows on flagged timing violations.", telemetry.ExpBuckets(1, 2, 12)),
+
+		episodesOpen:  reg.Gauge(metricEpisodesOpen, "Identification episodes currently in flight."),
+		alerts:        reg.CounterVec(metricAlertsTotal, "Alerts emitted by concluded episodes, by cause.", "cause", CauseNames()),
+		concurrentEps: reg.Counter(metricConcurrentEps, "Episodes opened while another episode was already in flight (multi-fault splits)."),
 	}
 }
 
@@ -204,5 +216,15 @@ func (m *detMetrics) violation(cause CheckKind) {
 	}
 	if i := int(cause) - 1; i >= 0 && i < len(m.violations) {
 		m.violations[i].Inc()
+	}
+}
+
+// alert counts one emitted alert by cause.
+func (m *detMetrics) alert(cause CheckKind) {
+	if m.alerts == nil || cause == CheckNone {
+		return
+	}
+	if i := int(cause) - 1; i >= 0 && i < len(m.alerts) {
+		m.alerts[i].Inc()
 	}
 }

@@ -232,7 +232,16 @@ func (pd *PartitionedDetector) Process(o *window.Observation) ([]PartitionedResu
 			continue
 		}
 		res.Probable = sub.toFull(res.Probable)
-		if res.Alert != nil {
+		if len(res.Alerts) > 0 {
+			remapped := make([]*Alert, 0, len(res.Alerts))
+			for _, al := range res.Alerts {
+				a := *al
+				a.Devices = sub.toFull(a.Devices)
+				remapped = append(remapped, &a)
+			}
+			res.Alerts = remapped
+			res.Alert = remapped[0]
+		} else if res.Alert != nil {
 			a := *res.Alert
 			a.Devices = sub.toFull(a.Devices)
 			res.Alert = &a

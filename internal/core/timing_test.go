@@ -91,11 +91,24 @@ func TestTimingCheckFlagsDelayedHop(t *testing.T) {
 	l := coreLayout(t)
 	ctx := rhythmTrain(t, l, false)
 	stream, hop := delayedHopStream(l, 9, false)
+	// A second delayed hop (hold B off-pace, then return to A) corroborates
+	// the episode — multi-fault mode requires a second informative window
+	// before alerting — and a short quiet tail lets patience conclude it.
+	idx := len(stream)
+	for k := 0; k < 9; k++ {
+		stream = append(stream, timingWindow(l, idx, true, false))
+		idx++
+	}
+	for k := 0; k < 22; k++ {
+		stream = append(stream, timingWindow(l, idx, false, false))
+		idx++
+	}
 
 	reg := telemetry.NewRegistry()
-	// MaxFaults is generous so the episode concludes on its opening window
-	// and the alert (with its Explain payload) is immediate.
-	det, err := New(ctx, WithMaxFaults(8), WithTelemetry(reg))
+	// MaxFaults is generous so the whole suspect diff survives to the
+	// alert; IdentifyGiveUp outlives the gap between the two hops so the
+	// second one corroborates, then the quiet tail concludes the episode.
+	det, err := New(ctx, WithConfig(Config{MaxFaults: 8, IdentifyGiveUp: 20}), WithTelemetry(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,6 +125,8 @@ func TestTimingCheckFlagsDelayedHop(t *testing.T) {
 			if !res.Detected || res.Violation != CheckTiming {
 				t.Fatalf("hop window: detected=%v violation=%s, want timing", res.Detected, res.Violation)
 			}
+		}
+		if res.Alert != nil && alert == nil {
 			alert = res.Alert
 		}
 	}
@@ -339,6 +354,7 @@ func TestWithChecksCustomPipeline(t *testing.T) {
 		name  string
 		cause Cause
 	}{
+		{"ghost", CheckGhost},
 		{"correlation", CheckCorrelation},
 		{"g2g", CheckG2G},
 		{"g2a", CheckG2A},

@@ -35,8 +35,8 @@ const (
 	// ActuatorDelayed and SlowDegradation are the stream-level timing fault
 	// family: the device eventually does the right thing, but late. They
 	// cannot be expressed as a per-window rewrite (the fault is in *when*
-	// windows happen, not what they contain), so they are injected with
-	// StretchStream instead of an Injector.
+	// windows happen, not what they contain), so an Injector applies them in
+	// a separate ApplyStream pass before the per-window Apply pass.
 	ActuatorDelayed
 	SlowDegradation
 )
@@ -90,8 +90,9 @@ func (t Type) IsActuatorFault() bool {
 }
 
 // IsStreamFault reports whether t reshapes the window stream itself rather
-// than individual observations. Stream faults go through StretchStream; an
-// Injector rejects them.
+// than individual observations. An Injector applies stream faults in its
+// ApplyStream pass (per-window Apply ignores them), so point and stream
+// faults compose in one fault set.
 func (t Type) IsStreamFault() bool {
 	return t == ActuatorDelayed || t == SlowDegradation
 }
@@ -106,10 +107,18 @@ type Fault struct {
 	// Onset is the first affected window index, counted from the start of
 	// the segment (not the recording).
 	Onset int
+	// Delay is the hold-window count for stream faults (ActuatorDelayed,
+	// SlowDegradation): how many clones of the pre-trigger window precede
+	// each delayed trigger. Required >= 1 for stream faults, ignored (and
+	// rejected if set) for point faults.
+	Delay int
 }
 
 // String renders the fault for logs.
 func (f Fault) String() string {
+	if f.Type.IsStreamFault() {
+		return fmt.Sprintf("%s@dev%d+w%d/d%d", f.Type, int(f.Device), f.Onset, f.Delay)
+	}
 	return fmt.Sprintf("%s@dev%d+w%d", f.Type, int(f.Device), f.Onset)
 }
 
@@ -137,14 +146,24 @@ func NewInjector(layout *window.Layout, seed int64, faults ...Fault) (*Injector,
 		if err != nil {
 			return nil, fmt.Errorf("faults: %w", err)
 		}
+		if f.Onset < 0 {
+			return nil, fmt.Errorf("faults: negative onset %d", f.Onset)
+		}
 		if f.Type.IsStreamFault() {
-			return nil, fmt.Errorf("faults: %s is a stream-level fault; inject it with StretchStream", f.Type)
+			if f.Delay < 1 {
+				return nil, fmt.Errorf("faults: stream fault %s needs delay >= 1, got %d", f.Type, f.Delay)
+			}
+			if f.Type == SlowDegradation {
+				if _, ok := layout.BinarySlot(f.Device); !ok {
+					return nil, fmt.Errorf("faults: %s needs a binary sensor, device %q is not one", f.Type, d.Name)
+				}
+				continue
+			}
+		} else if f.Delay != 0 {
+			return nil, fmt.Errorf("faults: point fault %s cannot carry a delay", f.Type)
 		}
 		if f.Type.IsActuatorFault() != (d.Kind == device.Actuator) {
 			return nil, fmt.Errorf("faults: %s cannot apply to %s device %q", f.Type, d.Kind, d.Name)
-		}
-		if f.Onset < 0 {
-			return nil, fmt.Errorf("faults: negative onset %d", f.Onset)
 		}
 	}
 	return &Injector{
@@ -181,16 +200,51 @@ func (in *Injector) FaultyDevices() []device.ID {
 // Apply returns a corrupted copy of the observation; segIdx is the window's
 // index within the segment (0-based). The input is never mutated. Windows
 // before every fault's onset are still deep-copied so callers can treat the
-// output uniformly.
+// output uniformly. Stream faults are skipped here — they reshape the whole
+// segment, so they belong to the ApplyStream pass.
 func (in *Injector) Apply(o *window.Observation, segIdx int) *window.Observation {
 	out := o.Clone()
 	for _, f := range in.faults {
-		if segIdx < f.Onset {
+		if segIdx < f.Onset || f.Type.IsStreamFault() {
 			continue
 		}
 		in.applyOne(out, f, segIdx)
 	}
 	return out
+}
+
+// HasStreamFaults reports whether any configured fault needs the
+// ApplyStream pass.
+func (in *Injector) HasStreamFaults() bool {
+	for _, f := range in.faults {
+		if f.Type.IsStreamFault() {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyStream runs the stream-level half of the pipeline: every configured
+// stream fault stretches the segment in fault order (each operating on the
+// previous one's output), exactly as StretchStream would. Callers then feed
+// each stretched window through Apply for the point faults — the two passes
+// let a single fault set mix both families. With no stream faults the input
+// slice is returned unchanged (and unshared windows are not cloned).
+func (in *Injector) ApplyStream(obs []*window.Observation) ([]*window.Observation, error) {
+	out := obs
+	for _, f := range in.faults {
+		if !f.Type.IsStreamFault() {
+			continue
+		}
+		stretched, err := StretchStream(in.layout, out, TimingFault{
+			Device: f.Device, Type: f.Type, Onset: f.Onset, Delay: f.Delay,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = stretched
+	}
+	return out, nil
 }
 
 func (in *Injector) applyOne(o *window.Observation, f Fault, segIdx int) {

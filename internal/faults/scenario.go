@@ -1,0 +1,174 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// A Scenario is a seeded, deterministic description of everything done to
+// one clean segment: point and stream faults (via the unified Injector),
+// spoofed "ghost" devices that were never registered, and replayed slices
+// of the home's own history. Benign scenarios (guest, vacation) carry no
+// injections at all — the stress lives in the underlying simulation — and
+// exist so the evaluation can assert a zero-false-alarm floor on them.
+//
+// Applying the same Scenario to the same segment always yields the same
+// windows: all randomness comes from Seed.
+type Scenario struct {
+	// Name is the scenario's stable identifier (the -scenario flag value
+	// and the key in BENCH_scenarios.json).
+	Name string
+	// Description says what the scenario stresses, for reports.
+	Description string
+	// Benign marks scenarios that must NOT raise alerts: any alert on a
+	// benign scenario is a false alarm.
+	Benign bool
+	// Seed drives every random choice during Apply.
+	Seed int64
+	// Faults are the point and stream faults, applied through one Injector.
+	Faults []Fault
+	// Ghosts are spoofed device injections.
+	Ghosts []GhostSpec
+	// Replays are spliced repeats of the segment's own past.
+	Replays []ReplaySpec
+}
+
+// GhostSpec injects firings of a device ID the registry has never seen — a
+// spoofed or rogue node announcing actuations. From Onset, the ghost fires
+// every Every windows.
+type GhostSpec struct {
+	Device device.ID
+	Onset  int
+	Every  int
+}
+
+// ReplaySpec splices a copy of the clean segment's windows
+// [SrcFrom, SrcFrom+SrcLen) over [At, At+SrcLen) — a replay attack that
+// re-emits captured traffic at a time it does not belong to. The replayed
+// windows are re-indexed to their destination so the stream stays
+// contiguous.
+type ReplaySpec struct {
+	SrcFrom int
+	SrcLen  int
+	At      int
+}
+
+// FaultyDevices returns the ground-truth device set an identifier should
+// name: every injected fault's device plus every ghost, ascending and
+// distinct. Replays carry no device ground truth (the faulty party is the
+// network, not a device), so they contribute nothing here — replay
+// scenarios are scored on detection only.
+func (s *Scenario) FaultyDevices() []device.ID {
+	seen := make(map[device.ID]bool)
+	var out []device.ID
+	for _, f := range s.Faults {
+		if !seen[f.Device] {
+			seen[f.Device] = true
+			out = append(out, f.Device)
+		}
+	}
+	for _, g := range s.Ghosts {
+		if !seen[g.Device] {
+			seen[g.Device] = true
+			out = append(out, g.Device)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DetectOnly reports whether the scenario is scored on detection alone:
+// it injects something (so it is not benign) but names no ground-truth
+// devices to identify.
+func (s *Scenario) DetectOnly() bool {
+	return !s.Benign && len(s.FaultyDevices()) == 0 && len(s.Replays) > 0
+}
+
+// Validate checks the scenario against a layout without applying it.
+func (s *Scenario) Validate(layout *window.Layout) error {
+	if layout == nil {
+		return fmt.Errorf("faults: nil layout")
+	}
+	if s.Name == "" {
+		return fmt.Errorf("faults: scenario without a name")
+	}
+	if _, err := NewInjector(layout, s.Seed, s.Faults...); err != nil {
+		return fmt.Errorf("faults: scenario %q: %w", s.Name, err)
+	}
+	for _, g := range s.Ghosts {
+		if g.Every < 1 {
+			return fmt.Errorf("faults: scenario %q: ghost cadence %d, want >= 1", s.Name, g.Every)
+		}
+		if g.Onset < 0 {
+			return fmt.Errorf("faults: scenario %q: negative ghost onset %d", s.Name, g.Onset)
+		}
+		if _, ok := layout.ActuatorSlot(g.Device); ok {
+			return fmt.Errorf("faults: scenario %q: ghost device %d is a registered actuator", s.Name, int(g.Device))
+		}
+	}
+	for _, r := range s.Replays {
+		if r.SrcLen < 1 {
+			return fmt.Errorf("faults: scenario %q: replay length %d, want >= 1", s.Name, r.SrcLen)
+		}
+		if r.SrcFrom < 0 || r.At < 0 {
+			return fmt.Errorf("faults: scenario %q: negative replay offset", s.Name)
+		}
+	}
+	if s.Benign && (len(s.Faults) > 0 || len(s.Ghosts) > 0 || len(s.Replays) > 0) {
+		return fmt.Errorf("faults: scenario %q is benign but injects", s.Name)
+	}
+	return nil
+}
+
+// Apply corrupts a clean segment with the whole scenario. The pipeline is
+// fixed: replays first (they operate on clean source material), then the
+// injector's stream pass (stretches reshape the replayed timeline), then
+// the per-window point pass, then ghost injections (a spoofed node is
+// oblivious to everything else on the wire). The input is never mutated,
+// and the output is re-indexed contiguously from obs[0].Index.
+func (s *Scenario) Apply(layout *window.Layout, obs []*window.Observation) ([]*window.Observation, error) {
+	if err := s.Validate(layout); err != nil {
+		return nil, err
+	}
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("faults: scenario %q: empty stream", s.Name)
+	}
+	base := obs[0].Index
+	out := make([]*window.Observation, len(obs))
+	for i, o := range obs {
+		out[i] = o.Clone()
+	}
+	for _, r := range s.Replays {
+		if r.SrcFrom+r.SrcLen > len(obs) || r.At+r.SrcLen > len(obs) {
+			return nil, fmt.Errorf("faults: scenario %q: replay [%d+%d)->%d overruns %d windows",
+				s.Name, r.SrcFrom, r.SrcLen, r.At, len(obs))
+		}
+		for k := 0; k < r.SrcLen; k++ {
+			c := obs[r.SrcFrom+k].Clone()
+			c.Index = base + r.At + k
+			out[r.At+k] = c
+		}
+	}
+	inj, err := NewInjector(layout, s.Seed, s.Faults...)
+	if err != nil {
+		return nil, err
+	}
+	out, err = inj.ApplyStream(out)
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range out {
+		out[i] = inj.Apply(o, i)
+	}
+	for _, g := range s.Ghosts {
+		for i := g.Onset; i < len(out); i += g.Every {
+			if !containsID(out[i].Actuated, g.Device) {
+				out[i].Actuated = insertID(out[i].Actuated, g.Device)
+			}
+		}
+	}
+	return out, nil
+}

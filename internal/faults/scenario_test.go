@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/window"
+)
+
+// scenarioStream: motion 0 active throughout, bulb fires at windows 5 and 15.
+func scenarioStream(l *window.Layout, n int) []*window.Observation {
+	obs := make([]*window.Observation, 0, n)
+	for i := 0; i < n; i++ {
+		o := l.NewObservation(i)
+		o.Binary[0] = true
+		o.Numeric[0] = []float64{20, 20, 20}
+		if i == 5 || i == 15 {
+			o.Actuated = []device.ID{4}
+		}
+		obs = append(obs, o)
+	}
+	return obs
+}
+
+func TestScenarioValidate(t *testing.T) {
+	l := faultLayout(t)
+	bad := []Scenario{
+		{Name: "", Seed: 1},
+		{Name: "ghost-cadence", Seed: 1, Ghosts: []GhostSpec{{Device: 900, Every: 0}}},
+		{Name: "ghost-onset", Seed: 1, Ghosts: []GhostSpec{{Device: 900, Onset: -1, Every: 2}}},
+		{Name: "ghost-registered", Seed: 1, Ghosts: []GhostSpec{{Device: 4, Every: 2}}},
+		{Name: "replay-len", Seed: 1, Replays: []ReplaySpec{{SrcFrom: 0, SrcLen: 0, At: 1}}},
+		{Name: "replay-neg", Seed: 1, Replays: []ReplaySpec{{SrcFrom: -1, SrcLen: 2, At: 1}}},
+		{Name: "bad-fault", Seed: 1, Faults: []Fault{{Device: 4, Type: FailStop}}},
+		{Name: "benign-injects", Seed: 1, Benign: true, Ghosts: []GhostSpec{{Device: 900, Every: 2}}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(l); err == nil {
+			t.Errorf("scenario %q validated", s.Name)
+		}
+	}
+	ok := Scenario{Name: "quiet-guest", Seed: 1, Benign: true}
+	if err := ok.Validate(l); err != nil {
+		t.Errorf("benign scenario rejected: %v", err)
+	}
+}
+
+// The full pipeline composes: a replayed slice, a stream stretch, a point
+// fault, and a ghost — all from one Scenario value, deterministically.
+func TestScenarioApplyPipeline(t *testing.T) {
+	l := faultLayout(t)
+	obs := scenarioStream(l, 20)
+	s := Scenario{
+		Name: "kitchen-storm",
+		Seed: 42,
+		Faults: []Fault{
+			{Device: 0, Type: FailStop, Onset: 2},
+			{Device: 4, Type: ActuatorDelayed, Delay: 2},
+		},
+		Ghosts:  []GhostSpec{{Device: 900, Onset: 1, Every: 4}},
+		Replays: []ReplaySpec{{SrcFrom: 4, SrcLen: 3, At: 10}},
+	}
+	out, err := s.Apply(l, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(obs) {
+		t.Fatalf("got %d windows, want %d", len(out), len(obs))
+	}
+	for i, o := range out {
+		if o.Index != i {
+			t.Fatalf("window %d re-indexed to %d", i, o.Index)
+		}
+		if i >= 2 && o.Binary[0] {
+			t.Fatalf("window %d: fail-stopped motion still firing", i)
+		}
+		wantGhost := i >= 1 && (i-1)%4 == 0
+		if containsID(o.Actuated, 900) != wantGhost {
+			t.Fatalf("window %d: ghost firing = %v, want %v", i, !wantGhost, wantGhost)
+		}
+	}
+	// The replay copied the bulb firing at source window 5 to window 11;
+	// both firings then shift by the 2-window delay stretch.
+	var fires []int
+	for i, o := range out {
+		if containsID(o.Actuated, 4) {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 2 {
+		t.Fatalf("bulb fired at %v, want two delayed firings", fires)
+	}
+	if fires[0] != 5+2 || fires[1] <= fires[0] {
+		t.Errorf("bulb fired at %v, want first at 7", fires)
+	}
+	// Input untouched.
+	if !obs[2].Binary[0] || len(obs[1].Actuated) != 0 {
+		t.Error("Apply mutated its input")
+	}
+	// Determinism: same scenario, same segment, same bytes.
+	again, err := s.Apply(l, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, again) {
+		t.Error("scenario application not deterministic")
+	}
+}
+
+func TestScenarioGroundTruth(t *testing.T) {
+	s := Scenario{
+		Name: "gt",
+		Faults: []Fault{
+			{Device: 3, Type: FailStop},
+			{Device: 3, Type: HighNoise},
+			{Device: 1, Type: StuckAt},
+		},
+		Ghosts: []GhostSpec{{Device: 900, Every: 3}},
+	}
+	got := s.FaultyDevices()
+	want := []device.ID{1, 3, 900}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FaultyDevices = %v, want %v", got, want)
+	}
+	if s.DetectOnly() {
+		t.Error("scenario with ground truth marked detect-only")
+	}
+	replay := Scenario{Name: "replay", Replays: []ReplaySpec{{SrcLen: 5, At: 9}}}
+	if !replay.DetectOnly() {
+		t.Error("pure replay scenario not detect-only")
+	}
+	benign := Scenario{Name: "guest", Benign: true}
+	if benign.DetectOnly() || len(benign.FaultyDevices()) != 0 {
+		t.Error("benign scenario has ground truth")
+	}
+}

@@ -141,15 +141,31 @@ func TestStretchStreamValidation(t *testing.T) {
 	}
 }
 
-func TestInjectorRejectsStreamFaults(t *testing.T) {
+// Regression for the old Injector/StretchStream split: one injector now
+// takes point and stream faults together. A stream fault without a delay is
+// still rejected, and the per-window Apply pass leaves stream faults to
+// ApplyStream.
+func TestInjectorAcceptsStreamFaults(t *testing.T) {
 	l := faultLayout(t)
 	for _, typ := range TimingTypes() {
 		if !typ.IsStreamFault() {
 			t.Errorf("%s not a stream fault", typ)
 		}
 		if _, err := NewInjector(l, 1, Fault{Device: 4, Type: typ}); err == nil {
-			t.Errorf("injector accepted stream fault %s", typ)
+			t.Errorf("injector accepted stream fault %s with no delay", typ)
 		}
+	}
+	if _, err := NewInjector(l, 1, Fault{Device: 4, Type: ActuatorDelayed, Delay: 2}); err != nil {
+		t.Errorf("injector rejected delayed actuator fault: %v", err)
+	}
+	if _, err := NewInjector(l, 1, Fault{Device: 1, Type: SlowDegradation, Delay: 2}); err != nil {
+		t.Errorf("injector rejected slow-degradation fault: %v", err)
+	}
+	if _, err := NewInjector(l, 1, Fault{Device: 2, Type: SlowDegradation, Delay: 2}); err == nil {
+		t.Error("slow-degradation accepted on a numeric sensor")
+	}
+	if _, err := NewInjector(l, 1, Fault{Device: 0, Type: FailStop, Delay: 3}); err == nil {
+		t.Error("point fault with a delay accepted")
 	}
 	for _, typ := range append(SensorTypes(), ActuatorTypes()...) {
 		if typ.IsStreamFault() {
@@ -158,5 +174,69 @@ func TestInjectorRejectsStreamFaults(t *testing.T) {
 	}
 	if ActuatorDelayed.String() != "actuator-delayed" || SlowDegradation.String() != "slow-degradation" {
 		t.Error("timing fault names changed")
+	}
+}
+
+// Point + stream faults compose through one injector: ApplyStream stretches
+// the segment for the delayed actuator exactly as StretchStream would, then
+// Apply kills the fail-stopped motion sensor per window.
+func TestInjectorComposesPointAndStreamFaults(t *testing.T) {
+	l := faultLayout(t)
+	obs := make([]*window.Observation, 0, 12)
+	for i := 0; i < 12; i++ {
+		o := l.NewObservation(i)
+		o.Binary[0] = true
+		if i == 6 {
+			o.Actuated = []device.ID{4}
+		}
+		obs = append(obs, o)
+	}
+	in := mustInjector(t, l, 7,
+		Fault{Device: 0, Type: FailStop, Onset: 0},
+		Fault{Device: 4, Type: ActuatorDelayed, Delay: 3},
+	)
+	if !in.HasStreamFaults() {
+		t.Fatal("HasStreamFaults = false")
+	}
+	stretched, err := in.ApplyStream(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := StretchStream(l, obs, TimingFault{Device: 4, Type: ActuatorDelayed, Delay: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stretched) != len(want) {
+		t.Fatalf("stretched to %d windows, StretchStream gives %d", len(stretched), len(want))
+	}
+	fireAt := -1
+	for i := range stretched {
+		if containsID(stretched[i].Actuated, 4) != containsID(want[i].Actuated, 4) {
+			t.Fatalf("window %d firing mismatch vs StretchStream", i)
+		}
+		if containsID(stretched[i].Actuated, 4) {
+			fireAt = i
+		}
+	}
+	if fireAt != 9 {
+		t.Errorf("delayed firing at window %d, want 9", fireAt)
+	}
+	for i, o := range stretched {
+		got := in.Apply(o, i)
+		if got.Binary[0] {
+			t.Fatalf("window %d: fail-stopped sensor still firing", i)
+		}
+		if containsID(got.Actuated, 4) != (i == fireAt) {
+			t.Fatalf("window %d: point pass disturbed the stream fault", i)
+		}
+	}
+	// Untouched windows: no stream faults means ApplyStream is the identity.
+	only := mustInjector(t, l, 7, Fault{Device: 0, Type: FailStop})
+	same, err := only.ApplyStream(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same) != len(obs) || same[0] != obs[0] {
+		t.Error("ApplyStream without stream faults did not return the input")
 	}
 }

@@ -23,9 +23,15 @@ import (
 // restoring garbage. v1 files (the original single-home schema, keyed
 // "version") migrate transparently to the v2 envelope (keyed "v", with an
 // optional tenant Home) on read; v2 files are valid v3 payloads with no
-// context version pin (adaptation arrived with v3), so their migration is
-// a relabel too.
-const CheckpointVersion = 3
+// context version pin (adaptation arrived with v3), and v3 files are valid
+// v4 payloads whose detector state carries at most the one legacy episode
+// (concurrent episodes arrived with v4), so those migrations are relabels
+// too.
+const CheckpointVersion = 4
+
+// checkpointV3 is the pre-multi-fault envelope schema: the detector state
+// carries a single optional episode instead of the open-episode list.
+const checkpointV3 = 3
 
 // checkpointV2 is the pre-adaptation envelope schema: same fields minus
 // the context version pin and adapter ledger.
@@ -231,15 +237,17 @@ func (g *Gateway) restoreContextLocked(cc *ContextCheckpoint, ast *core.AdapterS
 }
 
 // Migrate folds an older checkpoint schema forward to CheckpointVersion in
-// place. A v1 file is a valid v3 payload with the version under the legacy
-// key and no tenancy, and a v2 file is a valid v3 payload with no context
-// pin, so both migrations are relabels; anything else (a future version,
-// or a file with no recognizable version at all) errors.
+// place. A v1 file is a valid v4 payload with the version under the legacy
+// key and no tenancy, a v2 file is a valid v4 payload with no context pin,
+// and a v3 file is a valid v4 payload whose detector state holds at most
+// one (legacy-keyed) episode, so all three migrations are relabels;
+// anything else (a future version, or a file with no recognizable version
+// at all) errors.
 func (cp *Checkpoint) Migrate() error {
 	switch {
 	case cp.V == CheckpointVersion:
 		return nil
-	case cp.V == checkpointV2:
+	case cp.V == checkpointV3, cp.V == checkpointV2:
 		cp.V = CheckpointVersion
 		return nil
 	case cp.V == 0 && cp.LegacyVersion == checkpointLegacyVersion:

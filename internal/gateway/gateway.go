@@ -370,6 +370,15 @@ func (g *Gateway) Stats() Stats {
 	return g.statsLocked()
 }
 
+// OpenEpisodes reports how many identification episodes the detector has
+// in flight — the same quantity the dice_det_episodes_open gauge tracks.
+// Under MaxFaults > 1 a storm holds several open at once.
+func (g *Gateway) OpenEpisodes() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.det.OpenEpisodes()
+}
+
 func (g *Gateway) statsLocked() Stats {
 	return Stats{
 		Events:         g.met.events.Value(),
@@ -878,8 +887,10 @@ func (g *Gateway) processLocked(obs []*window.Observation) error {
 		if res.Detected {
 			g.met.violations.Inc()
 		}
-		if res.Alert != nil {
-			g.emit(res.Alert, d)
+		// A multi-fault window can conclude several episodes at once;
+		// every alert is delivered, in episode-opening order.
+		for _, a := range res.Alerts {
+			g.emit(a, d)
 		}
 		// The adapter sees every window with its verdict, under the same
 		// lock that serializes Process — a published version swaps in
@@ -910,6 +921,13 @@ func (g *Gateway) emit(a *core.Alert, d time.Duration) {
 	for _, id := range a.Devices {
 		if dev, err := g.reg.Get(id); err == nil {
 			out.Devices = append(out.Devices, dev)
+		} else {
+			// A ghost alert names an ID the registry never issued — the
+			// whole point of the check. Surface it as a synthetic record
+			// rather than silently dropping the culprit.
+			out.Devices = append(out.Devices, device.Device{
+				ID: id, Name: fmt.Sprintf("ghost-%d", int(id)),
+			})
 		}
 	}
 	g.met.alertLatency.Observe((out.ReportedAt - out.DetectedAt).Seconds())

@@ -125,7 +125,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"dice_scan_seconds_count",      // scan latency histogram
 		"dice_violations_total",        // transition/correlation violations
 		"dice_identify_episodes_total", // identification
-		"dice_gateway_events_total",    // gateway ingest
+		"dice_det_episodes_open",       // multi-fault episode gauge
+		"dice_det_alerts_total",        // per-cause alert counter
+		"dice_det_concurrent_episodes_total",
+		"dice_gateway_events_total", // gateway ingest
 		"dice_gateway_alert_latency_seconds_count",
 		"dice_coap_received_total", // CoAP transport
 		"dice_coap_queue_depth",

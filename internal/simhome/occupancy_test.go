@@ -1,0 +1,64 @@
+package simhome
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A vacation view holds every room unoccupied for the interval and leaves
+// the rest of the recording untouched; the base home is unmodified.
+func TestWithOccupancyVacation(t *testing.T) {
+	h, err := New(SpecDTwoR(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := 10*60, 17*60
+	v := h.WithOccupancy(OccupancyChange{VacationFrom: from, VacationTo: to})
+	for m := from; m < to; m += 30 {
+		for _, room := range []string{"roomA", "roomB", "hall"} {
+			if v.occupied(room, m) {
+				t.Fatalf("minute %d: %s occupied during vacation", m, room)
+			}
+		}
+		if v.cookingAnywhere(m) {
+			t.Fatalf("minute %d: cooking during vacation", m)
+		}
+	}
+	differs := false
+	for m := 0; m < h.Windows(); m++ {
+		inVac := m >= from && m < to
+		for _, room := range []string{"roomA", "roomB", "hall"} {
+			base := h.occupied(room, m)
+			if !inVac && v.occupied(room, m) != base {
+				t.Fatalf("minute %d: occupancy differs outside the vacation", m)
+			}
+			if inVac && base {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("vacation interval never suppressed any occupancy")
+	}
+}
+
+// A guest shadowing the household routine is occupancy-invisible: the
+// occupancy union (and hence every generated window) matches the plain
+// household, which is exactly why the scenario must not alert.
+func TestWithOccupancyGuestFollowsRoutine(t *testing.T) {
+	h, err := New(SpecDTwoR(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := h.WithOccupancy(OccupancyChange{GuestFrom: 8 * 60, GuestTo: 20 * 60})
+	if g.occupantCount() != h.occupantCount()+1 {
+		t.Fatalf("guest view has %d occupants, want %d", g.occupantCount(), h.occupantCount()+1)
+	}
+	for m := 0; m < h.Windows(); m += 7 {
+		want := h.Window(m)
+		got := g.Window(m)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("window %d differs under a routine-following guest", m)
+		}
+	}
+}

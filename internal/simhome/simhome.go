@@ -74,6 +74,8 @@ type Home struct {
 
 	// af carries injected actuator faults (nil when fault-free).
 	af *ActuatorFaults
+	// occ carries a benign occupancy change (nil for the plain household).
+	occ *OccupancyChange
 }
 
 type binDev struct {
@@ -199,31 +201,86 @@ func (h *Home) Windows() int { return h.spec.Hours * 60 }
 // Activities returns the resolved activity list (template + concrete room).
 func (h *Home) Activities() []ActivityTemplate { return append([]ActivityTemplate(nil), h.acts...) }
 
-// occupied reports whether any resident's activity at minute m takes place
+// OccupancyChange describes a benign shift in who is home: a guest staying
+// over, a vacation emptying the house, or both. These are occupancy-level
+// stresses — no device misbehaves — so a detector that alerts on them is
+// raising a false alarm. Guests adopt the household's routine (they shadow
+// the last resident's schedule for the length of their stay), the pattern
+// a context trained on that household has already seen; a vacation holds
+// every resident in the away state for the interval, the same state the
+// leave-home activity trains, just dwelt in longer.
+type OccupancyChange struct {
+	// GuestFrom/GuestTo bound the guest's stay in absolute recording
+	// minutes (GuestFrom <= m < GuestTo). GuestTo <= GuestFrom means no
+	// guest.
+	GuestFrom, GuestTo int
+	// VacationFrom/VacationTo bound the interval during which every
+	// resident is away. VacationTo <= VacationFrom means no vacation.
+	VacationFrom, VacationTo int
+}
+
+// WithOccupancy returns a view of the home under the given occupancy
+// change. The underlying home is shared and unmodified, mirroring
+// WithActuatorFaults.
+func (h *Home) WithOccupancy(oc OccupancyChange) *Home {
+	view := *h
+	view.occ = &oc
+	return &view
+}
+
+// occupantCount counts schedule slots: the residents plus the guest when
+// one is configured.
+func (h *Home) occupantCount() int {
+	n := len(h.lines)
+	if h.occ != nil && h.occ.GuestTo > h.occ.GuestFrom {
+		n++
+	}
+	return n
+}
+
+// occupantActivity resolves occupant i's activity at minute m and the
+// activity-to-room mapping that applies to them. Residents go away during a
+// vacation; the extra slot beyond the residents is the guest, present only
+// during their stay.
+func (h *Home) occupantActivity(i, m int) (int, []string) {
+	if i < len(h.lines) {
+		if h.occ != nil && m >= h.occ.VacationFrom && m < h.occ.VacationTo {
+			return NoActivity, nil
+		}
+		return activityAt(h.lines[i], m), h.actRooms[i]
+	}
+	if h.occ == nil || m < h.occ.GuestFrom || m >= h.occ.GuestTo {
+		return NoActivity, nil
+	}
+	last := len(h.lines) - 1
+	return activityAt(h.lines[last], m), h.actRooms[last]
+}
+
+// occupied reports whether any occupant's activity at minute m takes place
 // in the given room.
 func (h *Home) occupied(room string, m int) bool {
 	if room == "" || m < 0 || m >= h.Windows() {
 		return false
 	}
-	for r, tl := range h.lines {
-		act := activityAt(tl, m)
-		if act != NoActivity && h.actRooms[r][act] == room {
+	for i := 0; i < h.occupantCount(); i++ {
+		act, rooms := h.occupantActivity(i, m)
+		if act != NoActivity && rooms[act] == room {
 			return true
 		}
 	}
 	return false
 }
 
-// roomStateAt derives the full room state at minute m from every resident's
+// roomStateAt derives the full room state at minute m from every occupant's
 // schedule.
 func (h *Home) roomStateAt(room string, m int) roomState {
 	var rs roomState
 	if room == "" || m < 0 || m >= h.Windows() {
 		return rs
 	}
-	for r, tl := range h.lines {
-		act := activityAt(tl, m)
-		if act == NoActivity || h.actRooms[r][act] != room {
+	for i := 0; i < h.occupantCount(); i++ {
+		act, rooms := h.occupantActivity(i, m)
+		if act == NoActivity || rooms[act] != room {
 			continue
 		}
 		rs.occupied = true
@@ -265,8 +322,8 @@ func (h *Home) cookingAnywhere(m int) bool {
 	if m < 0 || m >= h.Windows() {
 		return false
 	}
-	for _, tl := range h.lines {
-		act := activityAt(tl, m)
+	for i := 0; i < h.occupantCount(); i++ {
+		act, _ := h.occupantActivity(i, m)
 		if act != NoActivity && h.acts[act].Cooking {
 			return true
 		}
